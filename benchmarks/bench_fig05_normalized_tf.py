@@ -1,0 +1,87 @@
+"""Fig. 5 — log-log plot of *normalized* TF distributions: term specific,
+but (unlike raw TF) not a power law.
+
+The paper's point: normalized TF still identifies terms (an attacker
+knowing typical distribution patterns could reverse-engineer them), which
+is why the RSTF is needed — but its shape differs from raw TF's clean
+power law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.stats.distributions import fit_power_law
+from repro.stats.uniformness import ks_distance
+
+
+def _normalized_tf_histogram(collection, term, bins=20):
+    scores = [
+        collection.corpus.stats(d).rscore(term)
+        for d in collection.corpus.doc_ids()
+        if collection.corpus.stats(d).tf(term) > 0
+    ]
+    scores = np.asarray(scores)
+    counts, edges = np.histogram(scores, bins=bins)
+    centres = (edges[:-1] + edges[1:]) / 2
+    return scores, centres, counts.astype(float)
+
+
+def _pick_terms(collection):
+    ordered = collection.vocabulary.terms_by_frequency()
+    frequent = ordered[0]
+    rare = next(
+        t
+        for t in ordered[len(ordered) // 50 :]
+        if collection.vocabulary.document_frequency(t) >= 20
+    )
+    return frequent, rare
+
+
+def test_fig05_normalized_tf_term_specific_not_power_law(benchmark, studip):
+    frequent, rare = _pick_terms(studip)
+
+    def measure():
+        return {
+            term: _normalized_tf_histogram(studip, term)
+            for term in (frequent, rare)
+        }
+
+    histograms = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for label, term in (("frequent", frequent), ("rare", rare)):
+        scores, centres, counts = histograms[term]
+        for c, n in list(zip(centres, counts))[:8]:
+            rows.append([label, term, f"{c:.4f}", int(n)])
+    print_series(
+        "Fig. 5: normalized TF histograms (head)",
+        ["class", "term", "normalized tf", "#docs"],
+        rows,
+    )
+
+    # Term specificity: the two terms' score distributions are clearly
+    # distinguishable (large two-sample KS distance) — the attack surface
+    # Fig. 5 illustrates.
+    freq_scores = histograms[frequent][0]
+    rare_scores = histograms[rare][0]
+    specificity = ks_distance(freq_scores, rare_scores)
+    print_series(
+        "Fig. 5: term specificity",
+        ["metric", "value"],
+        [["two-sample KS distance", f"{specificity:.3f}"]],
+    )
+    assert specificity > 0.3
+
+    # Not a power law: fitting counts vs. score on the log-log scale must
+    # explain the data clearly worse than the raw-TF fit of Fig. 4 does.
+    scores, centres, counts = histograms[frequent]
+    mask = counts > 0
+    fit = fit_power_law(centres[mask], counts[mask])
+    print_series(
+        "Fig. 5: log-log fit quality (should be poor)",
+        ["term", "r^2"],
+        [[frequent, f"{fit.r_squared:.3f}"]],
+    )
+    assert fit.r_squared < 0.9

@@ -1,0 +1,52 @@
+"""Fig. 7 — probability density accumulated from 5 training values.
+
+The paper plots five Gaussian bells (one per training score) and their
+sum: the accumulated curve must peak where training points cluster and
+integrate to 1.  This bench regenerates that curve and asserts its
+analytic properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.stats.gaussian import gaussian_pdf, gaussian_sum_pdf
+
+TRAINING_VALUES = [0.10, 0.15, 0.22, 0.45, 0.50]
+SIGMA = 25.0  # steepness (paper convention): bell width 1/25 = 0.04
+
+
+def test_fig07_gaussian_sum_density(benchmark):
+    grid = np.linspace(0.0, 0.7, 701)
+
+    def measure():
+        return gaussian_sum_pdf(grid, TRAINING_VALUES, SIGMA)
+
+    density = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    sample_rows = [
+        [f"{x:.2f}", f"{d:.3f}"] for x, d in zip(grid[::100], density[::100])
+    ]
+    print_series("Fig. 7: accumulated density (samples)", ["rscore", "density"], sample_rows)
+
+    # The sum is the mean of the individual bells.
+    individual = np.stack(
+        [gaussian_pdf(grid, mu=m, sigma=SIGMA) for m in TRAINING_VALUES]
+    )
+    assert np.allclose(density, individual.mean(axis=0))
+
+    # Integrates to ~1 over a wide-enough window (probability density).
+    mass = np.trapezoid(density, grid)
+    print_series("Fig. 7: checks", ["metric", "value"], [["integral", f"{mass:.4f}"]])
+    assert abs(mass - 1.0) < 0.02
+
+    # Peaks where training points cluster: density in the 0.10-0.22 cluster
+    # exceeds density in the empty 0.30-0.40 gap.
+    cluster = density[(grid >= 0.10) & (grid <= 0.22)].mean()
+    gap = density[(grid >= 0.30) & (grid <= 0.40)].mean()
+    assert cluster > 2 * gap
+
+    # The two-point cluster at 0.45/0.50 creates a secondary mode.
+    second = density[(grid >= 0.44) & (grid <= 0.51)].mean()
+    assert second > gap

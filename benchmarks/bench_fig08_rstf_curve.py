@@ -1,0 +1,70 @@
+"""Fig. 8 — an example RSTF for one term ("Vergütung" in the paper).
+
+Regenerates the input-score -> TRS curve for a mid-frequency term of the
+StudIP-like collection: monotonically increasing, range (0, 1), steep in
+score regions dense with training values and flat in empty regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.core.scoring import extract_term_scores
+from repro.core.sigma import heuristic_sigma
+from repro.core.rstf import train_rstf
+
+
+def _training_scores(collection):
+    """Scores of a mid-frequency term from the 30% training sample."""
+    rng = np.random.default_rng(3)
+    sample = collection.corpus.sample(0.30, rng)
+    term_scores = extract_term_scores(
+        collection.corpus.stats(d.doc_id) for d in sample
+    )
+    candidates = sorted(
+        (t for t in term_scores if len(term_scores[t]) >= 15),
+        key=lambda t: len(term_scores[t]),
+    )
+    term = candidates[len(candidates) // 2]
+    return term, term_scores[term]
+
+
+def test_fig08_example_rstf_curve(benchmark, studip):
+    term, scores = _training_scores(studip)
+    sigma = heuristic_sigma(scores)
+    rstf = train_rstf(scores, sigma=sigma)
+    grid = np.linspace(0.0, max(scores) * 1.3, 400)
+
+    def measure():
+        return rstf.transform(grid)
+
+    curve = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [[f"{x:.4f}", f"{y:.4f}"] for x, y in zip(grid[::50], curve[::50])]
+    print_series(
+        f"Fig. 8: RSTF for term {term!r} ({len(scores)} training scores, "
+        f"sigma={sigma:.1f})",
+        ["rscore", "TRS"],
+        rows,
+    )
+
+    # Monotone increasing over the whole domain.
+    assert np.all(np.diff(curve) >= 0)
+    # Range (0, 1): strictly inside at the extremes of the plotted window.
+    assert curve[0] < 0.05
+    assert curve[-1] > 0.9
+    # Training scores map ~uniformly: the transformed training set covers
+    # the unit interval (min near 0, max near 1, median near 0.5).
+    trained = np.sort(rstf.transform(np.asarray(scores)))
+    assert trained[0] < 0.2
+    assert trained[-1] > 0.8
+    assert 0.3 < np.median(trained) < 0.7
+    # Steeper where data is dense: compare the slope at the densest score
+    # decile against the slope far above the maximum score.
+    dense_x = float(np.median(scores))
+    step = grid[1] - grid[0]
+    slope_at = lambda x: float(
+        (rstf.transform(x + step) - rstf.transform(x - step)) / (2 * step)
+    )
+    assert slope_at(dense_x) > 5 * slope_at(max(scores) * 1.25)

@@ -1,0 +1,59 @@
+"""Fig. 10 — query frequency vs. cumulative top-10 workload (Eq. 9).
+
+The paper's observation on its 7M-query log: "The most frequent queries
+constitute nearly the whole query workload."  We regenerate the cumulative
+workload curve over the synthetic log and assert head dominance.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_series
+from repro.evalmetrics.workload import cumulative_workload_curve, workload_cost
+
+K = 10
+
+
+def test_fig10_cumulative_workload_head_dominates(benchmark, studip):
+    dfs = {
+        t: studip.vocabulary.document_frequency(t) for t in studip.vocabulary
+    }
+    query_freqs = {
+        t: c
+        for t, c in studip.query_log.term_frequencies().items()
+        if t in studip.vocabulary
+    }
+
+    def measure():
+        return cumulative_workload_curve(
+            studip.system.merge_plan, dfs, query_freqs, K
+        )
+
+    curve = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    n = len(curve)
+    checkpoints = [0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0]
+    rows = []
+    for fraction in checkpoints:
+        index = min(max(int(n * fraction) - 1, 0), n - 1)
+        rows.append([f"{fraction:.1%}", f"{curve[index][1]:.1%}"])
+    print_series(
+        f"Fig. 10: cumulative top-{K} workload vs query rank "
+        f"({n} distinct queried terms)",
+        ["top terms (by query freq)", "share of workload cost Q"],
+        rows,
+    )
+
+    total = workload_cost(studip.system.merge_plan, dfs, query_freqs, K)
+    print_series(
+        "Fig. 10: totals",
+        ["metric", "value"],
+        [["total workload cost Q (elements)", f"{total:.0f}"]],
+    )
+
+    # Head dominance: the top 10% of terms carry well over half the cost,
+    # and the curve is monotone to 1.
+    index_10 = min(max(int(n * 0.10) - 1, 0), n - 1)
+    assert curve[index_10][1] > 0.5
+    fractions = [f for _, f in curve]
+    assert fractions == sorted(fractions)
+    assert abs(fractions[-1] - 1.0) < 1e-9

@@ -1,0 +1,57 @@
+"""Fig. 11 — average bandwidth overhead AvBO (Eq. 13) vs. initial response
+size b, for k ∈ {1, 10, 50}, on both collections.
+
+Paper shape: "the minimal bandwidth overhead for a top-k query in
+Zerber+R can be achieved with b=k … Further enlargement of the initial
+response size leads to an increased bandwidth overhead."
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import cached_workload_traces, print_series
+from repro.evalmetrics.bandwidth import average_bandwidth_overhead
+
+B_VALUES = [1, 2, 5, 10, 20, 50, 100]
+K_VALUES = [1, 10, 50]
+
+
+def _avbo_series(collection, k):
+    return {
+        b: average_bandwidth_overhead(cached_workload_traces(collection, k, b))
+        for b in B_VALUES
+    }
+
+
+def test_fig11_avbo_vs_initial_response_size(benchmark, collections):
+    def measure():
+        return {
+            (c.name, k): _avbo_series(c, k) for c in collections for k in K_VALUES
+        }
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for (name, k), curve in series.items():
+        for b, avbo in curve.items():
+            rows.append([name, k, b, f"{avbo:.2f}"])
+    print_series(
+        "Fig. 11: average bandwidth overhead AvBO (Eq. 13)",
+        ["collection", "k", "b", "AvBO"],
+        rows,
+    )
+
+    for (name, k), curve in series.items():
+        # Paper: "the minimal bandwidth overhead … can be achieved with
+        # b=k".  On collections where many terms have df < k the curve
+        # flattens at small b (queries exhaust the readable list whatever
+        # the policy), so assert *near*-optimality of b ≈ k rather than a
+        # strict argmin.
+        b_near_k = min(B_VALUES, key=lambda b: abs(b - k))
+        best = min(curve.values())
+        assert curve[b_near_k] <= 1.15 * best, (name, k, curve)
+        # Oversizing hurts: the largest b costs measurably more than b ≈ k.
+        assert curve[B_VALUES[-1]] > curve[b_near_k], (name, k, curve)
+        # And the b=100 overhead is at least ~100/k for one-shot queries,
+        # i.e. grows as k shrinks (the Fig. 11 fan-out across k curves).
+        if k <= 10:
+            assert curve[B_VALUES[-1]] > 100 / k * 0.5, (name, k, curve)

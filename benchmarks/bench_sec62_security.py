@@ -1,0 +1,143 @@
+"""§6.2 — security guarantees, measured.
+
+Three experiments matching the paper's security argument:
+
+1. *Score-distribution attack* (threat 1): identify terms from
+   server-visible scores.  Run against plain normalized-TF scores (what an
+   ordinary/OPS index exposes) and against Zerber+R's TRS — accuracy must
+   collapse from far-above-chance to ≈chance.
+2. *Query-observation attack* (threat 2): infer the queried term from the
+   follow-up request count.  Under BFM merging the identification rate
+   stays near blind guessing; the greedy head+tail merge (ablation) leaks.
+3. *TRS uniformity*: per-term TRS samples are indistinguishable from
+   Uniform[0,1] — the RSTF's operating requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro import SystemConfig, ZerberRSystem
+from repro.attacks.background import BackgroundKnowledge
+from repro.attacks.query_observation import QueryObservationAttack
+from repro.attacks.score_distribution import identification_accuracy
+from repro.core.protocol import ResponsePolicy
+from repro.core.scoring import extract_term_scores
+from repro.stats.uniformness import ks_distance_to_uniform
+
+N_TARGET_TERMS = 30
+MIN_SAMPLES = 30
+
+
+def _target_terms(collection):
+    """Terms with enough occurrences to expose a distribution."""
+    ordered = collection.vocabulary.terms_by_frequency()
+    terms = [
+        t
+        for t in ordered
+        if collection.vocabulary.document_frequency(t) >= MIN_SAMPLES
+        and t in collection.system.rstf_model
+    ]
+    return terms[:N_TARGET_TERMS]
+
+
+def test_sec62_score_distribution_attack(benchmark, studip):
+    terms = _target_terms(studip)
+    assert len(terms) >= 10
+    term_scores = extract_term_scores(studip.corpus.all_stats())
+    background = BackgroundKnowledge.from_documents(studip.corpus.all_stats())
+
+    plain = {t: term_scores[t] for t in terms}
+    model = studip.system.rstf_model
+    transformed = {
+        t: model.get(t).transform(np.asarray(term_scores[t])).tolist() for t in terms
+    }
+
+    def measure():
+        return (
+            identification_accuracy(plain, background),
+            identification_accuracy(transformed, background),
+        )
+
+    acc_plain, acc_trs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    chance = 1.0 / len(terms)
+    print_series(
+        "§6.2: term identification from stored scores",
+        ["index surface", "attack accuracy", "chance level"],
+        [
+            ["plain normalized TF", f"{acc_plain:.2f}", f"{chance:.3f}"],
+            ["Zerber+R TRS", f"{acc_trs:.2f}", f"{chance:.3f}"],
+        ],
+    )
+    # Plain scores are fully identifying (adversary has the exact corpus
+    # statistics); TRS must drop near chance.
+    assert acc_plain > 10 * chance
+    assert acc_trs < acc_plain / 3
+    assert acc_trs < 0.35
+
+
+def test_sec62_query_observation_attack(benchmark, studip):
+    policy = ResponsePolicy(initial_size=10)
+    dfs = {t: studip.vocabulary.document_frequency(t) for t in studip.vocabulary}
+    attack = QueryObservationAttack(dfs)
+
+    def leak_stats(plan):
+        leaks = [
+            attack.list_leakage(list(g), 10, policy)
+            for g in plan.groups
+            if len(g) >= 2
+        ]
+        return float(np.mean(leaks)), float(np.mean([l == 0 for l in leaks]))
+
+    greedy_system = ZerberRSystem.build(
+        studip.corpus, SystemConfig(r=4.0, merge_scheme="greedy", seed=3)
+    )
+
+    def measure():
+        return leak_stats(studip.system.merge_plan), leak_stats(
+            greedy_system.merge_plan
+        )
+
+    (bfm_mean, bfm_zero), (greedy_mean, greedy_zero) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print_series(
+        "§6.2: follow-up-count leakage by merge scheme (k=10, b=10)",
+        ["scheme", "mean request-count spread", "share of leak-free lists"],
+        [
+            ["BFM (paper)", f"{bfm_mean:.2f}", f"{bfm_zero:.1%}"],
+            ["greedy head+tail (ablation)", f"{greedy_mean:.2f}", f"{greedy_zero:.1%}"],
+        ],
+    )
+    # BFM's whole point (§6.2): within-list request counts align.
+    assert bfm_mean < greedy_mean
+    assert bfm_zero > greedy_zero
+
+
+def test_sec62_trs_uniformity(benchmark, studip):
+    terms = _target_terms(studip)
+    term_scores = extract_term_scores(studip.corpus.all_stats())
+    model = studip.system.rstf_model
+
+    def measure():
+        distances = {}
+        for t in terms:
+            trs = model.get(t).transform(np.asarray(term_scores[t]))
+            distances[t] = ks_distance_to_uniform(trs)
+        return distances
+
+    distances = benchmark.pedantic(measure, rounds=1, iterations=1)
+    values = np.array(list(distances.values()))
+    print_series(
+        "§6.2: per-term TRS distance to Uniform[0,1]",
+        ["statistic", "value"],
+        [
+            ["median KS distance", f"{np.median(values):.3f}"],
+            ["max KS distance", f"{values.max():.3f}"],
+            ["terms measured", len(values)],
+        ],
+    )
+    # Typical KS for genuinely uniform samples of size 30-300 is ~0.1-0.2.
+    assert float(np.median(values)) < 0.2
+    assert float(values.max()) < 0.45

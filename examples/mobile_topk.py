@@ -1,0 +1,77 @@
+"""The paper's mobile scenario: top-k over a slow link (§2, §6.4-6.6).
+
+John queries from a PDA on a 56 Kb/s connection, so the transferred
+volume matters.  This example sweeps the initial response size b and shows
+why the paper recommends b = k, then prices the answer with the §6.6
+network model against the published competitor page sizes.
+
+Run:  python examples/mobile_topk.py
+"""
+
+import numpy as np
+
+from repro import ResponsePolicy, SystemConfig, ZerberRSystem, studip_like
+from repro.corpus import QueryLogConfig, QueryLogGenerator
+from repro.evalmetrics.bandwidth import (
+    average_bandwidth_overhead,
+    average_num_requests,
+)
+from repro.evalmetrics.netmodel import NetworkModel
+from repro.text.vocabulary import Vocabulary
+
+K = 10
+B_SWEEP = [1, 5, 10, 20, 50]
+N_QUERY_TERMS = 40
+
+
+def main() -> None:
+    corpus = studip_like(num_documents=300, vocabulary_size=3000, seed=5)
+    system = ZerberRSystem.build(corpus, SystemConfig(r=4.0, seed=5))
+    vocabulary = Vocabulary.from_documents(corpus.all_stats())
+    log = QueryLogGenerator(
+        vocabulary, QueryLogConfig(num_queries=5000, seed=6)
+    ).generate()
+
+    # A frequency-weighted sample of query terms (replaying the workload).
+    freqs = log.term_frequencies()
+    terms = [t for t in freqs if t in vocabulary]
+    weights = np.array([freqs[t] for t in terms], dtype=float)
+    weights /= weights.sum()
+    rng = np.random.default_rng(7)
+    sample = [terms[i] for i in rng.choice(len(terms), N_QUERY_TERMS, p=weights)]
+
+    client = system.client_for("superuser")
+    print(f"top-{K} over {N_QUERY_TERMS} workload queries, sweeping b:\n")
+    print(f"{'b':>4}  {'AvBO':>6}  {'avg requests':>12}  {'avg KB':>7}")
+    best = None
+    for b in B_SWEEP:
+        policy = ResponsePolicy(initial_size=b)
+        traces = [client.query(t, k=K, policy=policy).trace for t in sample]
+        avbo = average_bandwidth_overhead(traces)
+        requests = average_num_requests(traces)
+        kb = float(np.mean([t.bits_transferred for t in traces])) / 8 / 1024
+        print(f"{b:>4}  {avbo:>6.2f}  {requests:>12.2f}  {kb:>7.2f}")
+        if best is None or avbo < best[1]:
+            best = (b, avbo)
+    print(f"\nbest initial response size: b={best[0]} (paper: b=k={K})")
+
+    # Price one answer with the §6.6 model.
+    policy = ResponsePolicy(initial_size=K)
+    traces = [client.query(t, k=K, policy=policy).trace for t in sample]
+    elements_per_term = float(np.mean([t.elements_transferred for t in traces]))
+    model = NetworkModel()
+    print(
+        f"\n§6.6 pricing with {elements_per_term:.0f} elements/term "
+        f"(2.4 terms/query, 250 B snippets):"
+    )
+    for name, kb in model.comparison_table(elements_per_term, K):
+        marker = "  <- this system" if name == "Zerber+R" else ""
+        print(f"  {name:<10} {kb:>6.1f} KB{marker}")
+    print(
+        f"  modem download: {model.modem_seconds(elements_per_term, K):.2f} s, "
+        f"server throughput: {model.queries_per_second(elements_per_term):.0f} queries/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

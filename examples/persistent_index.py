@@ -1,0 +1,80 @@
+"""Persist a confidential index and query it from a fresh process.
+
+Shows the operational workflow: build once, write the untrusted-host dump
+(ciphertexts + TRS + public setup artifacts, never keys), reload it with a
+key service reconstructed from the deployment secret, and fetch the top-k
+snippets with checksum caching.
+
+Run:  python examples/persistent_index.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    SnippetClient,
+    SnippetStore,
+    SystemConfig,
+    ZerberRSystem,
+    load_index,
+    save_index,
+    studip_like,
+)
+from repro.core.client import ZerberRClient
+from repro.crypto.keys import GroupKeyService
+
+SECRET = b"deployment-secret-0123456789abcd"
+
+
+def main() -> None:
+    corpus = studip_like(num_documents=150, vocabulary_size=2000, seed=2)
+
+    # --- process 1: build and persist --------------------------------------
+    keys = GroupKeyService(master_secret=SECRET)
+    system = ZerberRSystem.build(corpus, SystemConfig(r=4.0), key_service=keys)
+    path = Path(tempfile.mkdtemp()) / "index.json"
+    save_index(path, system.server, system.merge_plan, system.rstf_model)
+    print(
+        f"persisted {system.server.num_elements} encrypted elements "
+        f"({path.stat().st_size / 1024:.0f} KB) to {path}"
+    )
+
+    # --- process 2: reload with the same secret ----------------------------
+    keys2 = GroupKeyService(master_secret=SECRET)
+    server2, plan2, model2 = load_index(path, keys2)
+    for group in corpus.groups():
+        keys2.ensure_group(group)
+    keys2.register("reader", set(corpus.groups()))
+    client = ZerberRClient(
+        principal="reader",
+        key_service=keys2,
+        server=server2,
+        rstf_model=model2,
+        merge_plan=plan2,
+    )
+    term = system.vocabulary.terms_by_frequency()[3]
+    result = client.query(term, k=5)
+    print(f"\nreloaded index answers top-5 for {term!r}: {result.doc_ids()}")
+    original = system.query(term, k=5)
+    print(f"matches the original deployment: {result.doc_ids() == original.doc_ids()}")
+
+    # --- snippets with checksum caching (§6.6 optimization) -----------------
+    store = SnippetStore(keys2)
+    publisher = SnippetClient("reader", keys2, store)
+    for hit in result.hits:
+        publisher.publish(
+            hit.group, hit.doc_id, f"<r><d>{hit.doc_id}</d><s>{'…' * 80}</s></r>"
+        )
+    reader = SnippetClient("reader", keys2, store)
+    reader.fetch_many([(h.group, h.doc_id) for h in result.hits])
+    cold = reader.bytes_transferred
+    reader.fetch_many([(h.group, h.doc_id) for h in result.hits])
+    warm = reader.bytes_transferred - cold
+    print(
+        f"\nsnippets: cold fetch {cold} B, revalidation {warm} B "
+        f"({cold / max(warm, 1):.0f}x saved by checksum caching)"
+    )
+
+
+if __name__ == "__main__":
+    main()

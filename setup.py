@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517/660
+editable installs fail with "invalid command 'bdist_wheel'".  Providing a
+setup.py (and omitting ``[build-system]`` from pyproject.toml) lets pip fall
+back to ``setup.py develop``, which works without wheel.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

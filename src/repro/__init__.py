@@ -1,0 +1,123 @@
+"""Zerber+R — top-k retrieval from a confidential inverted index.
+
+Reproduction of Zerr et al., "Zerber+R: Top-k Retrieval from a Confidential
+Index", EDBT 2009.  The public API re-exports the pieces a downstream user
+needs: build a :class:`ZerberRSystem` over a :class:`Corpus`, query it
+through clients, and evaluate confidentiality/efficiency with the attack
+and metric modules.
+
+Quickstart::
+
+    from repro import ZerberRSystem, SystemConfig, studip_like
+
+    corpus = studip_like(num_documents=200)
+    system = ZerberRSystem.build(corpus, SystemConfig(r=4.0))
+    result = system.query("term000010", k=10)
+    print(result.doc_ids(), result.trace.num_requests)
+"""
+
+from repro.errors import (
+    AccessDeniedError,
+    AuthenticationError,
+    ConfidentialityViolationError,
+    ConfigurationError,
+    CryptoError,
+    IndexingError,
+    ProtocolError,
+    ReproError,
+    TrainingError,
+    UnknownListError,
+    UnknownTermError,
+)
+from repro.corpus import (
+    Corpus,
+    Document,
+    Query,
+    QueryLog,
+    QueryLogConfig,
+    QueryLogGenerator,
+    odp_like,
+    studip_like,
+    tiny_corpus,
+)
+from repro.core import (
+    QueryResult,
+    QueryTrace,
+    ResponsePolicy,
+    Rstf,
+    RstfModel,
+    RstfTrainer,
+    SystemConfig,
+    ZerberRClient,
+    ZerberRServer,
+    ZerberRSystem,
+)
+from repro.core.rstf import TrainerConfig
+from repro.core.cluster import ServerCluster
+from repro.core.idf import BucketedIdf, aggregate_with_idf
+from repro.persist import load_index, save_index
+from repro.snippets import SnippetClient, SnippetStore
+from repro.index import (
+    MergePlan,
+    OrdinaryInvertedIndex,
+    bfm_merge,
+    greedy_pairing_merge,
+    random_merge,
+)
+from repro.text import Tokenizer, Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "IndexingError",
+    "UnknownTermError",
+    "UnknownListError",
+    "ConfidentialityViolationError",
+    "CryptoError",
+    "AuthenticationError",
+    "AccessDeniedError",
+    "ProtocolError",
+    "TrainingError",
+    # corpus
+    "Corpus",
+    "Document",
+    "Query",
+    "QueryLog",
+    "QueryLogConfig",
+    "QueryLogGenerator",
+    "studip_like",
+    "odp_like",
+    "tiny_corpus",
+    # core
+    "ZerberRSystem",
+    "SystemConfig",
+    "ZerberRClient",
+    "ZerberRServer",
+    "QueryResult",
+    "QueryTrace",
+    "ResponsePolicy",
+    "Rstf",
+    "RstfModel",
+    "RstfTrainer",
+    "TrainerConfig",
+    "ServerCluster",
+    "BucketedIdf",
+    "aggregate_with_idf",
+    "save_index",
+    "load_index",
+    "SnippetStore",
+    "SnippetClient",
+    # index
+    "MergePlan",
+    "OrdinaryInvertedIndex",
+    "bfm_merge",
+    "random_merge",
+    "greedy_pairing_merge",
+    # text
+    "Tokenizer",
+    "Vocabulary",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Adversary models for the paper's threat model (§4.1, evaluated in §6.2).
+
+Attack 1 — "Identify terms represented by the posting elements by analyzing
+relevance score values stored in the index": :mod:`score_distribution`.
+
+Attack 2 — "Determine query terms of other users by observing queries and
+query results" (follow-up request counting): :mod:`query_observation`.
+
+Both take :class:`~repro.attacks.background.BackgroundKnowledge` — the
+B of Def. 1: corpus-level term statistics and reference score
+distributions the adversary is assumed to possess.
+"""
+
+from repro.attacks.background import BackgroundKnowledge
+from repro.attacks.score_distribution import (
+    ScoreDistributionAttack,
+    identification_accuracy,
+    element_attribution_accuracy,
+)
+from repro.attacks.query_observation import (
+    QuerySession,
+    extract_sessions,
+    QueryObservationAttack,
+)
+
+__all__ = [
+    "BackgroundKnowledge",
+    "ScoreDistributionAttack",
+    "identification_accuracy",
+    "element_attribution_accuracy",
+    "QuerySession",
+    "extract_sessions",
+    "QueryObservationAttack",
+]

@@ -1,0 +1,183 @@
+"""Attack 2: infer query terms from observed request patterns (§4.1, §6.2).
+
+"In case of a merged ordered posting list, the number of requests required
+for obtaining top-k elements for a rare or a frequent term may differ. …
+Alice could guess the term by observing the number of follow-up requests
+required to fill the top-k results."
+
+The adversary sits on the server and sees the fetch stream
+(:class:`~repro.core.server.ObservedFetch`): principal, list id, offset,
+count.  She reconstructs query *sessions* (an initial fetch at offset 0
+plus its follow-ups) and compares each session's request count with the
+per-term expectations she can compute from background df statistics
+(Eq. 10/11).
+
+§6.2's defence: in a BFM index all terms of a merged list have similar
+frequencies, so expected request counts coincide and the observation
+carries no signal.  :meth:`QueryObservationAttack.list_leakage` quantifies
+the residual signal; the ablation benchmarks show it explode under
+frequency-mixing merge schemes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.protocol import ResponsePolicy
+from repro.core.server import ObservedFetch
+
+
+@dataclass(frozen=True)
+class QuerySession:
+    """One reconstructed query interaction against a merged list."""
+
+    principal: str
+    list_id: int
+    num_requests: int
+    total_elements: int
+
+
+def extract_sessions(observations: Sequence[ObservedFetch]) -> list[QuerySession]:
+    """Group a fetch stream into sessions.
+
+    A fetch with ``offset == 0`` starts a new session for its
+    (principal, list) pair; subsequent fetches with increasing offsets are
+    its follow-ups.  This matches how the client library issues requests.
+    """
+    sessions: list[QuerySession] = []
+    open_sessions: dict[tuple[str, int], list[ObservedFetch]] = {}
+    for obs in observations:
+        key = (obs.principal, obs.list_id)
+        if obs.offset == 0:
+            pending = open_sessions.pop(key, None)
+            if pending is not None:
+                sessions.append(_close(pending))
+            open_sessions[key] = [obs]
+        else:
+            open_sessions.setdefault(key, []).append(obs)
+    for pending in open_sessions.values():
+        sessions.append(_close(pending))
+    return sessions
+
+
+def _close(fetches: list[ObservedFetch]) -> QuerySession:
+    first = fetches[0]
+    return QuerySession(
+        principal=first.principal,
+        list_id=first.list_id,
+        num_requests=len(fetches),
+        total_elements=sum(f.returned for f in fetches),
+    )
+
+
+class QueryObservationAttack:
+    """Request-count analysis against merged lists.
+
+    ``document_frequencies`` is the adversary's background df estimate for
+    the terms of each list (Def. 1 allows her corpus statistics).
+    """
+
+    def __init__(self, document_frequencies: Mapping[str, int]) -> None:
+        self._dfs = dict(document_frequencies)
+
+    # -- expectations (Eq. 10/11 + the doubling protocol) -----------------------
+
+    def expected_first_position(self, term: str, list_terms: Sequence[str]) -> float:
+        """Eq. 10: expected index of a term's best element in the merged list."""
+        df = self._dfs[term]
+        if df <= 0:
+            raise ValueError(f"term {term!r} has zero document frequency")
+        total = sum(self._dfs[t] for t in list_terms)
+        return total / df
+
+    def expected_elements_needed(
+        self, term: str, list_terms: Sequence[str], k: int
+    ) -> float:
+        """Eq. 11: elements to retrieve for the term's top-k."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return k * self.expected_first_position(term, list_terms)
+
+    def expected_requests(
+        self, term: str, list_terms: Sequence[str], k: int, policy: ResponsePolicy
+    ) -> int:
+        """Requests the doubling protocol needs to cover Eq. 11's count."""
+        needed = self.expected_elements_needed(term, list_terms, k)
+        requests = 1
+        while policy.total_after(requests) < needed:
+            requests += 1
+            if requests > 64:  # safety valve, mirrors the client's cap
+                break
+        return requests
+
+    # -- leakage metrics -----------------------------------------------------------
+
+    def list_leakage(
+        self, list_terms: Sequence[str], k: int, policy: ResponsePolicy
+    ) -> int:
+        """Spread of expected request counts across a list's terms.
+
+        0 means every merged term needs the same number of requests —
+        observing the count tells Alice nothing (the BFM guarantee).  A
+        positive spread partitions the terms into distinguishable classes.
+        """
+        counts = [
+            self.expected_requests(term, list_terms, k, policy)
+            for term in list_terms
+        ]
+        return max(counts) - min(counts)
+
+    def identify_from_session(
+        self,
+        session: QuerySession,
+        list_terms: Sequence[str],
+        k: int,
+        policy: ResponsePolicy,
+    ) -> list[str]:
+        """Terms of the list consistent with the observed request count.
+
+        Alice's posterior support: the smaller the returned set, the more
+        she learned.  With BFM merging this is (almost) the whole list.
+        """
+        return [
+            term
+            for term in list_terms
+            if self.expected_requests(term, list_terms, k, policy)
+            == session.num_requests
+        ]
+
+    def session_identification_rate(
+        self,
+        sessions_with_truth: Sequence[tuple[QuerySession, str]],
+        list_terms_of: Mapping[int, Sequence[str]],
+        k: int,
+        policy: ResponsePolicy,
+    ) -> float:
+        """Expected probability of guessing the queried term per session.
+
+        For each session Alice guesses uniformly among the consistent
+        terms; the rate is ``mean(1/|consistent|)`` when the true term is
+        consistent (else her structured guess failed and we score the
+        uniform-over-list fallback).
+        """
+        if not sessions_with_truth:
+            raise ValueError("no sessions to attack")
+        total = 0.0
+        for session, true_term in sessions_with_truth:
+            terms = list(list_terms_of[session.list_id])
+            consistent = self.identify_from_session(session, terms, k, policy)
+            if true_term in consistent:
+                total += 1.0 / len(consistent)
+            else:
+                total += 1.0 / len(terms) if terms else 0.0
+        return total / len(sessions_with_truth)
+
+
+def chance_identification_rate(list_terms_of: Mapping[int, Sequence[str]]) -> float:
+    """Blind guessing baseline: mean of 1/|list| over lists."""
+    if not list_terms_of:
+        raise ValueError("no lists")
+    return sum(1.0 / len(terms) for terms in list_terms_of.values() if terms) / len(
+        list_terms_of
+    )

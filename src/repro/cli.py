@@ -1,0 +1,176 @@
+"""Command-line interface: build, inspect, and query a confidential index.
+
+Usage (after ``pip install -e .``)::
+
+    repro-index build  --input docs/ --output index.json --r 4.0
+    repro-index info   --index index.json
+    repro-index query  --index index.json --term budget --k 10
+
+``build`` indexes every ``*.txt`` file under ``--input``; the file's
+immediate parent directory is its collaboration group.  The key service
+derives group keys from ``--secret`` (hex, >= 32 hex chars), so running
+``query`` with the same secret reconstructs them — a convenience for
+demos and tests, not a production key-management story (see
+``repro.crypto.keys``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.client import ZerberRClient
+from repro.core.system import SystemConfig, ZerberRSystem
+from repro.corpus.documents import Corpus, Document
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ReproError
+from repro.persist import load_index, save_index
+
+DEFAULT_SECRET = "0f" * 32
+
+
+def _corpus_from_directory(root: Path) -> Corpus:
+    corpus = Corpus(name=root.name)
+    files = sorted(root.rglob("*.txt"))
+    if not files:
+        raise ReproError(f"no .txt files under {root}")
+    for path in files:
+        group = path.parent.name if path.parent != root else "public"
+        corpus.add(
+            Document(
+                doc_id=str(path.relative_to(root)),
+                group=group,
+                text=path.read_text(errors="replace"),
+            )
+        )
+    return corpus
+
+
+def _key_service(secret_hex: str, groups: set[str]) -> GroupKeyService:
+    service = GroupKeyService(master_secret=bytes.fromhex(secret_hex))
+    for group in sorted(groups):
+        service.ensure_group(group)
+    service.register("superuser", set(groups))
+    return service
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    corpus = _corpus_from_directory(Path(args.input))
+    print(
+        f"indexing {len(corpus)} documents in {len(corpus.groups())} group(s)...",
+        file=sys.stderr,
+    )
+    service = _key_service(args.secret, corpus.groups())
+    system = ZerberRSystem.build(
+        corpus,
+        SystemConfig(r=args.r, training_fraction=args.training_fraction),
+        key_service=service,
+    )
+    save_index(args.output, system.server, system.merge_plan, system.rstf_model)
+    audit = system.audit()
+    print(
+        f"wrote {args.output}: {system.server.num_elements} elements, "
+        f"{system.merge_plan.num_lists} merged lists, "
+        f"r={args.r} (confidential={audit.is_confidential})"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    service = GroupKeyService(master_secret=bytes.fromhex(args.secret))
+    server, plan, model = load_index(args.index, service)
+    groups = {
+        element.group
+        for list_id in range(server.num_lists)
+        for element in server._lists[list_id].elements
+    }
+    print(f"index: {args.index}")
+    print(f"  posting elements : {server.num_elements}")
+    print(f"  merged lists     : {plan.num_lists} (r={plan.r})")
+    print(f"  trained RSTFs    : {model.num_terms}")
+    print(f"  groups           : {', '.join(sorted(groups))}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    service = GroupKeyService(master_secret=bytes.fromhex(args.secret))
+    server, plan, model = load_index(args.index, service)
+    groups = {
+        element.group
+        for list_id in range(server.num_lists)
+        for element in server._lists[list_id].elements
+    }
+    for group in sorted(groups):
+        service.ensure_group(group)
+    service.register(args.principal, set(args.groups) if args.groups else groups)
+    client = ZerberRClient(
+        principal=args.principal,
+        key_service=service,
+        server=server,
+        rstf_model=model,
+        merge_plan=plan,
+    )
+    result = client.query(args.term, k=args.k)
+    for rank, hit in enumerate(result.hits, start=1):
+        print(f"{rank:2d}. {hit.doc_id}  rscore={hit.rscore:.4f}  group={hit.group}")
+    if not result.hits:
+        print("(no readable results)")
+    trace = result.trace
+    print(
+        f"-- {trace.num_requests} request(s), {trace.elements_transferred} "
+        f"elements, {trace.bits_transferred / 8 / 1024:.2f} KB",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-index",
+        description="Zerber+R confidential top-k index (EDBT 2009 reproduction)",
+    )
+    parser.add_argument(
+        "--secret",
+        default=DEFAULT_SECRET,
+        help="hex master secret for group-key derivation (demo key management)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="index a directory of .txt files")
+    p_build.add_argument("--input", required=True, help="directory of documents")
+    p_build.add_argument("--output", required=True, help="index file to write")
+    p_build.add_argument("--r", type=float, default=4.0, help="confidentiality bound")
+    p_build.add_argument(
+        "--training-fraction", type=float, default=0.9, dest="training_fraction"
+    )
+    p_build.set_defaults(func=cmd_build)
+
+    p_info = sub.add_parser("info", help="show index statistics")
+    p_info.add_argument("--index", required=True)
+    p_info.set_defaults(func=cmd_info)
+
+    p_query = sub.add_parser("query", help="run a single-term top-k query")
+    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--term", required=True)
+    p_query.add_argument("--k", type=int, default=10)
+    p_query.add_argument("--principal", default="reader")
+    p_query.add_argument(
+        "--groups", nargs="*", help="restrict the principal's group memberships"
+    )
+    p_query.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Zerber+R core: RSTF, σ selection, confidentiality, server/client/protocol."""
+
+from repro.core.scoring import rscore, extract_term_scores, tfidf_rscore
+from repro.core.rstf import Rstf, RstfModel, RstfTrainer, train_rstf
+from repro.core.sigma import (
+    SigmaSelection,
+    default_sigma_grid,
+    heuristic_sigma,
+    select_sigma,
+    trs_variance_for_sigma,
+)
+from repro.core.confidentiality import (
+    attribution_probabilities,
+    audit_merge_plan,
+    probability_amplification,
+    ConfidentialityAudit,
+)
+from repro.core.protocol import FetchRequest, FetchResponse, QueryTrace, ResponsePolicy
+from repro.core.server import ZerberRServer
+from repro.core.client import ZerberRClient, QueryResult
+from repro.core.system import ZerberRSystem, SystemConfig
+
+__all__ = [
+    "rscore",
+    "extract_term_scores",
+    "tfidf_rscore",
+    "Rstf",
+    "RstfModel",
+    "RstfTrainer",
+    "train_rstf",
+    "SigmaSelection",
+    "default_sigma_grid",
+    "heuristic_sigma",
+    "select_sigma",
+    "trs_variance_for_sigma",
+    "attribution_probabilities",
+    "audit_merge_plan",
+    "probability_amplification",
+    "ConfidentialityAudit",
+    "FetchRequest",
+    "FetchResponse",
+    "QueryTrace",
+    "ResponsePolicy",
+    "ZerberRServer",
+    "ZerberRClient",
+    "QueryResult",
+    "ZerberRSystem",
+    "SystemConfig",
+]

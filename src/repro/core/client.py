@@ -1,0 +1,290 @@
+"""The Zerber+R client: inserting documents and running top-k queries.
+
+Insert path (paper §5): "To index a document, its owner extracts the
+document's terms, builds their elements, encrypts them, calculates TRS
+values, and sends encrypted posting elements to the server along with the
+IDs of the merged posting list that the new element belongs to, the
+document's group and the TRS value."
+
+Query path (paper §5.2): fetch the head of the merged list, decrypt what
+the user's group keys open, filter for the queried term, and follow up with
+doubled response sizes until ``k`` matches are held or the list is
+exhausted.  The client returns results ranked by the *decrypted* relevance
+score — identical to TRS order for a single term because the RSTF is
+monotonic (§4.2 property 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.protocol import FetchRequest, QueryTrace, ResponsePolicy
+from repro.core.rstf import RstfModel
+from repro.core.server import ZerberRServer
+from repro.crypto.cipher import NonceSequence, StreamCipher
+from repro.crypto.keys import GroupKeyService
+from repro.errors import UnknownTermError
+from repro.index.merge import MergePlan
+from repro.index.postings import EncryptedPostingElement, PostingElement
+from repro.text.analysis import DocumentStats
+
+
+@dataclass(frozen=True)
+class RankedHit:
+    """One decrypted query hit."""
+
+    doc_id: str
+    rscore: float
+    group: str
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Top-k hits plus the session's cost trace."""
+
+    hits: tuple[RankedHit, ...]
+    trace: QueryTrace
+
+    def doc_ids(self) -> list[str]:
+        return [hit.doc_id for hit in self.hits]
+
+
+class ZerberRClient:
+    """A group member that inserts into and queries a Zerber+R server."""
+
+    def __init__(
+        self,
+        principal: str,
+        key_service: GroupKeyService,
+        server: ZerberRServer,
+        rstf_model: RstfModel,
+        merge_plan: MergePlan,
+    ) -> None:
+        self.principal = principal
+        self._keys = key_service
+        self._server = server
+        self._rstf = rstf_model
+        self._plan = merge_plan
+        self._ciphers: dict[str, StreamCipher] = {}
+        self._nonces: dict[str, NonceSequence] = {}
+
+    # -- key plumbing -----------------------------------------------------------
+
+    def _cipher(self, group: str) -> StreamCipher:
+        cipher = self._ciphers.get(group)
+        if cipher is None:
+            cipher = self._keys.cipher_for(self.principal, group)
+            self._ciphers[group] = cipher
+        return cipher
+
+    def _nonce_sequence(self, group: str) -> NonceSequence:
+        seq = self._nonces.get(group)
+        if seq is None:
+            key = self._keys.group_key(self.principal, group)
+            seq = NonceSequence(key, label=f"nonce:{self.principal}")
+            self._nonces[group] = seq
+        return seq
+
+    def _unseen_trs(self, group: str, doc_id: str):
+        """The paper's rule for training-unseen terms: a random TRS.
+
+        Realised as PRF(term || doc id) under the group key: deterministic
+        (re-inserting the same document is idempotent and concurrent
+        clients agree) yet unique per posting element, so the TRS stream
+        stays tie-free and uniform.  Order among an unseen term's elements
+        is arbitrary — the accepted trade-off for terms "assumed to be
+        rare" (§5.1.1).
+        """
+        prf = self._keys.unseen_term_prf(self.principal, group)
+        return lambda term: prf.evaluate_unit(f"{term}\x00{doc_id}".encode())
+
+    def _readable_groups(self) -> set[str]:
+        return self._keys.memberships(self.principal)
+
+    # -- inserting (paper §5) -----------------------------------------------------
+
+    def build_element(
+        self, term: str, doc: DocumentStats, group: str
+    ) -> tuple[int, EncryptedPostingElement]:
+        """Build one encrypted posting element with its target list id."""
+        tf = doc.tf(term)
+        if tf == 0:
+            raise UnknownTermError(term)
+        plain = PostingElement(
+            term=term, doc_id=doc.doc_id, tf=tf, doc_length=doc.length
+        )
+        trs = self._rstf.transform(
+            term, plain.rscore, unseen_trs=self._unseen_trs(group, doc.doc_id)
+        )
+        ciphertext = self._cipher(group).encrypt(
+            plain.to_bytes(), self._nonce_sequence(group).next()
+        )
+        try:
+            list_id = self._plan.list_of(term)
+        except KeyError:
+            raise UnknownTermError(term) from None
+        return list_id, EncryptedPostingElement(
+            ciphertext=ciphertext, group=group, trs=trs
+        )
+
+    def index_document(self, doc: DocumentStats, group: str) -> int:
+        """Encrypt and upload every term of *doc*; returns elements sent."""
+        items = [self.build_element(term, doc, group) for term in sorted(doc.counts)]
+        return self._server.insert_many(self.principal, items)
+
+    def index_document_with_receipts(
+        self, doc: DocumentStats, group: str
+    ) -> list[tuple[int, bytes]]:
+        """Like :meth:`index_document` but returns deletion receipts.
+
+        Each receipt is ``(list_id, ciphertext)``; presenting it to
+        :meth:`delete_document` removes the element.  The server never
+        learns which document the receipts belong to.
+        """
+        items = [self.build_element(term, doc, group) for term in sorted(doc.counts)]
+        self._server.insert_many(self.principal, items)
+        return [(list_id, element.ciphertext) for list_id, element in items]
+
+    def delete_document(self, receipts: Iterable[tuple[int, bytes]]) -> int:
+        """Remove a previously inserted document by its receipts.
+
+        Returns the number of elements actually removed (receipts for
+        already-removed elements are counted as misses, not errors —
+        deletion is idempotent).
+        """
+        removed = 0
+        for list_id, ciphertext in receipts:
+            if self._server.delete_element(self.principal, list_id, ciphertext):
+                removed += 1
+        return removed
+
+    # -- querying (paper §5.2) ------------------------------------------------------
+
+    def query(
+        self,
+        term: str,
+        k: int,
+        policy: ResponsePolicy | None = None,
+        max_requests: int = 64,
+    ) -> QueryResult:
+        """Single-term top-k with the doubling follow-up protocol.
+
+        ``policy`` defaults to the paper's recommendation ``b = k``
+        (§6.4).  ``max_requests`` is a safety valve against runaway loops;
+        the doubling rule reaches any list length long before it triggers.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        policy = policy if policy is not None else ResponsePolicy(initial_size=k)
+        try:
+            list_id = self._plan.list_of(term)
+        except KeyError:
+            raise UnknownTermError(term) from None
+
+        trace = QueryTrace(term=term, k=k)
+        hits: list[RankedHit] = []
+        hit_trs: list[float] = []
+        offset = 0
+        for request_number in range(max_requests):
+            count = policy.response_size(request_number)
+            response = self._server.fetch(
+                FetchRequest(
+                    principal=self.principal,
+                    list_id=list_id,
+                    offset=offset,
+                    count=count,
+                )
+            )
+            trace.record_response(response)
+            offset += len(response.elements)
+            matches, trs_values = self._decrypt_matches(response.elements, term)
+            hits.extend(matches)
+            hit_trs.extend(trs_values)
+            if len(hits) >= k and self._topk_complete(
+                hit_trs, k, response.elements
+            ):
+                trace.satisfied = True
+                break
+            if response.exhausted:
+                trace.satisfied = len(hits) >= k
+                break
+        # TRS order equals rscore order per term (monotonic RSTF), but the
+        # decrypted scores are the ground truth — sort defensively and trim.
+        hits.sort(key=lambda h: (-h.rscore, h.doc_id))
+        return QueryResult(hits=tuple(hits[:k]), trace=trace)
+
+    @staticmethod
+    def _topk_complete(
+        hit_trs: list[float],
+        k: int,
+        last_elements: Sequence[EncryptedPostingElement],
+    ) -> bool:
+        """Whether no unfetched element can still enter the top-k.
+
+        The merged list is served in descending TRS order, so every
+        unfetched element's TRS is <= the last fetched one.  If the k-th
+        best matched TRS is at least the boundary, later elements cannot
+        strictly beat the current top-k.  TRS values are tie-free by
+        construction (continuous RSTF outputs; unseen terms get a
+        per-element PRF value), so treating equality as complete is safe
+        up to float collisions.
+        """
+        if not last_elements:
+            return True
+        boundary = last_elements[-1].trs
+        if boundary is None:
+            return True
+        kth = sorted(hit_trs, reverse=True)[k - 1]
+        return kth >= boundary
+
+    def _decrypt_matches(
+        self, elements: Sequence[EncryptedPostingElement], term: str
+    ) -> tuple[list[RankedHit], list[float]]:
+        """Decrypt readable elements and keep those matching *term*.
+
+        Returns the hits plus their server-visible TRS values (needed for
+        the completeness check of :meth:`_topk_complete`).
+        """
+        matches: list[RankedHit] = []
+        trs_values: list[float] = []
+        readable = self._readable_groups()
+        for element in elements:
+            if element.group not in readable:
+                continue
+            plaintext = self._cipher(element.group).try_decrypt(element.ciphertext)
+            if plaintext is None:
+                continue
+            posting = PostingElement.from_bytes(plaintext)
+            if posting.term == term:
+                matches.append(
+                    RankedHit(
+                        doc_id=posting.doc_id,
+                        rscore=posting.rscore,
+                        group=element.group,
+                    )
+                )
+                trs_values.append(element.trs if element.trs is not None else 0.0)
+        return matches, trs_values
+
+    def query_multi(
+        self,
+        terms: Iterable[str],
+        k: int,
+        policy: ResponsePolicy | None = None,
+    ) -> tuple[list[tuple[str, float]], list[QueryTrace]]:
+        """Multi-term query as a sequence of single-term queries (§3.2).
+
+        Scores aggregate by summation *without* IDF (the confidentiality
+        trade-off the paper accepts); returns ``(doc_id, score)`` pairs in
+        descending order plus the per-term traces.
+        """
+        scores: dict[str, float] = {}
+        traces: list[QueryTrace] = []
+        for term in terms:
+            result = self.query(term, k, policy=policy)
+            traces.append(result.trace)
+            for hit in result.hits:
+                scores[hit.doc_id] = scores.get(hit.doc_id, 0.0) + hit.rscore
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        return ranked, traces

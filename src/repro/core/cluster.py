@@ -1,0 +1,181 @@
+"""Multi-server deployment (paper §3.1: "Zerber relies on a centralized
+set of largely untrusted index servers").
+
+A :class:`ServerCluster` shards the merged posting lists across N
+:class:`~repro.core.server.ZerberRServer` instances (deterministic
+round-robin by list id, optionally replicated) and exposes the same
+insert/fetch surface, so :class:`~repro.core.client.ZerberRClient` works
+against a cluster unchanged.
+
+Sharding also *improves* confidentiality in the compromised-server model:
+an adversary owning one server sees only ``1/N`` of the merged lists and
+only that shard's query stream — quantified by :meth:`visible_fraction`.
+Replication trades that away for availability: with replication factor f,
+a fetch is served by any live replica, and :meth:`fail_server` simulates a
+server loss.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.protocol import FetchRequest, FetchResponse
+from repro.core.server import ObservedFetch, ZerberRServer
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError, ProtocolError, UnknownListError
+from repro.index.postings import EncryptedPostingElement
+
+
+class ServerCluster:
+    """Shard merged posting lists over several untrusted servers."""
+
+    def __init__(
+        self,
+        key_service: GroupKeyService,
+        num_lists: int,
+        num_servers: int,
+        replication: int = 1,
+    ) -> None:
+        if num_servers < 1:
+            raise ConfigurationError("need at least one server")
+        if not 1 <= replication <= num_servers:
+            raise ConfigurationError("replication must be in [1, num_servers]")
+        if num_lists < 1:
+            raise ProtocolError("num_lists must be >= 1")
+        self._num_lists = num_lists
+        self.replication = replication
+        self._servers = [
+            ZerberRServer(key_service, num_lists=num_lists)
+            for _ in range(num_servers)
+        ]
+        self._alive = [True] * num_servers
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return len(self._servers)
+
+    @property
+    def num_lists(self) -> int:
+        return self._num_lists
+
+    def replicas_of(self, list_id: int) -> list[int]:
+        """Server indices holding *list_id* (primary first)."""
+        if not 0 <= list_id < self._num_lists:
+            raise UnknownListError(list_id)
+        primary = list_id % len(self._servers)
+        return [
+            (primary + i) % len(self._servers) for i in range(self.replication)
+        ]
+
+    def server(self, index: int) -> ZerberRServer:
+        """Direct access to one server (the adversary's viewpoint)."""
+        return self._servers[index]
+
+    def fail_server(self, index: int) -> None:
+        """Mark a server as down (availability simulation)."""
+        self._alive[index] = False
+
+    def restore_server(self, index: int) -> None:
+        self._alive[index] = True
+
+    # -- data plane -----------------------------------------------------------
+
+    def insert(
+        self, principal: str, list_id: int, element: EncryptedPostingElement
+    ) -> None:
+        """Insert into every replica of the list's shard."""
+        for server_index in self.replicas_of(list_id):
+            self._servers[server_index].insert(principal, list_id, element)
+
+    def insert_many(
+        self,
+        principal: str,
+        items: Iterable[tuple[int, EncryptedPostingElement]],
+    ) -> int:
+        """Replicated multi-insert (client-compatible surface)."""
+        accepted = 0
+        for list_id, element in items:
+            self.insert(principal, list_id, element)
+            accepted += 1
+        return accepted
+
+    def delete_element(
+        self, principal: str, list_id: int, ciphertext: bytes
+    ) -> bool:
+        """Delete a receipt's element from every replica."""
+        removed_any = False
+        for server_index in self.replicas_of(list_id):
+            if self._servers[server_index].delete_element(
+                principal, list_id, ciphertext
+            ):
+                removed_any = True
+        return removed_any
+
+    def bulk_load(
+        self,
+        principal: str,
+        items: Iterable[tuple[int, EncryptedPostingElement]],
+    ) -> int:
+        """Bulk-load each element into all of its replicas."""
+        items = list(items)
+        accepted = 0
+        per_server: dict[int, list[tuple[int, EncryptedPostingElement]]] = {}
+        for list_id, element in items:
+            for server_index in self.replicas_of(list_id):
+                per_server.setdefault(server_index, []).append((list_id, element))
+            accepted += 1
+        for server_index, shard_items in per_server.items():
+            self._servers[server_index].bulk_load(principal, shard_items)
+        return accepted
+
+    def fetch(self, request: FetchRequest) -> FetchResponse:
+        """Serve from the first live replica of the requested list."""
+        for server_index in self.replicas_of(request.list_id):
+            if self._alive[server_index]:
+                return self._servers[server_index].fetch(request)
+        raise ProtocolError(
+            f"all {self.replication} replica(s) of list {request.list_id} are down"
+        )
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def num_elements(self) -> int:
+        """Logical element count (replicas counted once)."""
+        total_stored = sum(s.num_elements for s in self._servers)
+        return total_stored // self.replication
+
+    def list_length(self, list_id: int) -> int:
+        primary = self.replicas_of(list_id)[0]
+        return self._servers[primary].list_length(list_id)
+
+    def visible_trs_values(self, list_id: int) -> list[float]:
+        primary = self.replicas_of(list_id)[0]
+        return self._servers[primary].visible_trs_values(list_id)
+
+    def storage_score_slots(self) -> int:
+        return self.num_elements
+
+    def storage_bits(self) -> int:
+        return sum(s.storage_bits() for s in self._servers)
+
+    # -- adversary model ----------------------------------------------------------
+
+    def visible_fraction(self, compromised: Iterable[int]) -> float:
+        """Fraction of merged lists an adversary owning *compromised*
+        servers can read — the confidentiality benefit of sharding."""
+        owned = set(compromised)
+        if not owned <= set(range(len(self._servers))):
+            raise ConfigurationError("unknown server index")
+        visible = sum(
+            1
+            for list_id in range(self._num_lists)
+            if owned & set(self.replicas_of(list_id))
+        )
+        return visible / self._num_lists
+
+    def observations_at(self, index: int) -> list[ObservedFetch]:
+        """The fetch log of one (compromised) server."""
+        return self._servers[index].observations

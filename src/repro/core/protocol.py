@@ -1,0 +1,135 @@
+"""Client/server wire protocol and the response-size policy (paper §5.2, §6.4).
+
+The query interaction: the client authenticates, names a merged posting
+list and a desired ``k``; the server returns the ``b`` highest-TRS elements
+the client may read.  If, after decrypting and filtering, the client holds
+fewer than ``k`` elements of the queried term, it issues follow-up
+requests; "Zerber+R doubles response size for each follow-up request until
+the user is satisfied with the result or obtains the whole list", so the
+total after ``n`` follow-ups is (Eq. 12)::
+
+    TRes = b * sum_{i=0..n} 2^i
+
+:class:`ResponsePolicy` encodes the initial size and growth factor;
+:class:`QueryTrace` records what a query session cost, feeding the Fig.
+11–13 metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.index.postings import EncryptedPostingElement
+
+
+@dataclass(frozen=True)
+class ResponsePolicy:
+    """Initial response size and follow-up growth (paper's doubling rule).
+
+    ``initial_size`` is the paper's ``b`` (best choice: ``b = k``, §6.4);
+    ``growth_factor`` is 2 in the paper; values > 1 generalise the ablation.
+    """
+
+    initial_size: int
+    growth_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.initial_size < 1:
+            raise ProtocolError("initial response size must be >= 1")
+        if self.growth_factor < 1:
+            raise ProtocolError("growth factor must be >= 1")
+
+    def response_size(self, request_number: int) -> int:
+        """Number of elements in the ``request_number``-th response (0-based)."""
+        if request_number < 0:
+            raise ProtocolError("request number must be non-negative")
+        return self.initial_size * self.growth_factor**request_number
+
+    def total_after(self, num_requests: int) -> int:
+        """Cumulative elements after *num_requests* responses (Eq. 12)."""
+        if num_requests < 0:
+            raise ProtocolError("num_requests must be non-negative")
+        return sum(self.response_size(i) for i in range(num_requests))
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """One fetch against a merged posting list.
+
+    ``offset``/``count`` address the server-side TRS order restricted to
+    the elements the principal may read.  The server sees exactly these
+    fields — they are what the query-observation adversary logs.
+    """
+
+    principal: str
+    list_id: int
+    offset: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ProtocolError("offset must be non-negative")
+        if self.count < 1:
+            raise ProtocolError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """Server reply: an ordered slice plus an exhaustion flag."""
+
+    elements: tuple[EncryptedPostingElement, ...]
+    exhausted: bool
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+@dataclass
+class QueryTrace:
+    """Cost accounting of one top-k query session.
+
+    Attributes
+    ----------
+    term / k:
+        What was asked (client-side knowledge; the server never sees the
+        term).
+    num_requests:
+        Requests issued, including the initial one.
+    elements_transferred:
+        Total posting elements shipped (the TRes of Eq. 12 — possibly less
+        on the last response if the list ran out).
+    bits_transferred:
+        Total wire size of shipped elements (for §6.6).
+    satisfied:
+        Whether k matches were found before the list was exhausted.
+    """
+
+    term: str
+    k: int
+    num_requests: int = 0
+    elements_transferred: int = 0
+    bits_transferred: int = 0
+    satisfied: bool = False
+
+    def record_response(self, response: FetchResponse) -> None:
+        self.num_requests += 1
+        self.elements_transferred += len(response.elements)
+        self.bits_transferred += sum(e.size_bits for e in response.elements)
+
+    @property
+    def total_response_size(self) -> int:
+        """TRes — elements actually shipped over the session."""
+        return self.elements_transferred
+
+    def bandwidth_overhead(self) -> float:
+        """``TRes / k`` — this query's contribution to AvBO (Eq. 13)."""
+        if self.k <= 0:
+            raise ProtocolError("k must be positive")
+        return self.elements_transferred / self.k
+
+    def query_efficiency(self) -> float:
+        """``k / TRes`` — QRatioeff (Eq. 14); 1.0 is ordinary-index parity."""
+        if self.elements_transferred == 0:
+            raise ProtocolError("no responses recorded")
+        return self.k / self.elements_transferred

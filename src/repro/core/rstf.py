@@ -1,0 +1,238 @@
+"""The Relevance Score Transformation Function (paper §4.2, §5.1).
+
+An RSTF must (paper §4.2):
+
+1. map the relevance scores of different terms to one common range ``R``;
+2. distribute the transformed values (TRS) uniformly over ``R``;
+3. preserve the order of the relevance score values.
+
+Zerber+R builds it as the integral of a Gaussian-sum model of the term's
+score density (Eq. 5–6), approximated in closed form by a sum of logistic
+curves (Eq. 7–8)::
+
+    RSTF(x) = (1/N) * sum_i  1 / (1 + exp(-sigma * (x - mu_i)))
+
+with one ``mu_i`` per training score and σ the steepness (paper
+convention: larger σ = narrower bell = more memorisation).
+
+Terms absent from the training set "are assumed to be rare and can
+therefore be assigned a random TRS" (§5.1.1); :class:`RstfModel` delegates
+those to a caller-supplied keyed PRF so that independent inserting clients
+assign the *same* pseudo-random TRS to the same term.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scoring import extract_term_scores
+from repro.core.sigma import heuristic_sigma, select_sigma, default_sigma_grid
+from repro.errors import TrainingError
+from repro.stats.crossval import train_control_split
+from repro.stats.gaussian import gaussian_sum_cdf, logistic_sum_cdf
+from repro.text.analysis import DocumentStats
+
+VALID_KINDS = ("logistic", "erf")
+
+
+@dataclass(frozen=True)
+class Rstf:
+    """One term's trained transformation function.
+
+    Attributes
+    ----------
+    mus:
+        Sorted training scores (the Gaussian/logistic centres μ_i).
+    sigma:
+        Steepness parameter σ.
+    kind:
+        ``"logistic"`` — the paper's Eq. 8 closed form (default);
+        ``"erf"`` — the exact Gaussian integral of Eq. 6.
+    """
+
+    mus: tuple[float, ...]
+    sigma: float
+    kind: str = "logistic"
+
+    def __post_init__(self) -> None:
+        if not self.mus:
+            raise TrainingError("RSTF requires at least one training score")
+        if self.sigma <= 0:
+            raise TrainingError("sigma must be positive")
+        if self.kind not in VALID_KINDS:
+            raise TrainingError(f"kind must be one of {VALID_KINDS}")
+        if any(m < 0 for m in self.mus):
+            raise TrainingError("relevance scores are non-negative")
+
+    @classmethod
+    def from_scores(
+        cls, scores: Iterable[float], sigma: float, kind: str = "logistic"
+    ) -> "Rstf":
+        """Build from raw (unsorted) training scores."""
+        return cls(mus=tuple(sorted(float(s) for s in scores)), sigma=sigma, kind=kind)
+
+    @property
+    def num_training_points(self) -> int:
+        return len(self.mus)
+
+    def transform(self, x):
+        """TRS for score(s) *x*; accepts a scalar or an array.
+
+        Output lies in (0, 1) and is strictly increasing in *x* (property 3
+        of §4.2) because it is a positive mixture of increasing curves.
+        """
+        mus = np.asarray(self.mus)
+        if self.kind == "logistic":
+            result = logistic_sum_cdf(x, mus, self.sigma)
+        else:
+            result = gaussian_sum_cdf(x, mus, self.sigma)
+        if np.ndim(x) == 0:
+            return float(result)
+        return np.asarray(result)
+
+    def __call__(self, x):
+        return self.transform(x)
+
+
+def train_rstf(scores: Iterable[float], sigma: float, kind: str = "logistic") -> Rstf:
+    """Train one term's RSTF with a fixed σ."""
+    score_list = list(scores)
+    if not score_list:
+        raise TrainingError("cannot train an RSTF on an empty score set")
+    return Rstf.from_scores(score_list, sigma=sigma, kind=kind)
+
+
+class RstfModel:
+    """The published per-term RSTF registry (paper §5: "Zerber+R
+    initializes and publishes the RSTF for each term in the training
+    document set").
+
+    Unseen terms get ``None`` from :meth:`get`; :meth:`transform` instead
+    accepts an ``unseen_trs`` callable (typically
+    :meth:`repro.crypto.GroupKeyService.unseen_term_prf` composed with
+    ``evaluate_unit``) implementing the paper's random-TRS rule.
+    """
+
+    def __init__(self, functions: Mapping[str, Rstf]) -> None:
+        self._functions = dict(functions)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._functions)
+
+    def terms(self) -> set[str]:
+        return set(self._functions)
+
+    def get(self, term: str) -> Rstf | None:
+        """The RSTF of *term*, or ``None`` if the term was not trained."""
+        return self._functions.get(term)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._functions
+
+    def transform(self, term: str, score: float, unseen_trs=None) -> float:
+        """TRS of *score* for *term*.
+
+        ``unseen_trs(term) -> float in [0,1]`` handles training-unseen terms;
+        without it, unseen terms raise :class:`TrainingError` so silent
+        misconfiguration cannot slip through.
+        """
+        rstf = self._functions.get(term)
+        if rstf is not None:
+            return float(rstf.transform(score))
+        if unseen_trs is None:
+            raise TrainingError(f"no RSTF trained for term {term!r}")
+        trs = float(unseen_trs(term))
+        if not 0.0 <= trs <= 1.0:
+            raise TrainingError("unseen-term TRS must lie in [0, 1]")
+        return trs
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """RSTF training policy.
+
+    Attributes
+    ----------
+    kind:
+        Curve family (``"logistic"`` per Eq. 8, or ``"erf"``).
+    sigma_strategy:
+        ``"cv"`` — per-term cross-validated σ over ``sigma_grid`` (the
+        paper's method, Fig. 9); ``"heuristic"`` — the direct spacing-based
+        estimate (the paper's "future research" direction, see
+        :func:`repro.core.sigma.heuristic_sigma`); ``"fixed"`` — use
+        ``fixed_sigma`` for every term.
+    sigma_grid:
+        Candidate σ values for the CV strategy (``None`` = default grid).
+    fixed_sigma:
+        σ for the fixed strategy.
+    min_cv_scores:
+        Terms with fewer training scores than this fall back to the
+        heuristic (cross-validation needs a meaningful control split).
+    control_fraction:
+        Fraction of each term's scores held out as the CV control set
+        (paper §6.1.2: about one third).
+    seed:
+        Seed for the train/control split.
+    """
+
+    kind: str = "logistic"
+    sigma_strategy: str = "cv"
+    sigma_grid: tuple[float, ...] | None = None
+    fixed_sigma: float = 100.0
+    min_cv_scores: int = 6
+    control_fraction: float = 1.0 / 3.0
+    seed: int = 29
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise TrainingError(f"kind must be one of {VALID_KINDS}")
+        if self.sigma_strategy not in ("cv", "heuristic", "fixed"):
+            raise TrainingError("sigma_strategy must be cv|heuristic|fixed")
+        if self.fixed_sigma <= 0:
+            raise TrainingError("fixed_sigma must be positive")
+        if self.min_cv_scores < 4:
+            raise TrainingError("min_cv_scores must be >= 4")
+
+
+class RstfTrainer:
+    """Trains an :class:`RstfModel` from a training document sample."""
+
+    def __init__(self, config: TrainerConfig | None = None) -> None:
+        self.config = config if config is not None else TrainerConfig()
+
+    def train_from_documents(self, documents: Iterable[DocumentStats]) -> RstfModel:
+        """Offline pre-computing phase (paper §5): one RSTF per seen term."""
+        return self.train_from_scores(extract_term_scores(documents))
+
+    def train_from_scores(self, term_scores: Mapping[str, list[float]]) -> RstfModel:
+        """Train from precomputed ``term -> scores`` (useful for tests)."""
+        functions: dict[str, Rstf] = {}
+        rng = np.random.default_rng(self.config.seed)
+        for term in sorted(term_scores):
+            scores = term_scores[term]
+            if not scores:
+                continue
+            sigma = self._choose_sigma(scores, rng)
+            functions[term] = Rstf.from_scores(scores, sigma=sigma, kind=self.config.kind)
+        if not functions:
+            raise TrainingError("training set produced no term scores")
+        return RstfModel(functions)
+
+    def _choose_sigma(self, scores: list[float], rng: np.random.Generator) -> float:
+        cfg = self.config
+        if cfg.sigma_strategy == "fixed":
+            return cfg.fixed_sigma
+        if cfg.sigma_strategy == "heuristic" or len(scores) < cfg.min_cv_scores:
+            return heuristic_sigma(scores)
+        train, control = train_control_split(
+            scores, control_fraction=cfg.control_fraction, rng=rng
+        )
+        if not train or not control:
+            return heuristic_sigma(scores)
+        grid = cfg.sigma_grid if cfg.sigma_grid is not None else default_sigma_grid()
+        selection = select_sigma(train, control, grid=grid, kind=cfg.kind)
+        return selection.best_sigma

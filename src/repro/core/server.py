@@ -1,0 +1,205 @@
+"""The untrusted Zerber+R index server (paper §5, §5.2).
+
+The server stores merged posting lists whose elements carry an encrypted
+payload plus a plaintext TRS, keeps each list sorted by descending TRS, and
+serves ``(offset, count)`` slices to authenticated clients.  Access control
+is group-based: every element is tagged with its owning group, and a fetch
+only ever returns elements of groups the requesting principal belongs to
+(paper §4.1: "The index server determines user's access rights").
+
+Everything the server can observe — stored TRS values, group tags, and the
+stream of fetch requests — is exactly what the threat-model adversary gets
+when she compromises the server, so the server also keeps an observation
+log that the attack modules read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.protocol import FetchRequest, FetchResponse
+from repro.crypto.keys import GroupKeyService
+from repro.errors import AccessDeniedError, ProtocolError, UnknownListError
+from repro.index.postings import EncryptedPostingElement, MergedPostingList
+
+
+@dataclass(frozen=True)
+class ObservedFetch:
+    """What the compromised-server adversary records per fetch."""
+
+    principal: str
+    list_id: int
+    offset: int
+    count: int
+    returned: int
+
+
+class ZerberRServer:
+    """Merged, TRS-sorted, access-controlled posting-list store."""
+
+    def __init__(self, key_service: GroupKeyService, num_lists: int) -> None:
+        if num_lists < 1:
+            raise ProtocolError("num_lists must be >= 1")
+        self._keys = key_service
+        self._lists: dict[int, MergedPostingList] = {
+            list_id: MergedPostingList(list_id) for list_id in range(num_lists)
+        }
+        self.observations: list[ObservedFetch] = []
+        # (list_id, principal) -> (list version, readable elements).  Fetch
+        # sessions issue several slices against an unchanged list; caching
+        # the readable view keeps that O(1) after the first slice.
+        self._readable_cache: dict[tuple[int, str], tuple[int, list]] = {}
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def num_lists(self) -> int:
+        return len(self._lists)
+
+    @property
+    def num_elements(self) -> int:
+        return sum(len(lst) for lst in self._lists.values())
+
+    def list_length(self, list_id: int) -> int:
+        return len(self._list(list_id))
+
+    def _list(self, list_id: int) -> MergedPostingList:
+        merged = self._lists.get(list_id)
+        if merged is None:
+            raise UnknownListError(list_id)
+        return merged
+
+    # -- inserts (paper §5: online insertion phase) ----------------------------
+
+    def insert(
+        self, principal: str, list_id: int, element: EncryptedPostingElement
+    ) -> None:
+        """Accept one posting element from an authenticated group member.
+
+        The server checks group membership ("checks his group membership
+        and accepts the update if appropriate") and inserts by TRS order.
+        """
+        if element.trs is None:
+            raise ProtocolError("Zerber+R elements must carry a TRS")
+        if not self._keys.is_member(principal, element.group):
+            raise AccessDeniedError(principal, element.group)
+        self._list(list_id).add_sorted_by_trs(element)
+
+    def insert_many(
+        self,
+        principal: str,
+        items: Iterable[tuple[int, EncryptedPostingElement]],
+    ) -> int:
+        """Bulk insert; returns the number of accepted elements."""
+        accepted = 0
+        for list_id, element in items:
+            self.insert(principal, list_id, element)
+            accepted += 1
+        return accepted
+
+    def bulk_load(
+        self,
+        principal: str,
+        items: Iterable[tuple[int, EncryptedPostingElement]],
+    ) -> int:
+        """Load many elements, sorting each touched list once.
+
+        Functionally identical to :meth:`insert_many` (including the
+        membership checks) but O(n log n) per list instead of O(n²); used
+        when indexing a whole corpus at system setup.
+        """
+        by_list: dict[int, list[EncryptedPostingElement]] = {}
+        accepted = 0
+        for list_id, element in items:
+            if element.trs is None:
+                raise ProtocolError("Zerber+R elements must carry a TRS")
+            if not self._keys.is_member(principal, element.group):
+                raise AccessDeniedError(principal, element.group)
+            self._list(list_id)  # validates the id
+            by_list.setdefault(list_id, []).append(element)
+            accepted += 1
+        for list_id, elements in by_list.items():
+            self._lists[list_id].bulk_load_sorted_by_trs(elements)
+        return accepted
+
+    # -- deletion (collaborative updates, paper §5's "unlimited index
+    # update and insert operations") --------------------------------------------
+
+    def delete_element(
+        self, principal: str, list_id: int, ciphertext: bytes
+    ) -> bool:
+        """Remove one posting element by its ciphertext receipt.
+
+        The server cannot read ciphertexts, so deletion is by exact match
+        on the receipt the inserting client kept.  Group membership is
+        enforced against the stored element's group tag — only members of
+        the owning group may delete it.  Returns whether an element was
+        removed.
+        """
+        merged = self._list(list_id)
+        target = next(
+            (e for e in merged.elements if e.ciphertext == ciphertext), None
+        )
+        if target is None:
+            return False
+        if not self._keys.is_member(principal, target.group):
+            raise AccessDeniedError(principal, target.group)
+        removed = merged.remove_by_ciphertext(ciphertext)
+        return removed is not None
+
+    # -- queries (paper §5.2) ----------------------------------------------------
+
+    def fetch(self, request: FetchRequest) -> FetchResponse:
+        """Serve a TRS-ordered slice of the principal-readable elements.
+
+        ``offset`` counts within the readable sub-list (the principal never
+        learns how many unreadable elements interleave), and ``exhausted``
+        signals that no readable elements remain past the returned slice.
+        """
+        merged = self._list(request.list_id)
+        cache_key = (request.list_id, request.principal)
+        cached = self._readable_cache.get(cache_key)
+        if cached is not None and cached[0] == merged.version:
+            readable = cached[1]
+        else:
+            readable_groups = {
+                group
+                for group in {e.group for e in merged.elements}
+                if self._keys.is_member(request.principal, group)
+            }
+            readable = [e for e in merged.elements if e.group in readable_groups]
+            self._readable_cache[cache_key] = (merged.version, readable)
+        slice_ = readable[request.offset : request.offset + request.count]
+        exhausted = request.offset + request.count >= len(readable)
+        self.observations.append(
+            ObservedFetch(
+                principal=request.principal,
+                list_id=request.list_id,
+                offset=request.offset,
+                count=request.count,
+                returned=len(slice_),
+            )
+        )
+        return FetchResponse(elements=tuple(slice_), exhausted=exhausted)
+
+    # -- adversary-visible state (for the attack modules) -------------------------
+
+    def visible_trs_values(self, list_id: int) -> list[float]:
+        """All plaintext TRS values of a list, in server (descending) order."""
+        return [e.trs for e in self._list(list_id) if e.trs is not None]
+
+    def visible_group_tags(self, list_id: int) -> list[str]:
+        """Plaintext group tags of a list, in server order."""
+        return [e.group for e in self._list(list_id)]
+
+    def storage_score_slots(self) -> int:
+        """Per-element score slots stored (the §6.3 comparison quantity)."""
+        return self.num_elements
+
+    def storage_bits(self) -> int:
+        """Total stored wire size of all posting elements."""
+        return sum(lst.size_bits for lst in self._lists.values())
+
+    def clear_observations(self) -> None:
+        self.observations.clear()

@@ -1,0 +1,234 @@
+"""End-to-end Zerber+R system assembly (the paper's two-phase pipeline).
+
+Offline pre-computing phase (paper §5): sample a training set from the
+corpus, train and publish one RSTF per training term, build the
+r-confidential merge plan from (public) document-frequency statistics, and
+stand up the key service and the untrusted index server.
+
+Online phase: each document's owning group encrypts and uploads its posting
+elements; registered users run top-k queries through
+:class:`~repro.core.client.ZerberRClient`.
+
+:class:`ZerberRSystem` packages all of that behind one constructor so
+examples, tests and benchmarks share a single, correct assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.client import QueryResult, ZerberRClient
+from repro.core.confidentiality import ConfidentialityAudit, audit_merge_plan
+from repro.core.protocol import ResponsePolicy
+from repro.core.rstf import RstfModel, RstfTrainer, TrainerConfig
+from repro.core.server import ZerberRServer
+from repro.corpus.documents import Corpus
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError
+from repro.index.merge import MergePlan, bfm_merge, greedy_pairing_merge, random_merge
+from repro.text.vocabulary import Vocabulary
+
+MERGE_SCHEMES = ("bfm", "random", "greedy")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Assembly parameters.
+
+    Attributes
+    ----------
+    r:
+        Confidentiality parameter (Def. 1/2); must be > 1.
+    training_fraction:
+        Fraction of the corpus sampled as the RSTF training set (paper
+        §6.1.2: 30%).
+    merge_scheme:
+        ``"bfm"`` (the paper's choice), ``"random"`` or ``"greedy"``
+        (ablations, see :mod:`repro.index.merge`).
+    trainer:
+        RSTF training policy; ``None`` selects the heuristic-σ strategy,
+        which is fast enough for whole-corpus training (the CV strategy
+        reproduces Fig. 9 but costs a σ sweep per term).
+    seed:
+        Seed for training-set sampling and the random merge scheme.
+    """
+
+    r: float = 4.0
+    training_fraction: float = 0.30
+    merge_scheme: str = "bfm"
+    trainer: TrainerConfig | None = None
+    seed: int = 41
+
+    def __post_init__(self) -> None:
+        if self.r <= 1.0:
+            raise ConfigurationError("r must be > 1")
+        if not 0.0 < self.training_fraction <= 1.0:
+            raise ConfigurationError("training_fraction must be in (0, 1]")
+        if self.merge_scheme not in MERGE_SCHEMES:
+            raise ConfigurationError(f"merge_scheme must be one of {MERGE_SCHEMES}")
+
+
+class ZerberRSystem:
+    """A fully assembled Zerber+R deployment over one corpus."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        vocabulary: Vocabulary,
+        merge_plan: MergePlan,
+        rstf_model: RstfModel,
+        key_service: GroupKeyService,
+        server: ZerberRServer,
+        config: SystemConfig,
+    ) -> None:
+        self.corpus = corpus
+        self.vocabulary = vocabulary
+        self.merge_plan = merge_plan
+        self.rstf_model = rstf_model
+        self.key_service = key_service
+        self.server = server
+        self.config = config
+        self._clients: dict[str, ZerberRClient] = {}
+
+    # -- assembly ---------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Corpus,
+        config: SystemConfig | None = None,
+        key_service: GroupKeyService | None = None,
+    ) -> "ZerberRSystem":
+        """Run the offline phase and index the whole corpus.
+
+        Each document is uploaded by a per-group owner principal (the
+        collaboration-group member who shares it); a ``superuser`` principal
+        enrolled in every group is registered for whole-collection query
+        experiments (paper §6.6 assumes such a user).
+
+        Pass *key_service* to use externally managed group keys (e.g. the
+        CLI derives them from a user-supplied secret so a later process
+        can decrypt the persisted index).
+        """
+        if len(corpus) == 0:
+            raise ConfigurationError("corpus is empty")
+        config = config if config is not None else SystemConfig()
+        rng = np.random.default_rng(config.seed)
+
+        stats = corpus.all_stats()
+        vocabulary = Vocabulary.from_documents(stats)
+        probabilities = {
+            term: vocabulary.probability(term) for term in vocabulary
+        }
+        merge_plan = cls._build_merge_plan(probabilities, config, rng)
+
+        trainer_config = (
+            config.trainer
+            if config.trainer is not None
+            else TrainerConfig(sigma_strategy="heuristic")
+        )
+        training_docs = corpus.sample(config.training_fraction, rng)
+        trainer = RstfTrainer(trainer_config)
+        rstf_model = trainer.train_from_documents(
+            corpus.stats(doc.doc_id) for doc in training_docs
+        )
+
+        if key_service is None:
+            key_service = GroupKeyService()
+        for group in sorted(corpus.groups()):
+            key_service.ensure_group(group)
+        if not key_service.is_member("superuser", next(iter(corpus.groups()))):
+            try:
+                key_service.register("superuser", set(corpus.groups()))
+            except ConfigurationError:
+                for group in corpus.groups():
+                    key_service.enroll("superuser", group)
+
+        server = ZerberRServer(key_service, num_lists=merge_plan.num_lists)
+        system = cls(
+            corpus=corpus,
+            vocabulary=vocabulary,
+            merge_plan=merge_plan,
+            rstf_model=rstf_model,
+            key_service=key_service,
+            server=server,
+            config=config,
+        )
+        system._index_corpus()
+        return system
+
+    @staticmethod
+    def _build_merge_plan(
+        probabilities: dict[str, float],
+        config: SystemConfig,
+        rng: np.random.Generator,
+    ) -> MergePlan:
+        if config.merge_scheme == "bfm":
+            return bfm_merge(probabilities, config.r)
+        if config.merge_scheme == "random":
+            return random_merge(probabilities, config.r, rng=rng)
+        return greedy_pairing_merge(probabilities, config.r)
+
+    def _index_corpus(self) -> None:
+        """Online insertion phase: per-group owners encrypt and upload."""
+        for group in sorted(self.corpus.groups()):
+            owner = f"owner:{group}"
+            try:
+                self.key_service.register(owner, {group})
+            except ConfigurationError:
+                self.key_service.enroll(owner, group)
+        for group in sorted(self.corpus.groups()):
+            owner = f"owner:{group}"
+            client = self.client_for(owner)
+            items = []
+            for doc in self.corpus.documents_in_group(group):
+                doc_stats = self.corpus.stats(doc.doc_id)
+                for term in sorted(doc_stats.counts):
+                    items.append(client.build_element(term, doc_stats, group))
+            self.server.bulk_load(owner, items)
+
+    # -- principals and clients -----------------------------------------------------
+
+    def register_user(self, name: str, groups: set[str]) -> ZerberRClient:
+        """Register a new principal and return its client."""
+        self.key_service.register(name, groups)
+        return self.client_for(name)
+
+    def client_for(self, principal: str) -> ZerberRClient:
+        """A (cached) client bound to *principal*."""
+        client = self._clients.get(principal)
+        if client is None:
+            client = ZerberRClient(
+                principal=principal,
+                key_service=self.key_service,
+                server=self.server,
+                rstf_model=self.rstf_model,
+                merge_plan=self.merge_plan,
+            )
+            self._clients[principal] = client
+        return client
+
+    # -- convenience -----------------------------------------------------------------
+
+    def query(
+        self,
+        term: str,
+        k: int,
+        principal: str = "superuser",
+        policy: ResponsePolicy | None = None,
+    ) -> QueryResult:
+        """Run one single-term top-k query as *principal*."""
+        return self.client_for(principal).query(term, k, policy=policy)
+
+    def audit(self) -> ConfidentialityAudit:
+        """Def. 2 audit of the deployed merge plan under corpus statistics."""
+        probabilities = {
+            term: self.vocabulary.probability(term) for term in self.vocabulary
+        }
+        return audit_merge_plan(self.merge_plan, probabilities)
+
+    def with_config(self, **overrides) -> "ZerberRSystem":
+        """Rebuild the system over the same corpus with config overrides."""
+        return type(self).build(self.corpus, replace(self.config, **overrides))

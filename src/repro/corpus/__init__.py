@@ -1,0 +1,25 @@
+"""Corpus substrate: document model, synthetic collections, query logs."""
+
+from repro.corpus.documents import Corpus, Document
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+    studip_like,
+    odp_like,
+    tiny_corpus,
+)
+from repro.corpus.querylog import Query, QueryLog, QueryLogConfig, QueryLogGenerator
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "SyntheticCorpusConfig",
+    "SyntheticCorpusGenerator",
+    "studip_like",
+    "odp_like",
+    "tiny_corpus",
+    "Query",
+    "QueryLog",
+    "QueryLogConfig",
+    "QueryLogGenerator",
+]

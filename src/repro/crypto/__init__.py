@@ -1,0 +1,26 @@
+"""Cryptography substrate: PRF, authenticated stream cipher, group keys.
+
+The paper treats posting-element encryption as a black box ("Zerber stores
+ranking information as well as term and document identifiers within each
+posting element in an encrypted form").  No external crypto package is
+installable offline, so we build a PRF-based authenticated stream cipher on
+``hmac``/``hashlib`` from the standard library.  It exercises exactly the
+code path the paper needs — encrypt on insert, decrypt + integrity-check on
+query, random-looking incompressible ciphertext (§6.6) — and must not be
+mistaken for an audited production cipher.
+"""
+
+from repro.crypto.prf import Prf, derive_key
+from repro.crypto.cipher import NonceSequence, StreamCipher, encrypt, decrypt
+from repro.crypto.keys import GroupKeyService, Principal
+
+__all__ = [
+    "Prf",
+    "derive_key",
+    "StreamCipher",
+    "NonceSequence",
+    "encrypt",
+    "decrypt",
+    "GroupKeyService",
+    "Principal",
+]

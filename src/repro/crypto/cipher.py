@@ -1,0 +1,96 @@
+"""Authenticated counter-mode stream cipher over the HMAC PRF.
+
+Wire format of a ciphertext::
+
+    nonce (16 bytes) || body (len(plaintext) bytes) || tag (16 bytes)
+
+``body = plaintext XOR keystream(nonce)``; the tag is a truncated
+HMAC-SHA256 over ``nonce || body`` under an independent MAC subkey, checked
+on decryption (wrong-key or tampered ciphertexts raise
+:class:`~repro.errors.AuthenticationError` instead of yielding garbage — a
+querying client must be able to tell "not my group's element" apart from
+data corruption).
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+from repro.crypto.prf import Prf, derive_key
+from repro.errors import AuthenticationError
+
+NONCE_SIZE = 16
+TAG_SIZE = 16
+
+
+class StreamCipher:
+    """Encrypt/decrypt byte strings under one group master key."""
+
+    def __init__(self, master_key: bytes) -> None:
+        self._enc = Prf(derive_key(master_key, "enc"))
+        self._mac = Prf(derive_key(master_key, "mac"))
+
+    def encrypt(self, plaintext: bytes, nonce: bytes) -> bytes:
+        """Encrypt *plaintext*; *nonce* must be unique per message.
+
+        Nonces are caller-supplied (16 bytes) so that tests and simulations
+        stay deterministic; :class:`NonceSequence` provides a safe default.
+        """
+        if len(nonce) != NONCE_SIZE:
+            raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+        stream = self._enc.keystream(nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = self._mac.evaluate(nonce + body)[:TAG_SIZE]
+        return nonce + body + tag
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt and authenticate; raises :class:`AuthenticationError`."""
+        if len(ciphertext) < NONCE_SIZE + TAG_SIZE:
+            raise AuthenticationError("ciphertext too short")
+        nonce = ciphertext[:NONCE_SIZE]
+        body = ciphertext[NONCE_SIZE:-TAG_SIZE]
+        tag = ciphertext[-TAG_SIZE:]
+        expected = self._mac.evaluate(nonce + body)[:TAG_SIZE]
+        if not _hmac.compare_digest(tag, expected):
+            raise AuthenticationError("ciphertext failed integrity check")
+        stream = self._enc.keystream(nonce, len(body))
+        return bytes(b ^ s for b, s in zip(body, stream))
+
+    def try_decrypt(self, ciphertext: bytes) -> bytes | None:
+        """Decrypt, returning ``None`` instead of raising on auth failure.
+
+        The querying client uses this to skim merged lists containing
+        elements of groups it cannot read.
+        """
+        try:
+            return self.decrypt(ciphertext)
+        except AuthenticationError:
+            return None
+
+
+class NonceSequence:
+    """Deterministic unique nonces: ``PRF(counter)`` under a nonce subkey.
+
+    Each inserting client owns one sequence; uniqueness holds as long as a
+    (client key, counter) pair is never reused, which the monotonically
+    increasing counter guarantees within a process.
+    """
+
+    def __init__(self, master_key: bytes, label: str = "nonce") -> None:
+        self._prf = Prf(derive_key(master_key, label))
+        self._counter = 0
+
+    def next(self) -> bytes:
+        nonce = self._prf.evaluate(self._counter.to_bytes(8, "big"))[:NONCE_SIZE]
+        self._counter += 1
+        return nonce
+
+
+def encrypt(master_key: bytes, plaintext: bytes, nonce: bytes) -> bytes:
+    """One-shot helper around :class:`StreamCipher`."""
+    return StreamCipher(master_key).encrypt(plaintext, nonce)
+
+
+def decrypt(master_key: bytes, ciphertext: bytes) -> bytes:
+    """One-shot helper around :class:`StreamCipher`."""
+    return StreamCipher(master_key).decrypt(ciphertext)

@@ -1,0 +1,119 @@
+"""Group key management and access control (paper §2, §5.2).
+
+Collaboration groups each own a symmetric master key.  The
+:class:`GroupKeyService` models the trusted key-distribution component the
+paper assumes (it is *not* the untrusted index server): it registers
+groups, enrols principals, and hands a group's key only to its members.
+The index server itself never sees keys — it checks membership claims via
+:meth:`GroupKeyService.is_member` (authentication is out of the paper's
+scope and modelled as reliable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.prf import Prf, derive_key
+from repro.errors import AccessDeniedError, ConfigurationError
+
+
+@dataclass
+class Principal:
+    """A user identity with group memberships."""
+
+    name: str
+    groups: set[str] = field(default_factory=set)
+
+
+class GroupKeyService:
+    """Registry of groups, keys, and memberships.
+
+    Keys are derived deterministically from a service master secret so that
+    simulations are reproducible; a deployment would generate them randomly.
+    """
+
+    def __init__(self, master_secret: bytes | None = None) -> None:
+        if master_secret is None:
+            master_secret = hashlib.sha256(b"repro-zerber-default-secret").digest()
+        if len(master_secret) < 16:
+            raise ConfigurationError("master secret must be at least 16 bytes")
+        self._master = master_secret
+        self._groups: dict[str, bytes] = {}
+        self._principals: dict[str, Principal] = {}
+
+    # -- groups --------------------------------------------------------------
+
+    def create_group(self, group: str) -> None:
+        """Register a group and derive its master key."""
+        if group in self._groups:
+            raise ConfigurationError(f"group already exists: {group!r}")
+        self._groups[group] = derive_key(self._master, f"group:{group}")
+
+    def ensure_group(self, group: str) -> None:
+        """Create *group* if it does not exist yet."""
+        if group not in self._groups:
+            self.create_group(group)
+
+    def groups(self) -> set[str]:
+        return set(self._groups)
+
+    # -- principals ------------------------------------------------------------
+
+    def register(self, name: str, groups: set[str] | None = None) -> Principal:
+        """Register a principal, enrolling it in *groups* (created on demand)."""
+        if name in self._principals:
+            raise ConfigurationError(f"principal already exists: {name!r}")
+        principal = Principal(name=name)
+        self._principals[name] = principal
+        for group in groups or set():
+            self.enroll(name, group)
+        return principal
+
+    def enroll(self, name: str, group: str) -> None:
+        """Add a principal to a group."""
+        principal = self._principal(name)
+        self.ensure_group(group)
+        principal.groups.add(group)
+
+    def revoke(self, name: str, group: str) -> None:
+        """Remove a principal from a group."""
+        principal = self._principal(name)
+        principal.groups.discard(group)
+
+    def _principal(self, name: str) -> Principal:
+        principal = self._principals.get(name)
+        if principal is None:
+            raise ConfigurationError(f"unknown principal: {name!r}")
+        return principal
+
+    def is_member(self, name: str, group: str) -> bool:
+        """Membership check the index server performs before serving data."""
+        principal = self._principals.get(name)
+        return principal is not None and group in principal.groups
+
+    def memberships(self, name: str) -> set[str]:
+        """All groups of a principal."""
+        return set(self._principal(name).groups)
+
+    # -- key handout -------------------------------------------------------------
+
+    def group_key(self, principal: str, group: str) -> bytes:
+        """The group master key, released only to members."""
+        if not self.is_member(principal, group):
+            raise AccessDeniedError(principal, group)
+        return self._groups[group]
+
+    def cipher_for(self, principal: str, group: str) -> StreamCipher:
+        """A ready-to-use cipher for a member of *group*."""
+        return StreamCipher(self.group_key(principal, group))
+
+    def unseen_term_prf(self, principal: str, group: str) -> Prf:
+        """The keyed PRF members use to assign TRS to training-unseen terms.
+
+        Keyed per group so that adversaries cannot precompute the TRS of
+        candidate terms, but shared by all members so concurrent inserts of
+        the same term agree (paper §5.1.1).
+        """
+        return Prf(derive_key(self.group_key(principal, group), "unseen-trs"))

@@ -1,0 +1,63 @@
+"""HMAC-SHA256 pseudo-random function and key derivation."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+DIGEST_SIZE = hashlib.sha256().digest_size  # 32 bytes
+
+
+class Prf:
+    """A keyed PRF: ``F_key(message) -> 32 bytes`` via HMAC-SHA256."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("PRF key must be at least 16 bytes")
+        self._key = key
+
+    def evaluate(self, message: bytes) -> bytes:
+        """The PRF output block for *message*."""
+        return hmac.new(self._key, message, hashlib.sha256).digest()
+
+    def evaluate_int(self, message: bytes, modulus: int) -> int:
+        """PRF output reduced modulo *modulus* (for pseudo-random indices)."""
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        return int.from_bytes(self.evaluate(message), "big") % modulus
+
+    def evaluate_unit(self, message: bytes) -> float:
+        """PRF output mapped to [0, 1) with 53-bit precision.
+
+        Used for the deterministic pseudo-random TRS of terms unseen at
+        training time (paper §5.1.1): the same term always maps to the same
+        TRS, so concurrent inserting clients agree without coordination.
+        """
+        block = self.evaluate(message)
+        mantissa = int.from_bytes(block[:8], "big") >> 11  # top 53 bits
+        return mantissa / float(1 << 53)
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """*length* pseudo-random bytes bound to *nonce* (counter mode)."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        blocks = []
+        counter = 0
+        produced = 0
+        while produced < length:
+            block = self.evaluate(nonce + counter.to_bytes(8, "big"))
+            blocks.append(block)
+            produced += len(block)
+            counter += 1
+        return b"".join(blocks)[:length]
+
+
+def derive_key(master_key: bytes, label: str) -> bytes:
+    """Derive an independent subkey from *master_key* for *label*.
+
+    Used to separate the encryption key, the MAC key, and the
+    unseen-term-TRS key of a group from one master secret.
+    """
+    if len(master_key) < 16:
+        raise ValueError("master key must be at least 16 bytes")
+    return hmac.new(master_key, b"derive:" + label.encode(), hashlib.sha256).digest()

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the Zerber+R reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  The sub-hierarchy mirrors the package
+layout: indexing, cryptography/access control, protocol, and configuration
+errors are distinguishable because they typically call for different
+handling (a :class:`AccessDeniedError` is an authorization outcome, not a
+bug; a :class:`ConfidentialityViolationError` is a safety check firing).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class IndexError_(ReproError):
+    """Base class for indexing errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``repro.IndexingError``.
+    """
+
+
+IndexingError = IndexError_
+
+
+class UnknownTermError(IndexError_):
+    """A term was looked up that no posting list contains."""
+
+    def __init__(self, term: str) -> None:
+        super().__init__(f"term not present in the index: {term!r}")
+        self.term = term
+
+
+class UnknownListError(IndexError_):
+    """A merged posting list id was requested that does not exist."""
+
+    def __init__(self, list_id: int) -> None:
+        super().__init__(f"merged posting list does not exist: {list_id}")
+        self.list_id = list_id
+
+
+class ConfidentialityViolationError(ReproError):
+    """An operation would violate the configured r-confidentiality bound."""
+
+
+class CryptoError(ReproError):
+    """Base class for encryption/decryption failures."""
+
+
+class AuthenticationError(CryptoError):
+    """Ciphertext failed its integrity check (wrong key or tampering)."""
+
+
+class AccessDeniedError(CryptoError):
+    """The principal lacks the group membership needed for an operation."""
+
+    def __init__(self, principal: str, group: str) -> None:
+        super().__init__(f"principal {principal!r} is not a member of group {group!r}")
+        self.principal = principal
+        self.group = group
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-order client/server protocol interaction."""
+
+
+class TrainingError(ReproError):
+    """RSTF training failed (e.g. empty training set for a term)."""

@@ -1,0 +1,70 @@
+"""Bandwidth and efficiency metrics over query traces (paper §6.4–6.5).
+
+* Eq. 12 — total response size after n follow-ups: ``TRes = b * Σ 2^i``
+  (:func:`total_response_size`; traces record the measured value, which can
+  be smaller when a list runs out).
+* Eq. 13 — average bandwidth overhead over a workload:
+  ``AvBO = mean(TRes(q) / k)`` (:func:`average_bandwidth_overhead`).
+* Eq. 14 — per-query efficiency ``QRatioeff = k / TRes``
+  (:func:`query_efficiency`); Fig. 13 plots its sorted curve
+  (:func:`efficiency_curve`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.protocol import QueryTrace, ResponsePolicy
+
+
+def total_response_size(policy: ResponsePolicy, num_requests: int) -> int:
+    """Eq. 12 for an un-truncated session under *policy*."""
+    return policy.total_after(num_requests)
+
+
+def query_efficiency(trace: QueryTrace) -> float:
+    """Eq. 14: ``k / TRes`` for one trace."""
+    return trace.query_efficiency()
+
+
+def average_bandwidth_overhead(traces: Sequence[QueryTrace]) -> float:
+    """Eq. 13: mean of ``TRes / k`` over the workload traces."""
+    if not traces:
+        raise ValueError("no traces")
+    return sum(t.bandwidth_overhead() for t in traces) / len(traces)
+
+
+def average_num_requests(traces: Sequence[QueryTrace]) -> float:
+    """Mean requests per query (the Fig. 12 statistic)."""
+    if not traces:
+        raise ValueError("no traces")
+    return sum(t.num_requests for t in traces) / len(traces)
+
+
+def efficiency_curve(traces: Sequence[QueryTrace]) -> list[float]:
+    """QRatioeff per trace, sorted descending (Fig. 13's X-axis ordering).
+
+    Fig. 13 orders "the query terms in the workload (in %), ordered by
+    QRatioeff"; index i of the returned list corresponds to the
+    ``100*i/len`` percentile of the workload.
+    """
+    if not traces:
+        raise ValueError("no traces")
+    return sorted((t.query_efficiency() for t in traces), reverse=True)
+
+
+def efficiency_at_percentile(curve: Sequence[float], percent: float) -> float:
+    """Value of a (descending) efficiency curve at a workload percentile."""
+    if not curve:
+        raise ValueError("empty curve")
+    if not 0.0 <= percent <= 100.0:
+        raise ValueError("percent must be in [0, 100]")
+    index = min(int(len(curve) * percent / 100.0), len(curve) - 1)
+    return curve[index]
+
+
+def satisfied_fraction(traces: Sequence[QueryTrace]) -> float:
+    """Fraction of queries that assembled their full top-k."""
+    if not traces:
+        raise ValueError("no traces")
+    return sum(1 for t in traces if t.satisfied) / len(traces)

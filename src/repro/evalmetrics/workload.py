@@ -1,0 +1,107 @@
+"""Analytic workload cost model (paper Eq. 9–11, Fig. 10).
+
+For a term ``t`` in merged list ``L`` whose elements are TRS-sorted (and
+per-term uniform over the list by construction):
+
+* Eq. 10 — its best element's expected first position:
+  ``pos1(t) = Σ_{t_i ∈ L} n_d(t_i) / n_d(t)``
+* Eq. 11 — elements to retrieve for its top-k: ``N = k · pos1(t)``
+* Eq. 9 — total workload cost over a query log:
+  ``Q ≈ Σ_L Σ_{j ∈ L} q_j · N_j(L)``
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.index.merge import MergePlan
+
+
+def expected_first_position(
+    term: str, list_terms: Sequence[str], document_frequencies: Mapping[str, int]
+) -> float:
+    """Eq. 10 — expected rank of the term's best element in its merged list."""
+    df = document_frequencies[term]
+    if df <= 0:
+        raise ValueError(f"term {term!r} has zero document frequency")
+    total = sum(document_frequencies[t] for t in list_terms)
+    return total / df
+
+
+def expected_retrieval_count(
+    term: str,
+    list_terms: Sequence[str],
+    document_frequencies: Mapping[str, int],
+    k: int,
+) -> float:
+    """Eq. 11 — expected elements to fetch for the term's top-k.
+
+    Capped at the list's total element count: one can never need to fetch
+    more elements than the merged list holds.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    position = expected_first_position(term, list_terms, document_frequencies)
+    total_elements = sum(document_frequencies[t] for t in list_terms)
+    return min(k * position, float(total_elements))
+
+
+def workload_cost(
+    plan: MergePlan,
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+    k: int,
+) -> float:
+    """Eq. 9 — total elements shipped to serve the whole query workload.
+
+    Query terms absent from the plan (never indexed) contribute nothing,
+    mirroring an engine that answers them with an empty result.
+    """
+    total = 0.0
+    for group in plan.groups:
+        group_terms = list(group)
+        for term in group_terms:
+            q = query_frequencies.get(term, 0)
+            if q == 0:
+                continue
+            total += q * expected_retrieval_count(
+                term, group_terms, document_frequencies, k
+            )
+    return total
+
+
+def cumulative_workload_curve(
+    plan: MergePlan,
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+    k: int,
+) -> list[tuple[str, float]]:
+    """Fig. 10 — terms by descending query frequency with cumulative cost share.
+
+    Returns ``(term, cumulative_fraction_of_Q)`` for each queried term in
+    descending query-frequency order; the paper's observation is that the
+    curve saturates within the first few percent of terms.
+    """
+    per_term_cost: dict[str, float] = {}
+    for group in plan.groups:
+        group_terms = list(group)
+        for term in group_terms:
+            q = query_frequencies.get(term, 0)
+            if q == 0:
+                continue
+            per_term_cost[term] = q * expected_retrieval_count(
+                term, group_terms, document_frequencies, k
+            )
+    if not per_term_cost:
+        raise ValueError("no queried terms intersect the merge plan")
+    ordered = sorted(
+        per_term_cost,
+        key=lambda t: (-query_frequencies.get(t, 0), t),
+    )
+    total = sum(per_term_cost.values())
+    curve: list[tuple[str, float]] = []
+    running = 0.0
+    for term in ordered:
+        running += per_term_cost[term]
+        curve.append((term, running / total))
+    return curve

@@ -1,0 +1,210 @@
+"""Posting-list data structures.
+
+Three element flavours appear in the reproduction:
+
+* :class:`PostingElement` — the plaintext element of an ordinary inverted
+  index (paper Fig. 1): document id, term, raw TF and document length, from
+  which the relevance score (Eq. 4) derives.
+* :class:`EncryptedPostingElement` — what Zerber/Zerber+R servers store
+  (paper Fig. 2/3): an opaque ciphertext of the plaintext element, the
+  owning group (for access control), and — only in Zerber+R — the plaintext
+  *transformed relevance score* (TRS) used for server-side ranking.
+* :class:`MergedPostingList` — a merged list (one per set of merged terms)
+  keyed by an integer list id.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class PostingElement:
+    """Plaintext posting element: one (term, document) occurrence record."""
+
+    term: str
+    doc_id: str
+    tf: int
+    doc_length: int
+
+    def __post_init__(self) -> None:
+        if self.tf <= 0:
+            raise ValueError("tf must be positive (absent terms have no element)")
+        if self.doc_length < self.tf:
+            raise ValueError("doc_length must be >= tf")
+
+    @property
+    def rscore(self) -> float:
+        """Normalized term frequency ``TF / |d|`` (paper Eq. 4)."""
+        return self.tf / self.doc_length
+
+    # -- serialisation (what gets encrypted) --------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding of the element (the encryption plaintext)."""
+        payload = {
+            "t": self.term,
+            "d": self.doc_id,
+            "f": self.tf,
+            "l": self.doc_length,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PostingElement":
+        """Inverse of :meth:`to_bytes`."""
+        payload = json.loads(data.decode())
+        return cls(
+            term=payload["t"],
+            doc_id=payload["d"],
+            tf=payload["f"],
+            doc_length=payload["l"],
+        )
+
+
+@dataclass(frozen=True)
+class EncryptedPostingElement:
+    """Server-side posting element: ciphertext + plaintext ranking metadata.
+
+    ``trs`` is ``None`` for plain Zerber (no server-side ranking) and a
+    float in [0, 1] for Zerber+R.  The ciphertext hides term, document id,
+    TF and document length; ``group`` is visible to the server because it
+    enforces group-based access control (paper §2, §5.2).
+    """
+
+    ciphertext: bytes
+    group: str
+    trs: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.trs is not None and not 0.0 <= self.trs <= 1.0:
+            raise ValueError("TRS must lie in [0, 1]")
+
+    @property
+    def size_bits(self) -> int:
+        """Wire size of the element in bits (for the §6.6 bandwidth model)."""
+        overhead = 0 if self.trs is None else 64  # one double for the TRS
+        return len(self.ciphertext) * 8 + overhead
+
+
+class PostingList:
+    """An ordinary (single-term) posting list, sorted by descending rscore."""
+
+    def __init__(self, term: str, elements: Iterable[PostingElement] = ()) -> None:
+        self.term = term
+        self._elements: list[PostingElement] = []
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: PostingElement) -> None:
+        """Insert an element, keeping descending-score order."""
+        if element.term != self.term:
+            raise ValueError(
+                f"element term {element.term!r} does not match list term {self.term!r}"
+            )
+        # Binary search on (-rscore) keeps inserts O(log n) + O(n) shift; the
+        # ordinary index is a baseline, so simplicity wins over a heap here.
+        import bisect
+
+        keys = [-e.rscore for e in self._elements]
+        position = bisect.bisect_right(keys, -element.rscore)
+        self._elements.insert(position, element)
+
+    def top_k(self, k: int) -> list[PostingElement]:
+        """The k highest-scored elements (fewer if the list is shorter)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self._elements[:k]
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[PostingElement]:
+        return iter(self._elements)
+
+
+@dataclass
+class MergedPostingList:
+    """A merged posting list held by an untrusted server.
+
+    ``elements`` ordering discipline depends on the system: Zerber keeps
+    them randomly permuted; Zerber+R keeps them sorted by descending TRS.
+    The list itself does not know which terms it merges — that mapping
+    lives client-side (and in the merge plan used at setup time).
+
+    ``version`` increments on every mutation so servers can cache derived
+    views (e.g. per-principal readable sub-lists) safely.
+    """
+
+    list_id: int
+    elements: list[EncryptedPostingElement] = field(default_factory=list)
+    version: int = 0
+    _neg_trs_keys: list[float] = field(default_factory=list, repr=False)
+
+    def add_sorted_by_trs(self, element: EncryptedPostingElement) -> None:
+        """Insert keeping descending-TRS order (Zerber+R discipline)."""
+        if element.trs is None:
+            raise ValueError("element has no TRS; use add_random() instead")
+        import bisect
+
+        position = bisect.bisect_right(self._neg_trs_keys, -element.trs)
+        self._neg_trs_keys.insert(position, -element.trs)
+        self.elements.insert(position, element)
+        self.version += 1
+
+    def bulk_load_sorted_by_trs(
+        self, elements: Iterable[EncryptedPostingElement]
+    ) -> None:
+        """Add many elements at once, re-sorting a single time.
+
+        Equivalent to repeated :meth:`add_sorted_by_trs` but O(n log n)
+        total; used when a whole corpus is indexed at setup time.
+        """
+        incoming = list(elements)
+        if any(e.trs is None for e in incoming):
+            raise ValueError("all bulk-loaded elements must carry a TRS")
+        self.elements.extend(incoming)
+        self.elements.sort(key=lambda e: -e.trs)  # type: ignore[operator]
+        self._neg_trs_keys = [-e.trs for e in self.elements]  # type: ignore[operator]
+        self.version += 1
+
+    def add_random(self, element: EncryptedPostingElement, rng) -> None:
+        """Insert at a uniformly random position (Zerber discipline)."""
+        position = int(rng.integers(0, len(self.elements) + 1))
+        self.elements.insert(position, element)
+        self.version += 1
+
+    def remove_by_ciphertext(self, ciphertext: bytes) -> EncryptedPostingElement | None:
+        """Remove the element with *ciphertext*; returns it, or ``None``.
+
+        Ciphertexts are unique (nonce-bound), so at most one element
+        matches.  Used by the deletion protocol: the owner presents the
+        receipt it kept from the insert.
+        """
+        for position, element in enumerate(self.elements):
+            if element.ciphertext == ciphertext:
+                del self.elements[position]
+                if position < len(self._neg_trs_keys):
+                    del self._neg_trs_keys[position]
+                self.version += 1
+                return element
+        return None
+
+    def slice(self, start: int, count: int) -> list[EncryptedPostingElement]:
+        """Elements ``[start, start+count)`` in server order."""
+        if start < 0 or count < 0:
+            raise ValueError("start and count must be non-negative")
+        return self.elements[start : start + count]
+
+    @property
+    def size_bits(self) -> int:
+        """Total wire size of the list in bits."""
+        return sum(element.size_bits for element in self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[EncryptedPostingElement]:
+        return iter(self.elements)

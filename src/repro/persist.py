@@ -1,0 +1,139 @@
+"""On-disk persistence for a Zerber+R deployment.
+
+The index server's state is exactly what an untrusted host would store:
+the merged lists (ciphertext, group tag, TRS) — no keys, no plaintext.
+Alongside it we persist the *public* setup artifacts a joining client
+needs: the merge plan (term -> list id) and the published RSTF model.
+Group keys are deliberately **not** serialised; they live in the trusted
+:class:`~repro.crypto.keys.GroupKeyService`, which a deployment
+reconstructs from its own secret.
+
+Format: a single JSON document (version-tagged), ciphertexts base64.
+JSON keeps the dump debuggable and dependency-free; the format is
+stable across releases via the ``format_version`` field.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+
+from repro.core.rstf import Rstf, RstfModel
+from repro.core.server import ZerberRServer
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError
+from repro.index.merge import MergePlan
+from repro.index.postings import EncryptedPostingElement
+
+FORMAT_VERSION = 1
+
+
+# -- encoders ----------------------------------------------------------------
+
+
+def merge_plan_to_dict(plan: MergePlan) -> dict:
+    return {"r": plan.r, "groups": [list(group) for group in plan.groups]}
+
+
+def merge_plan_from_dict(data: dict) -> MergePlan:
+    return MergePlan(
+        groups=tuple(tuple(group) for group in data["groups"]), r=float(data["r"])
+    )
+
+
+def rstf_model_to_dict(model: RstfModel) -> dict:
+    return {
+        term: {
+            "mus": list(model.get(term).mus),
+            "sigma": model.get(term).sigma,
+            "kind": model.get(term).kind,
+        }
+        for term in sorted(model.terms())
+    }
+
+
+def rstf_model_from_dict(data: dict) -> RstfModel:
+    return RstfModel(
+        {
+            term: Rstf(
+                mus=tuple(entry["mus"]),
+                sigma=float(entry["sigma"]),
+                kind=entry["kind"],
+            )
+            for term, entry in data.items()
+        }
+    )
+
+
+def server_to_dict(server: ZerberRServer) -> dict:
+    lists = {}
+    for list_id in range(server.num_lists):
+        merged = server._lists[list_id]
+        if not merged.elements:
+            continue
+        lists[str(list_id)] = [
+            {
+                "c": base64.b64encode(element.ciphertext).decode(),
+                "g": element.group,
+                "t": element.trs,
+            }
+            for element in merged.elements
+        ]
+    return {"num_lists": server.num_lists, "lists": lists}
+
+
+def server_from_dict(data: dict, key_service: GroupKeyService) -> ZerberRServer:
+    server = ZerberRServer(key_service, num_lists=int(data["num_lists"]))
+    for list_id_str, elements in data["lists"].items():
+        list_id = int(list_id_str)
+        merged = server._lists[list_id]
+        merged.bulk_load_sorted_by_trs(
+            EncryptedPostingElement(
+                ciphertext=base64.b64decode(entry["c"]),
+                group=entry["g"],
+                trs=entry["t"],
+            )
+            for entry in elements
+        )
+    return server
+
+
+# -- top-level save/load --------------------------------------------------------
+
+
+def save_index(
+    path: str | Path,
+    server: ZerberRServer,
+    merge_plan: MergePlan,
+    rstf_model: RstfModel,
+) -> None:
+    """Write the untrusted-host state plus public setup artifacts."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "merge_plan": merge_plan_to_dict(merge_plan),
+        "rstf_model": rstf_model_to_dict(rstf_model),
+        "server": server_to_dict(server),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_index(
+    path: str | Path, key_service: GroupKeyService
+) -> tuple[ZerberRServer, MergePlan, RstfModel]:
+    """Reload a saved index against a (trusted) key service.
+
+    The key service must already know the groups/principals the
+    deployment uses; this function restores only the untrusted state.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported index format version: {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    merge_plan = merge_plan_from_dict(payload["merge_plan"])
+    rstf_model = rstf_model_from_dict(payload["rstf_model"])
+    server = server_from_dict(payload["server"], key_service)
+    return server, merge_plan, rstf_model

@@ -1,0 +1,108 @@
+"""Zipf/power-law sampling and fitting.
+
+Two uses in the reproduction:
+
+* the synthetic corpus generator draws term ranks from Zipf laws so that raw
+  TF distributions follow a power law (paper Fig. 4) and document
+  frequencies have the usual heavy head;
+* the Fig. 4/5 benchmarks *fit* a power law to measured distributions to
+  assert the log-log-linearity claim quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def zipf_probabilities(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf probabilities over ranks ``1..n``: ``p_r ∝ r^-s``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Draw term ranks from a (finite-support) Zipf distribution.
+
+    Sampling is done by inverse-CDF lookup on a precomputed cumulative
+    table, which makes drawing a full synthetic corpus O(tokens · log V).
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0, rng: np.random.Generator | None = None):
+        self.n = n
+        self.exponent = exponent
+        self._probs = zipf_probabilities(n, exponent)
+        self._cum = np.cumsum(self._probs)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The rank probabilities ``p_1..p_n`` (copy)."""
+        return self._probs.copy()
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw *size* ranks in ``0..n-1`` (0-based)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        u = self._rng.random(size)
+        return np.searchsorted(self._cum, u, side="left")
+
+    def sample_counts(self, size: int) -> np.ndarray:
+        """Draw *size* tokens and return per-rank counts (length ``n``).
+
+        Equivalent to ``np.bincount(self.sample(size), minlength=n)`` but
+        uses a single multinomial draw, which is much faster for long
+        documents.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return self._rng.multinomial(size, self._probs)
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``log10 y = slope * log10 x + intercept``.
+
+    Attributes
+    ----------
+    slope / intercept:
+        Fit coefficients in log-log space.
+    r_squared:
+        Coefficient of determination of the log-log fit; close to 1 means
+        the data is well described by a power law (straight line on a
+        log-log plot — the visual criterion of paper Fig. 4).
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the fitted power law at *x*."""
+        x = np.asarray(x, dtype=float)
+        return 10.0 ** (self.slope * np.log10(x) + self.intercept)
+
+
+def fit_power_law(x, y) -> PowerLawFit:
+    """Fit a power law to positive data by least squares in log-log space."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    mask = (x > 0) & (y > 0)
+    if mask.sum() < 2:
+        raise ValueError("need at least two positive points to fit")
+    lx = np.log10(x[mask])
+    ly = np.log10(y[mask])
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(((ly - pred) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)

@@ -1,0 +1,77 @@
+"""Shared fixtures: small deterministic corpora and assembled systems.
+
+Session-scoped where construction is expensive; tests must not mutate the
+shared systems (tests that insert or otherwise mutate build their own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import OrdinaryInvertedIndex, SystemConfig, ZerberRSystem
+from repro.corpus import tiny_corpus
+from repro.corpus.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The standard small test corpus (60 docs, 4 groups)."""
+    return tiny_corpus()
+
+
+@pytest.fixture(scope="session")
+def micro_corpus():
+    """An even smaller corpus for expensive per-test construction."""
+    config = SyntheticCorpusConfig(
+        num_documents=25,
+        vocabulary_size=150,
+        num_groups=3,
+        topic_vocabulary_size=30,
+        doc_length_median=50.0,
+        doc_length_sigma=0.4,
+        min_doc_length=10,
+        max_doc_length=200,
+        seed=99,
+        name="micro",
+    )
+    return SyntheticCorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def ordinary_index(corpus):
+    return OrdinaryInvertedIndex.from_documents(corpus.all_stats())
+
+
+@pytest.fixture(scope="session")
+def system(corpus):
+    """A fully indexed Zerber+R system over the test corpus (read-only!)."""
+    return ZerberRSystem.build(corpus, SystemConfig(r=4.0, seed=5))
+
+
+@pytest.fixture(scope="session")
+def frequent_term(ordinary_index):
+    """A high-df term of the test corpus."""
+    return ordinary_index.vocabulary.terms_by_frequency()[0]
+
+
+@pytest.fixture(scope="session")
+def medium_term(ordinary_index):
+    """A mid-df term (df >= 5) of the test corpus."""
+    terms = ordinary_index.vocabulary.terms_by_frequency()
+    return terms[len(terms) // 4]
+
+
+@pytest.fixture(scope="session")
+def rare_term(ordinary_index):
+    """A df==1 term of the test corpus."""
+    vocab = ordinary_index.vocabulary
+    for term in reversed(vocab.terms_by_frequency()):
+        if vocab.document_frequency(term) == 1:
+            return term
+    raise RuntimeError("test corpus has no df==1 term")

@@ -1,0 +1,59 @@
+"""Unit tests for the adversary background-knowledge model."""
+
+import pytest
+
+from repro.attacks.background import BackgroundKnowledge
+from repro.errors import UnknownTermError
+from repro.text.analysis import DocumentStats
+
+
+def _doc(doc_id, counts):
+    return DocumentStats.from_counts(doc_id, counts)
+
+
+@pytest.fixture(scope="module")
+def background():
+    return BackgroundKnowledge.from_documents(
+        [
+            _doc("d1", {"common": 5, "rare": 1, "filler": 4}),
+            _doc("d2", {"common": 2, "filler": 8}),
+            _doc("d3", {"common": 1, "filler": 9}),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_priors_are_normalized_df(self, background):
+        assert background.prior("common") == pytest.approx(1.0)
+        assert background.prior("rare") == pytest.approx(1 / 3)
+
+    def test_unknown_term_raises(self, background):
+        with pytest.raises(UnknownTermError):
+            background.prior("zzz")
+        with pytest.raises(UnknownTermError):
+            background.score_samples("zzz")
+
+    def test_samples_sorted(self, background):
+        samples = background.score_samples("common")
+        assert samples == sorted(samples)
+        assert len(samples) == 3
+
+    def test_empty_priors_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundKnowledge(priors={}, score_samples={})
+
+    def test_has_samples(self, background):
+        assert background.has_samples("rare")
+        assert not background.has_samples("zzz")
+
+
+class TestLikelihood:
+    def test_own_distribution_scores_higher(self, background):
+        common_scores = background.score_samples("common")
+        ll_own = background.score_log_likelihood("common", common_scores)
+        ll_other = background.score_log_likelihood("rare", common_scores)
+        assert ll_own > ll_other
+
+    def test_finite_for_outliers(self, background):
+        ll = background.score_log_likelihood("common", [0.999])
+        assert ll > float("-inf")

@@ -1,0 +1,167 @@
+"""Tests for the query-observation attack and the BFM defence (§6.2)."""
+
+import pytest
+
+from repro.attacks.query_observation import (
+    QueryObservationAttack,
+    QuerySession,
+    chance_identification_rate,
+    extract_sessions,
+)
+from repro.core.protocol import ResponsePolicy
+from repro.core.server import ObservedFetch
+
+
+def _fetch(principal, list_id, offset, count, returned=None):
+    return ObservedFetch(
+        principal=principal,
+        list_id=list_id,
+        offset=offset,
+        count=count,
+        returned=count if returned is None else returned,
+    )
+
+
+class TestSessionExtraction:
+    def test_single_session(self):
+        sessions = extract_sessions(
+            [_fetch("u", 0, 0, 10), _fetch("u", 0, 10, 20)]
+        )
+        assert len(sessions) == 1
+        assert sessions[0].num_requests == 2
+        assert sessions[0].total_elements == 30
+
+    def test_new_offset_zero_starts_new_session(self):
+        sessions = extract_sessions(
+            [_fetch("u", 0, 0, 10), _fetch("u", 0, 0, 10)]
+        )
+        assert len(sessions) == 2
+
+    def test_interleaved_principals_separated(self):
+        sessions = extract_sessions(
+            [
+                _fetch("u", 0, 0, 10),
+                _fetch("v", 0, 0, 10),
+                _fetch("u", 0, 10, 20),
+            ]
+        )
+        by_principal = {s.principal: s for s in sessions}
+        assert by_principal["u"].num_requests == 2
+        assert by_principal["v"].num_requests == 1
+
+    def test_different_lists_separated(self):
+        sessions = extract_sessions(
+            [_fetch("u", 0, 0, 10), _fetch("u", 1, 0, 10)]
+        )
+        assert len(sessions) == 2
+
+    def test_empty_stream(self):
+        assert extract_sessions([]) == []
+
+
+class TestExpectations:
+    DFS = {"freq": 100, "mid": 50, "rare": 2}
+
+    def test_expected_first_position_eq10(self):
+        attack = QueryObservationAttack(self.DFS)
+        # pos1(rare) = (100+50+2)/2 = 76
+        assert attack.expected_first_position(
+            "rare", ["freq", "mid", "rare"]
+        ) == pytest.approx(76.0)
+
+    def test_expected_elements_eq11(self):
+        attack = QueryObservationAttack(self.DFS)
+        assert attack.expected_elements_needed(
+            "freq", ["freq", "mid", "rare"], k=10
+        ) == pytest.approx(15.2)
+
+    def test_expected_requests_doubling(self):
+        attack = QueryObservationAttack(self.DFS)
+        policy = ResponsePolicy(initial_size=10)
+        # freq needs 15.2 elements -> 10 then 20 => 2 requests.
+        assert attack.expected_requests("freq", ["freq", "mid", "rare"], 10, policy) == 2
+        # rare needs 760 -> 10+20+40+80+160+320+640=1270 ... 7 requests.
+        assert attack.expected_requests("rare", ["freq", "mid", "rare"], 10, policy) == 7
+
+    def test_zero_df_rejected(self):
+        attack = QueryObservationAttack({"t": 0})
+        with pytest.raises(ValueError):
+            attack.expected_first_position("t", ["t"])
+
+    def test_invalid_k(self):
+        attack = QueryObservationAttack(self.DFS)
+        with pytest.raises(ValueError):
+            attack.expected_elements_needed("freq", ["freq"], 0)
+
+
+class TestLeakage:
+    def test_equal_frequencies_no_leak(self):
+        attack = QueryObservationAttack({"a": 50, "b": 50, "c": 50})
+        policy = ResponsePolicy(initial_size=10)
+        assert attack.list_leakage(["a", "b", "c"], 10, policy) == 0
+
+    def test_similar_frequencies_small_leak(self):
+        # Near-equal dfs can still straddle a doubling boundary; the leak
+        # is at most one request class (the BFM guarantee is "similar", and
+        # the doubling granularity absorbs most of the residual).
+        attack = QueryObservationAttack({"a": 50, "b": 48, "c": 52})
+        policy = ResponsePolicy(initial_size=10)
+        assert attack.list_leakage(["a", "b", "c"], 10, policy) <= 1
+
+    def test_mixed_frequencies_leak(self):
+        attack = QueryObservationAttack({"freq": 100, "rare": 2})
+        policy = ResponsePolicy(initial_size=10)
+        assert attack.list_leakage(["freq", "rare"], 10, policy) > 0
+
+    def test_identify_from_session(self):
+        attack = QueryObservationAttack({"freq": 100, "rare": 2})
+        policy = ResponsePolicy(initial_size=10)
+        n_rare = attack.expected_requests("freq", ["freq", "rare"], 10, policy)
+        session = QuerySession(
+            principal="u", list_id=0, num_requests=n_rare, total_elements=0
+        )
+        consistent = attack.identify_from_session(
+            session, ["freq", "rare"], 10, policy
+        )
+        assert consistent == ["freq"]
+
+    def test_identification_rate_bfm_like(self):
+        # Same-frequency list: observing counts gives 1/len(list).
+        attack = QueryObservationAttack({"a": 50, "b": 50})
+        policy = ResponsePolicy(initial_size=10)
+        n = attack.expected_requests("a", ["a", "b"], 10, policy)
+        sessions = [
+            (QuerySession("u", 0, n, 0), "a"),
+            (QuerySession("u", 0, n, 0), "b"),
+        ]
+        rate = attack.session_identification_rate(
+            sessions, {0: ["a", "b"]}, 10, policy
+        )
+        assert rate == pytest.approx(0.5)
+
+    def test_identification_rate_mixed_list_higher(self):
+        attack = QueryObservationAttack({"freq": 100, "rare": 2})
+        policy = ResponsePolicy(initial_size=10)
+        n_f = attack.expected_requests("freq", ["freq", "rare"], 10, policy)
+        n_r = attack.expected_requests("rare", ["freq", "rare"], 10, policy)
+        assert n_f != n_r
+        sessions = [
+            (QuerySession("u", 0, n_f, 0), "freq"),
+            (QuerySession("u", 0, n_r, 0), "rare"),
+        ]
+        rate = attack.session_identification_rate(
+            sessions, {0: ["freq", "rare"]}, 10, policy
+        )
+        assert rate == pytest.approx(1.0)
+
+    def test_chance_rate(self):
+        assert chance_identification_rate({0: ["a", "b"], 1: ["c"]}) == pytest.approx(
+            0.75
+        )
+
+    def test_empty_inputs_rejected(self):
+        attack = QueryObservationAttack({"a": 1})
+        with pytest.raises(ValueError):
+            attack.session_identification_rate([], {}, 10, ResponsePolicy(1))
+        with pytest.raises(ValueError):
+            chance_identification_rate({})

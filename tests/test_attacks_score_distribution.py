@@ -1,0 +1,135 @@
+"""Tests for the score-distribution attack — the §6.2 claim in miniature:
+the attack beats chance on plain normalized-TF scores and collapses to
+chance on TRS values."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.background import BackgroundKnowledge
+from repro.attacks.score_distribution import (
+    ScoreDistributionAttack,
+    chance_attribution_level,
+    element_attribution_accuracy,
+    identification_accuracy,
+)
+from repro.core.rstf import RstfTrainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def synthetic_world():
+    """Three terms with distinct score distributions + reference samples.
+
+    Returns (background, observed_by_term): observations drawn from the
+    same distributions as the references but with an independent seed —
+    the realistic case where the adversary's corpus resembles the indexed
+    one without being identical.
+    """
+    rng_ref = np.random.default_rng(10)
+    rng_obs = np.random.default_rng(20)
+    dists = {
+        "head": lambda r, n: r.beta(1.5, 30, n),   # stopword-like, low scores
+        "body": lambda r, n: r.beta(3, 12, n),     # topical mid-frequency
+        "tail": lambda r, n: r.beta(6, 6, n),      # specific, high scores
+    }
+    priors = {"head": 0.9, "body": 0.3, "tail": 0.05}
+    references = {t: f(rng_ref, 300).tolist() for t, f in dists.items()}
+    observed = {t: f(rng_obs, 200).tolist() for t, f in dists.items()}
+    background = BackgroundKnowledge(priors=priors, score_samples=references)
+    return background, observed
+
+
+class TestListIdentification:
+    def test_plain_scores_identified(self, synthetic_world):
+        background, observed = synthetic_world
+        accuracy = identification_accuracy(observed, background)
+        assert accuracy == 1.0  # three cleanly separated distributions
+
+    def test_trs_defeats_identification(self, synthetic_world):
+        background, observed = synthetic_world
+        trainer = RstfTrainer(TrainerConfig(sigma_strategy="heuristic"))
+        model = trainer.train_from_scores(
+            {t: background.score_samples(t) for t in observed}
+        )
+        transformed = {
+            t: model.get(t).transform(np.asarray(s)).tolist()
+            for t, s in observed.items()
+        }
+        # After the RSTF every list looks Uniform[0,1]: KS distances to all
+        # references are equal up to noise, so accuracy ~ chance (1/3).
+        accuracy = identification_accuracy(transformed, background)
+        assert accuracy <= 2 / 3
+
+    def test_empty_observation_rejected(self, synthetic_world):
+        background, _ = synthetic_world
+        attack = ScoreDistributionAttack(background)
+        with pytest.raises(ValueError):
+            attack.identify([], ["head"])
+
+    def test_identify_returns_none_without_candidates(self, synthetic_world):
+        background, observed = synthetic_world
+        attack = ScoreDistributionAttack(background)
+        assert attack.identify(observed["head"], ["unknown-term"]) is None
+
+
+class TestElementAttribution:
+    def _merged(self, observed, terms, rng):
+        labelled = [
+            (score, term) for term in terms for score in observed[term]
+        ]
+        rng.shuffle(labelled)
+        return labelled
+
+    def test_plain_scores_beaten_only_by_distribution_gap(self, synthetic_world):
+        background, observed = synthetic_world
+        rng = np.random.default_rng(30)
+        labelled = self._merged(observed, ["head", "tail"], rng)
+        accuracy = element_attribution_accuracy(
+            labelled, ["head", "tail"], background
+        )
+        chance = chance_attribution_level(["head", "tail"], labelled)
+        assert accuracy > chance + 0.15  # the merge is undone
+
+    def test_attribute_elements_shape(self, synthetic_world):
+        background, observed = synthetic_world
+        attack = ScoreDistributionAttack(background)
+        guesses = attack.attribute_elements(
+            observed["head"][:10], ["head", "tail"]
+        )
+        assert len(guesses) == 10
+        assert set(guesses) <= {"head", "tail"}
+
+    def test_trs_reduces_attribution_to_prior(self, synthetic_world):
+        background, observed = synthetic_world
+        trainer = RstfTrainer(TrainerConfig(sigma_strategy="heuristic"))
+        model = trainer.train_from_scores(
+            {t: background.score_samples(t) for t in observed}
+        )
+        transformed = {
+            t: model.get(t).transform(np.asarray(s)).tolist()
+            for t, s in observed.items()
+        }
+        # Adversary knows only the TRS values; her references transformed
+        # through the same public RSTFs are all ~Uniform[0,1].
+        trs_background = BackgroundKnowledge(
+            priors={"head": 0.9, "tail": 0.05},
+            score_samples={
+                t: model.get(t).transform(
+                    np.asarray(background.score_samples(t))
+                ).tolist()
+                for t in ("head", "tail")
+            },
+        )
+        rng = np.random.default_rng(31)
+        labelled = self._merged(transformed, ["head", "tail"], rng)
+        accuracy = element_attribution_accuracy(
+            labelled, ["head", "tail"], trs_background
+        )
+        chance = chance_attribution_level(["head", "tail"], labelled)
+        assert accuracy <= chance + 0.10  # no better than the prior guess
+
+    def test_empty_list_rejected(self, synthetic_world):
+        background, _ = synthetic_world
+        with pytest.raises(ValueError):
+            element_attribution_accuracy([], ["head"], background)
+        with pytest.raises(ValueError):
+            chance_attribution_level(["head"], [])

@@ -1,0 +1,42 @@
+"""Unit tests for the ordinary-search baseline wrapper."""
+
+import pytest
+
+from repro.baselines.ordinary import OrdinarySearchSystem
+
+
+@pytest.fixture(scope="module")
+def search(corpus):
+    return OrdinarySearchSystem.build(corpus)
+
+
+class TestQuery:
+    def test_one_request_exactly_k(self, search, frequent_term):
+        result = search.query(frequent_term, k=10)
+        assert result.trace.num_requests == 1
+        assert result.trace.elements_transferred == 10
+
+    def test_efficiency_is_one(self, search, frequent_term):
+        result = search.query(frequent_term, k=10)
+        assert result.trace.query_efficiency() == pytest.approx(1.0)
+
+    def test_rare_term_fewer_elements(self, search, rare_term):
+        result = search.query(rare_term, k=10)
+        assert result.trace.elements_transferred == 1
+        assert len(result.hits) == 1
+
+    def test_order_matches_index(self, search, frequent_term):
+        expected = [
+            e.doc_id for e in search.index.top_k(frequent_term, 5)
+        ]
+        assert search.query(frequent_term, k=5).doc_ids() == expected
+
+    def test_invalid_k(self, search, frequent_term):
+        with pytest.raises(ValueError):
+            search.query(frequent_term, k=0)
+
+    def test_multi_term_delegates(self, search, frequent_term, medium_term):
+        results = search.query_multi([frequent_term, medium_term], k=5)
+        assert len(results) <= 5
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)

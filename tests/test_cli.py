@@ -1,0 +1,109 @@
+"""End-to-end tests for the repro-index CLI."""
+
+import pytest
+
+from repro.cli import DEFAULT_SECRET, main
+
+
+@pytest.fixture(scope="module")
+def docs_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("docs")
+    alpha = root / "alpha"
+    beta = root / "beta"
+    alpha.mkdir()
+    beta.mkdir()
+    (alpha / "a1.txt").write_text(
+        "reactor calibration reactor dosing schedule reactor"
+    )
+    (alpha / "a2.txt").write_text("dosing budget meeting notes calibration")
+    (beta / "b1.txt").write_text("camera calibration defect detection camera")
+    (beta / "b2.txt").write_text("defect catalogue revision maintenance")
+    return root
+
+
+@pytest.fixture(scope="module")
+def index_file(docs_dir, tmp_path_factory):
+    path = tmp_path_factory.mktemp("idx") / "index.json"
+    code = main(
+        [
+            "build",
+            "--input",
+            str(docs_dir),
+            "--output",
+            str(path),
+            "--r",
+            "1.5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestBuild:
+    def test_index_written(self, index_file):
+        assert index_file.exists()
+        assert index_file.stat().st_size > 0
+
+    def test_missing_input_errors(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(
+            ["build", "--input", str(empty), "--output", str(tmp_path / "i.json")]
+        )
+        assert code == 2
+
+
+class TestInfo:
+    def test_info_prints_stats(self, index_file, capsys):
+        assert main(["info", "--index", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "posting elements" in out
+        assert "alpha" in out and "beta" in out
+
+
+class TestQuery:
+    def test_query_finds_documents(self, index_file, capsys):
+        code = main(
+            ["query", "--index", str(index_file), "--term", "reactor", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a1.txt" in out
+
+    def test_group_restriction(self, index_file, capsys):
+        code = main(
+            [
+                "query",
+                "--index",
+                str(index_file),
+                "--term",
+                "calibration",
+                "--k",
+                "5",
+                "--groups",
+                "beta",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "b1.txt" in out
+        assert "a1.txt" not in out and "a2.txt" not in out
+
+    def test_wrong_secret_no_results(self, index_file, capsys):
+        code = main(
+            [
+                "--secret",
+                "ab" * 32,
+                "query",
+                "--index",
+                str(index_file),
+                "--term",
+                "reactor",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no readable results" in out
+
+    def test_default_secret_is_documented_constant(self):
+        assert len(bytes.fromhex(DEFAULT_SECRET)) >= 32

@@ -1,0 +1,186 @@
+"""Unit tests for the Zerber+R client (insert + query protocol)."""
+
+import pytest
+
+from repro.core.client import ZerberRClient
+from repro.core.protocol import ResponsePolicy
+from repro.core.rstf import RstfModel, train_rstf
+from repro.core.server import ZerberRServer
+from repro.crypto.keys import GroupKeyService
+from repro.errors import UnknownTermError
+from repro.index.merge import MergePlan
+from repro.text.analysis import DocumentStats
+
+
+@pytest.fixture()
+def keys():
+    svc = GroupKeyService(master_secret=b"s" * 32)
+    svc.register("alice", {"g1"})
+    svc.register("bob", {"g2"})
+    svc.register("root", {"g1", "g2"})
+    return svc
+
+
+@pytest.fixture()
+def plan():
+    return MergePlan(groups=(("apple", "pear"), ("plum",)), r=2.0)
+
+
+@pytest.fixture()
+def model():
+    return RstfModel(
+        {
+            "apple": train_rstf([0.1, 0.2, 0.3, 0.5], sigma=20.0),
+            "pear": train_rstf([0.05, 0.15, 0.4], sigma=20.0),
+            "plum": train_rstf([0.2, 0.6], sigma=20.0),
+        }
+    )
+
+
+@pytest.fixture()
+def server(keys):
+    return ZerberRServer(keys, num_lists=2)
+
+
+def _client(principal, keys, server, model, plan):
+    return ZerberRClient(
+        principal=principal,
+        key_service=keys,
+        server=server,
+        rstf_model=model,
+        merge_plan=plan,
+    )
+
+
+@pytest.fixture()
+def alice(keys, server, model, plan):
+    return _client("alice", keys, server, model, plan)
+
+
+@pytest.fixture()
+def bob(keys, server, model, plan):
+    return _client("bob", keys, server, model, plan)
+
+
+@pytest.fixture()
+def root(keys, server, model, plan):
+    return _client("root", keys, server, model, plan)
+
+
+def _doc(doc_id, counts):
+    return DocumentStats.from_counts(doc_id, counts)
+
+
+class TestInsert:
+    def test_index_document_counts_elements(self, alice, server):
+        sent = alice.index_document(_doc("d1", {"apple": 2, "plum": 1}), "g1")
+        assert sent == 2
+        assert server.num_elements == 2
+
+    def test_build_element_routes_to_merged_list(self, alice, plan):
+        list_id, element = alice.build_element(
+            "plum", _doc("d1", {"plum": 1}), "g1"
+        )
+        assert list_id == plan.list_of("plum")
+        assert element.group == "g1"
+        assert 0.0 <= element.trs <= 1.0
+
+    def test_absent_term_rejected(self, alice):
+        with pytest.raises(UnknownTermError):
+            alice.build_element("apple", _doc("d1", {"plum": 1}), "g1")
+
+    def test_term_outside_plan_rejected(self, alice):
+        with pytest.raises(UnknownTermError):
+            alice.build_element("mango", _doc("d1", {"mango": 1}), "g1")
+
+    def test_trs_monotone_in_score(self, alice):
+        _, low = alice.build_element("apple", _doc("d1", {"apple": 1, "pear": 9}), "g1")
+        _, high = alice.build_element("apple", _doc("d2", {"apple": 9, "pear": 1}), "g1")
+        assert high.trs > low.trs
+
+    def test_unseen_term_trs_deterministic_per_element(self, keys, server, model):
+        plan = MergePlan(groups=(("apple", "pear"), ("plum", "mango")), r=2.0)
+        client = _client("alice", keys, server, model, plan)
+        doc = _doc("d1", {"mango": 1})
+        _, a = client.build_element("mango", doc, "g1")
+        _, b = client.build_element("mango", doc, "g1")
+        # Re-inserting the same document is idempotent.
+        assert a.trs == b.trs
+
+    def test_unseen_term_trs_distinct_across_documents(self, keys, server, model):
+        plan = MergePlan(groups=(("apple", "pear"), ("plum", "mango")), r=2.0)
+        client = _client("alice", keys, server, model, plan)
+        _, a = client.build_element("mango", _doc("d1", {"mango": 1}), "g1")
+        _, b = client.build_element("mango", _doc("d2", {"mango": 2, "apple": 1}), "g1")
+        # Per-element pseudo-randomness keeps the TRS stream tie-free.
+        assert a.trs != b.trs
+
+
+class TestQuery:
+    def _populate(self, alice, bob):
+        # g1 documents: apple-heavy.
+        alice.index_document(_doc("a1", {"apple": 8, "pear": 2}), "g1")
+        alice.index_document(_doc("a2", {"apple": 1, "pear": 9}), "g1")
+        # g2 documents.
+        bob.index_document(_doc("b1", {"apple": 5, "plum": 5}), "g2")
+
+    def test_topk_order_matches_rscore(self, alice, bob, root):
+        self._populate(alice, bob)
+        result = root.query("apple", k=3)
+        assert result.doc_ids() == ["a1", "b1", "a2"]
+
+    def test_access_control_limits_results(self, alice, bob):
+        self._populate(alice, bob)
+        result = alice.query("apple", k=3)
+        assert result.doc_ids() == ["a1", "a2"]
+
+    def test_trace_records_requests(self, alice, bob, root):
+        self._populate(alice, bob)
+        result = root.query("apple", k=1, policy=ResponsePolicy(initial_size=1))
+        assert result.trace.num_requests >= 1
+        assert result.trace.elements_transferred >= 1
+
+    def test_follow_up_doubling(self, alice, bob, root):
+        self._populate(alice, bob)
+        # k=3 matches but initial size 1 forces follow-ups: sizes 1,2,4...
+        result = root.query("apple", k=3, policy=ResponsePolicy(initial_size=1))
+        assert result.trace.num_requests >= 2
+        assert len(result.hits) == 3
+
+    def test_unsatisfiable_query_exhausts_list(self, alice, bob, root):
+        self._populate(alice, bob)
+        result = root.query("plum", k=5)
+        assert len(result.hits) == 1
+        assert not result.trace.satisfied
+
+    def test_default_policy_is_b_equals_k(self, alice, bob, root):
+        self._populate(alice, bob)
+        result = root.query("apple", k=2)
+        # initial response size == k == 2
+        assert result.trace.elements_transferred >= 2
+
+    def test_unknown_term(self, root):
+        with pytest.raises(UnknownTermError):
+            root.query("mango", k=1)
+
+    def test_invalid_k(self, root):
+        with pytest.raises(ValueError):
+            root.query("apple", k=0)
+
+    def test_hits_carry_group_and_score(self, alice, bob, root):
+        self._populate(alice, bob)
+        hit = root.query("apple", k=1).hits[0]
+        assert hit.group == "g1"
+        assert hit.rscore == pytest.approx(0.8)
+
+
+class TestMultiTerm:
+    def test_aggregation(self, alice, bob, root):
+        alice.index_document(_doc("a1", {"apple": 5, "pear": 5}), "g1")
+        alice.index_document(_doc("a2", {"apple": 9, "pear": 1}), "g1")
+        ranked, traces = root.query_multi(["apple", "pear"], k=2)
+        assert len(traces) == 2
+        # a1 has balanced scores (0.5 + 0.5) beating a2 (0.9 + 0.1)? equal —
+        # both sum to 1.0; tie-break by doc id puts a1 first.
+        assert ranked[0][0] == "a1"
+        assert ranked[0][1] == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Unit tests for the sharded multi-server deployment."""
+
+import pytest
+
+from repro.core.cluster import ServerCluster
+from repro.core.protocol import FetchRequest
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError, ProtocolError, UnknownListError
+from repro.index.postings import EncryptedPostingElement
+
+
+@pytest.fixture()
+def keys():
+    svc = GroupKeyService(master_secret=b"c" * 32)
+    svc.register("u", {"g"})
+    return svc
+
+
+def _element(trs, payload=b"cipher"):
+    return EncryptedPostingElement(ciphertext=payload, group="g", trs=trs)
+
+
+class TestTopology:
+    def test_validation(self, keys):
+        with pytest.raises(ConfigurationError):
+            ServerCluster(keys, num_lists=4, num_servers=0)
+        with pytest.raises(ConfigurationError):
+            ServerCluster(keys, num_lists=4, num_servers=2, replication=3)
+        with pytest.raises(ProtocolError):
+            ServerCluster(keys, num_lists=0, num_servers=1)
+
+    def test_replicas_distinct(self, keys):
+        cluster = ServerCluster(keys, num_lists=10, num_servers=4, replication=2)
+        for list_id in range(10):
+            replicas = cluster.replicas_of(list_id)
+            assert len(set(replicas)) == 2
+
+    def test_round_robin_primary(self, keys):
+        cluster = ServerCluster(keys, num_lists=8, num_servers=4)
+        assert cluster.replicas_of(0)[0] == 0
+        assert cluster.replicas_of(5)[0] == 1
+
+    def test_unknown_list(self, keys):
+        cluster = ServerCluster(keys, num_lists=4, num_servers=2)
+        with pytest.raises(UnknownListError):
+            cluster.replicas_of(99)
+
+
+class TestDataPlane:
+    def test_insert_replicated(self, keys):
+        cluster = ServerCluster(keys, num_lists=4, num_servers=3, replication=2)
+        cluster.insert("u", 1, _element(0.5))
+        holders = [
+            i for i in range(3) if cluster.server(i).num_elements == 1
+        ]
+        assert len(holders) == 2
+
+    def test_logical_element_count_deduplicates(self, keys):
+        cluster = ServerCluster(keys, num_lists=4, num_servers=2, replication=2)
+        cluster.insert("u", 0, _element(0.5))
+        cluster.insert("u", 1, _element(0.6, b"other"))
+        assert cluster.num_elements == 2
+
+    def test_bulk_load_and_fetch(self, keys):
+        cluster = ServerCluster(keys, num_lists=3, num_servers=2)
+        items = [(0, _element(t, str(t).encode())) for t in (0.2, 0.9, 0.5)]
+        assert cluster.bulk_load("u", items) == 3
+        response = cluster.fetch(
+            FetchRequest(principal="u", list_id=0, offset=0, count=3)
+        )
+        assert [e.trs for e in response.elements] == [0.9, 0.5, 0.2]
+
+    def test_failover_to_replica(self, keys):
+        cluster = ServerCluster(keys, num_lists=2, num_servers=2, replication=2)
+        cluster.insert("u", 0, _element(0.7))
+        primary = cluster.replicas_of(0)[0]
+        cluster.fail_server(primary)
+        response = cluster.fetch(
+            FetchRequest(principal="u", list_id=0, offset=0, count=1)
+        )
+        assert response.elements[0].trs == 0.7
+
+    def test_all_replicas_down(self, keys):
+        cluster = ServerCluster(keys, num_lists=2, num_servers=2, replication=1)
+        cluster.insert("u", 0, _element(0.7))
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        with pytest.raises(ProtocolError):
+            cluster.fetch(FetchRequest(principal="u", list_id=0, offset=0, count=1))
+        cluster.restore_server(cluster.replicas_of(0)[0])
+        assert cluster.fetch(
+            FetchRequest(principal="u", list_id=0, offset=0, count=1)
+        ).elements
+
+
+class TestAdversaryModel:
+    def test_visible_fraction_single_server(self, keys):
+        cluster = ServerCluster(keys, num_lists=100, num_servers=4)
+        fraction = cluster.visible_fraction([0])
+        assert fraction == pytest.approx(0.25)
+
+    def test_visible_fraction_grows_with_replication(self, keys):
+        plain = ServerCluster(keys, num_lists=100, num_servers=4, replication=1)
+        replicated = ServerCluster(keys, num_lists=100, num_servers=4, replication=2)
+        assert replicated.visible_fraction([0]) > plain.visible_fraction([0])
+
+    def test_visible_fraction_all_servers(self, keys):
+        cluster = ServerCluster(keys, num_lists=10, num_servers=3)
+        assert cluster.visible_fraction([0, 1, 2]) == pytest.approx(1.0)
+
+    def test_unknown_server_rejected(self, keys):
+        cluster = ServerCluster(keys, num_lists=10, num_servers=2)
+        with pytest.raises(ConfigurationError):
+            cluster.visible_fraction([5])
+
+    def test_observations_per_server(self, keys):
+        cluster = ServerCluster(keys, num_lists=4, num_servers=2)
+        cluster.insert("u", 0, _element(0.5))
+        cluster.fetch(FetchRequest(principal="u", list_id=0, offset=0, count=1))
+        primary = cluster.replicas_of(0)[0]
+        other = (primary + 1) % 2
+        assert len(cluster.observations_at(primary)) == 1
+        assert cluster.observations_at(other) == []

@@ -1,0 +1,82 @@
+"""Unit tests for the response policy and query traces (Eq. 12–14)."""
+
+import pytest
+
+from repro.core.protocol import (
+    FetchRequest,
+    FetchResponse,
+    QueryTrace,
+    ResponsePolicy,
+)
+from repro.errors import ProtocolError
+from repro.index.postings import EncryptedPostingElement
+
+
+def _element(trs=0.5):
+    return EncryptedPostingElement(ciphertext=b"12345678", group="g", trs=trs)
+
+
+class TestResponsePolicy:
+    def test_doubling_sizes(self):
+        policy = ResponsePolicy(initial_size=10)
+        assert [policy.response_size(i) for i in range(4)] == [10, 20, 40, 80]
+
+    def test_total_after_matches_eq12(self):
+        # Eq. 12: TRes = b * sum_{i=0..n} 2^i
+        policy = ResponsePolicy(initial_size=10)
+        assert policy.total_after(3) == 10 * (1 + 2 + 4)
+        assert policy.total_after(1) == 10
+        assert policy.total_after(0) == 0
+
+    def test_growth_factor_one(self):
+        policy = ResponsePolicy(initial_size=5, growth_factor=1)
+        assert policy.total_after(4) == 20
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            ResponsePolicy(initial_size=0)
+        with pytest.raises(ProtocolError):
+            ResponsePolicy(initial_size=1, growth_factor=0)
+        with pytest.raises(ProtocolError):
+            ResponsePolicy(initial_size=1).response_size(-1)
+        with pytest.raises(ProtocolError):
+            ResponsePolicy(initial_size=1).total_after(-1)
+
+
+class TestFetchMessages:
+    def test_request_validation(self):
+        with pytest.raises(ProtocolError):
+            FetchRequest(principal="p", list_id=0, offset=-1, count=1)
+        with pytest.raises(ProtocolError):
+            FetchRequest(principal="p", list_id=0, offset=0, count=0)
+
+    def test_response_len(self):
+        response = FetchResponse(elements=(_element(), _element()), exhausted=False)
+        assert len(response) == 2
+
+
+class TestQueryTrace:
+    def test_record_response_accumulates(self):
+        trace = QueryTrace(term="t", k=10)
+        trace.record_response(FetchResponse(elements=(_element(),) * 10, exhausted=False))
+        trace.record_response(FetchResponse(elements=(_element(),) * 20, exhausted=True))
+        assert trace.num_requests == 2
+        assert trace.elements_transferred == 30
+        assert trace.bits_transferred == 30 * (8 * 8 + 64)
+
+    def test_bandwidth_overhead_eq13_contribution(self):
+        trace = QueryTrace(term="t", k=10, elements_transferred=30)
+        assert trace.bandwidth_overhead() == pytest.approx(3.0)
+
+    def test_query_efficiency_eq14(self):
+        trace = QueryTrace(term="t", k=10, elements_transferred=40)
+        assert trace.query_efficiency() == pytest.approx(0.25)
+
+    def test_efficiency_without_responses_rejected(self):
+        with pytest.raises(ProtocolError):
+            QueryTrace(term="t", k=10).query_efficiency()
+
+    def test_overhead_requires_positive_k(self):
+        trace = QueryTrace(term="t", k=0, elements_transferred=5)
+        with pytest.raises(ProtocolError):
+            trace.bandwidth_overhead()

@@ -1,0 +1,175 @@
+"""Unit tests for RSTF construction and the published model (Eq. 5–8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rstf import Rstf, RstfModel, RstfTrainer, TrainerConfig, train_rstf
+from repro.errors import TrainingError
+from repro.stats.uniformness import uniformness_variance
+from repro.text.analysis import DocumentStats
+
+
+class TestRstf:
+    SCORES = [0.05, 0.1, 0.1, 0.2, 0.35, 0.5]
+
+    def test_requires_training_scores(self):
+        with pytest.raises(TrainingError):
+            Rstf(mus=(), sigma=10.0)
+
+    def test_requires_positive_sigma(self):
+        with pytest.raises(TrainingError):
+            Rstf(mus=(0.1,), sigma=0.0)
+
+    def test_rejects_negative_scores(self):
+        with pytest.raises(TrainingError):
+            Rstf(mus=(-0.1,), sigma=1.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TrainingError):
+            Rstf(mus=(0.1,), sigma=1.0, kind="spline")
+
+    def test_from_scores_sorts(self):
+        rstf = Rstf.from_scores([0.3, 0.1, 0.2], sigma=5.0)
+        assert rstf.mus == (0.1, 0.2, 0.3)
+
+    def test_output_in_unit_interval(self):
+        rstf = train_rstf(self.SCORES, sigma=50.0)
+        values = rstf.transform(np.linspace(0, 1, 50))
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+    def test_strictly_monotonic(self):
+        # Property 3 of §4.2: order preservation.
+        rstf = train_rstf(self.SCORES, sigma=80.0)
+        x = np.linspace(0.0, 0.8, 200)
+        values = rstf.transform(x)
+        assert np.all(np.diff(values) > 0)
+
+    def test_erf_kind_also_monotonic(self):
+        # Strict monotonicity holds until float64 saturation; test the
+        # region around the training scores (non-decreasing everywhere).
+        rstf = train_rstf(self.SCORES, sigma=80.0, kind="erf")
+        x = np.linspace(0.0, 0.8, 100)
+        values = rstf.transform(x)
+        assert np.all(np.diff(values) >= 0)
+        interior = x <= 0.55
+        assert np.all(np.diff(values[interior]) > 0)
+
+    def test_scalar_transform_returns_float(self):
+        rstf = train_rstf(self.SCORES, sigma=50.0)
+        assert isinstance(rstf.transform(0.2), float)
+
+    def test_callable(self):
+        rstf = train_rstf(self.SCORES, sigma=50.0)
+        assert rstf(0.2) == rstf.transform(0.2)
+
+    def test_midpoint_at_half_for_single_score(self):
+        rstf = train_rstf([0.3], sigma=40.0)
+        assert rstf.transform(0.3) == pytest.approx(0.5)
+
+    def test_uniformising_effect(self):
+        # Transforming the training distribution itself through a fitted
+        # RSTF must be much closer to uniform than the raw scores scaled
+        # to [0,1].
+        rng = np.random.default_rng(4)
+        scores = rng.beta(2, 8, size=400)  # skewed like normalized TF
+        rstf = train_rstf(scores, sigma=len(scores) / (scores.max() - scores.min()))
+        raw_scaled = (scores - scores.min()) / (scores.max() - scores.min())
+        transformed = rstf.transform(scores)
+        assert uniformness_variance(transformed) < uniformness_variance(raw_scaled) / 5
+
+
+class TestRstfModel:
+    def _model(self):
+        return RstfModel(
+            {
+                "seen": train_rstf([0.1, 0.2, 0.4], sigma=30.0),
+            }
+        )
+
+    def test_get_known(self):
+        assert self._model().get("seen") is not None
+
+    def test_get_unknown_is_none(self):
+        assert self._model().get("unseen") is None
+
+    def test_contains(self):
+        model = self._model()
+        assert "seen" in model
+        assert "unseen" not in model
+
+    def test_transform_known_term(self):
+        model = self._model()
+        assert 0.0 < model.transform("seen", 0.2) < 1.0
+
+    def test_transform_unseen_requires_callback(self):
+        with pytest.raises(TrainingError):
+            self._model().transform("unseen", 0.2)
+
+    def test_transform_unseen_uses_callback(self):
+        value = self._model().transform("unseen", 0.2, unseen_trs=lambda t: 0.77)
+        assert value == 0.77
+
+    def test_unseen_callback_range_validated(self):
+        with pytest.raises(TrainingError):
+            self._model().transform("unseen", 0.2, unseen_trs=lambda t: 1.5)
+
+
+class TestTrainer:
+    def _docs(self, rng, n=40):
+        docs = []
+        for i in range(n):
+            total = int(rng.integers(20, 60))
+            a = int(rng.integers(1, 10))
+            b = int(rng.integers(1, 5))
+            docs.append(
+                DocumentStats.from_counts(
+                    f"d{i}", {"alpha": a, "beta": b, "filler": max(total - a - b, 1)}
+                )
+            )
+        return docs
+
+    def test_trains_all_seen_terms(self):
+        rng = np.random.default_rng(1)
+        model = RstfTrainer(TrainerConfig(sigma_strategy="heuristic")).train_from_documents(
+            self._docs(rng)
+        )
+        assert model.terms() == {"alpha", "beta", "filler"}
+
+    def test_cv_strategy_runs(self):
+        rng = np.random.default_rng(2)
+        config = TrainerConfig(
+            sigma_strategy="cv", sigma_grid=(5.0, 50.0, 500.0), seed=3
+        )
+        model = RstfTrainer(config).train_from_documents(self._docs(rng))
+        assert model.num_terms == 3
+
+    def test_fixed_strategy_uses_given_sigma(self):
+        rng = np.random.default_rng(3)
+        config = TrainerConfig(sigma_strategy="fixed", fixed_sigma=123.0)
+        model = RstfTrainer(config).train_from_documents(self._docs(rng))
+        assert model.get("alpha").sigma == 123.0
+
+    def test_few_scores_fall_back_to_heuristic(self):
+        config = TrainerConfig(sigma_strategy="cv", min_cv_scores=100)
+        model = RstfTrainer(config).train_from_scores({"t": [0.1, 0.2, 0.3]})
+        assert model.get("t") is not None
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(TrainingError):
+            RstfTrainer().train_from_scores({})
+
+    def test_config_validation(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(sigma_strategy="magic")
+        with pytest.raises(TrainingError):
+            TrainerConfig(fixed_sigma=-1.0)
+        with pytest.raises(TrainingError):
+            TrainerConfig(min_cv_scores=2)
+
+    def test_deterministic(self):
+        scores = {"t": [0.1, 0.15, 0.2, 0.3, 0.35, 0.4, 0.5, 0.6]}
+        config = TrainerConfig(sigma_strategy="cv", sigma_grid=(10.0, 100.0), seed=9)
+        a = RstfTrainer(config).train_from_scores(scores)
+        b = RstfTrainer(config).train_from_scores(scores)
+        assert a.get("t").sigma == b.get("t").sigma

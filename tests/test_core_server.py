@@ -1,0 +1,151 @@
+"""Unit tests for the untrusted Zerber+R index server."""
+
+import pytest
+
+from repro.core.protocol import FetchRequest
+from repro.core.server import ZerberRServer
+from repro.crypto.keys import GroupKeyService
+from repro.errors import AccessDeniedError, ProtocolError, UnknownListError
+from repro.index.postings import EncryptedPostingElement
+
+
+@pytest.fixture()
+def keys():
+    svc = GroupKeyService(master_secret=b"s" * 32)
+    svc.register("alice", {"g1"})
+    svc.register("bob", {"g2"})
+    svc.register("root", {"g1", "g2"})
+    return svc
+
+
+@pytest.fixture()
+def server(keys):
+    return ZerberRServer(keys, num_lists=3)
+
+
+def _element(group, trs):
+    return EncryptedPostingElement(ciphertext=b"cipher", group=group, trs=trs)
+
+
+class TestInsert:
+    def test_member_insert_accepted(self, server):
+        server.insert("alice", 0, _element("g1", 0.5))
+        assert server.list_length(0) == 1
+
+    def test_non_member_insert_denied(self, server):
+        with pytest.raises(AccessDeniedError):
+            server.insert("alice", 0, _element("g2", 0.5))
+
+    def test_trs_required(self, server):
+        with pytest.raises(ProtocolError):
+            server.insert("alice", 0, EncryptedPostingElement(b"c", "g1"))
+
+    def test_unknown_list(self, server):
+        with pytest.raises(UnknownListError):
+            server.insert("alice", 99, _element("g1", 0.5))
+
+    def test_insert_keeps_trs_order(self, server):
+        for trs in [0.2, 0.9, 0.5]:
+            server.insert("alice", 0, _element("g1", trs))
+        assert server.visible_trs_values(0) == [0.9, 0.5, 0.2]
+
+    def test_bulk_load_matches_incremental(self, keys):
+        incremental = ZerberRServer(keys, num_lists=1)
+        bulk = ZerberRServer(keys, num_lists=1)
+        elements = [_element("g1", t) for t in [0.3, 0.8, 0.1]]
+        for e in elements:
+            incremental.insert("alice", 0, e)
+        bulk.bulk_load("alice", [(0, e) for e in elements])
+        assert incremental.visible_trs_values(0) == bulk.visible_trs_values(0)
+
+    def test_bulk_load_membership_checked(self, server):
+        with pytest.raises(AccessDeniedError):
+            server.bulk_load("alice", [(0, _element("g2", 0.5))])
+
+    def test_num_elements(self, server):
+        server.insert("alice", 0, _element("g1", 0.1))
+        server.insert("bob", 1, _element("g2", 0.2))
+        assert server.num_elements == 2
+
+
+class TestFetch:
+    def _populate(self, server):
+        for i, trs in enumerate([0.9, 0.8, 0.7, 0.6, 0.5]):
+            group = "g1" if i % 2 == 0 else "g2"
+            principal = "alice" if group == "g1" else "bob"
+            server.insert(principal, 0, _element(group, trs))
+
+    def test_slice_and_exhaustion(self, server):
+        self._populate(server)
+        response = server.fetch(
+            FetchRequest(principal="root", list_id=0, offset=0, count=3)
+        )
+        assert [e.trs for e in response.elements] == [0.9, 0.8, 0.7]
+        assert not response.exhausted
+        response2 = server.fetch(
+            FetchRequest(principal="root", list_id=0, offset=3, count=3)
+        )
+        assert [e.trs for e in response2.elements] == [0.6, 0.5]
+        assert response2.exhausted
+
+    def test_access_control_filters_elements(self, server):
+        self._populate(server)
+        response = server.fetch(
+            FetchRequest(principal="alice", list_id=0, offset=0, count=10)
+        )
+        assert [e.trs for e in response.elements] == [0.9, 0.7, 0.5]
+        assert all(e.group == "g1" for e in response.elements)
+
+    def test_offsets_count_within_readable_view(self, server):
+        self._populate(server)
+        response = server.fetch(
+            FetchRequest(principal="alice", list_id=0, offset=1, count=1)
+        )
+        assert [e.trs for e in response.elements] == [0.7]
+
+    def test_cache_invalidated_on_insert(self, server):
+        self._populate(server)
+        server.fetch(FetchRequest(principal="alice", list_id=0, offset=0, count=1))
+        server.insert("alice", 0, _element("g1", 0.95))
+        response = server.fetch(
+            FetchRequest(principal="alice", list_id=0, offset=0, count=1)
+        )
+        assert response.elements[0].trs == 0.95
+
+    def test_unknown_list(self, server):
+        with pytest.raises(UnknownListError):
+            server.fetch(FetchRequest(principal="root", list_id=9, offset=0, count=1))
+
+    def test_observations_recorded(self, server):
+        self._populate(server)
+        server.fetch(FetchRequest(principal="root", list_id=0, offset=0, count=2))
+        assert len(server.observations) == 1
+        obs = server.observations[0]
+        assert (obs.principal, obs.list_id, obs.offset, obs.count, obs.returned) == (
+            "root",
+            0,
+            0,
+            2,
+            2,
+        )
+
+    def test_clear_observations(self, server):
+        self._populate(server)
+        server.fetch(FetchRequest(principal="root", list_id=0, offset=0, count=1))
+        server.clear_observations()
+        assert server.observations == []
+
+
+class TestAdversaryView:
+    def test_visible_group_tags(self, server):
+        server.insert("alice", 1, _element("g1", 0.4))
+        assert server.visible_group_tags(1) == ["g1"]
+
+    def test_storage_accounting(self, server):
+        server.insert("alice", 0, _element("g1", 0.4))
+        assert server.storage_score_slots() == 1
+        assert server.storage_bits() == len(b"cipher") * 8 + 64
+
+    def test_invalid_num_lists(self, keys):
+        with pytest.raises(ProtocolError):
+            ZerberRServer(keys, num_lists=0)

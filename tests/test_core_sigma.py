@@ -1,0 +1,139 @@
+"""Unit tests for σ selection (Fig. 9 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sigma import (
+    SigmaSelection,
+    default_sigma_grid,
+    heuristic_sigma,
+    select_sigma,
+    trs_variance_for_sigma,
+)
+
+
+@pytest.fixture(scope="module")
+def term_scores():
+    """A realistic skewed score sample, split train/control."""
+    rng = np.random.default_rng(6)
+    scores = rng.beta(2, 10, size=300)
+    return scores[:200].tolist(), scores[200:].tolist()
+
+
+class TestGrid:
+    def test_default_grid_log_spaced(self):
+        grid = default_sigma_grid()
+        assert len(grid) == 25
+        ratios = [grid[i + 1] / grid[i] for i in range(len(grid) - 1)]
+        assert max(ratios) - min(ratios) < 1e-6
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            default_sigma_grid(minimum=0.0)
+        with pytest.raises(ValueError):
+            default_sigma_grid(minimum=10.0, maximum=1.0)
+        with pytest.raises(ValueError):
+            default_sigma_grid(points=1)
+
+
+class TestVarianceForSigma:
+    def test_positive(self, term_scores):
+        train, control = term_scores
+        assert trs_variance_for_sigma(train, control, 50.0) > 0.0
+
+    def test_erf_kind(self, term_scores):
+        train, control = term_scores
+        assert trs_variance_for_sigma(train, control, 50.0, kind="erf") > 0.0
+
+    def test_unknown_kind_rejected(self, term_scores):
+        train, control = term_scores
+        with pytest.raises(ValueError):
+            trs_variance_for_sigma(train, control, 50.0, kind="x")
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            trs_variance_for_sigma([], [0.1], 10.0)
+        with pytest.raises(ValueError):
+            trs_variance_for_sigma([0.1], [], 10.0)
+
+    def test_extreme_sigmas_worse_than_moderate(self, term_scores):
+        # The Fig. 9 shape: under- and over-fitting both hurt.
+        train, control = term_scores
+        v_tiny = trs_variance_for_sigma(train, control, 0.01)
+        v_good = trs_variance_for_sigma(train, control, heuristic_sigma(train))
+        v_huge = trs_variance_for_sigma(train, control, 1e7)
+        assert v_good < v_tiny
+        assert v_good < v_huge
+
+
+class TestSelectSigma:
+    def test_returns_curve_and_minimum(self, term_scores):
+        train, control = term_scores
+        selection = select_sigma(train, control, grid=(1.0, 10.0, 100.0, 1000.0))
+        assert len(selection.variances) == 4
+        assert selection.best_variance == min(selection.variances)
+        assert selection.best_sigma in selection.sigmas
+
+    def test_u_shape_on_wide_grid(self, term_scores):
+        train, control = term_scores
+        selection = select_sigma(
+            train, control, grid=default_sigma_grid(0.1, 1e6, 29)
+        )
+        assert selection.is_u_shaped(tolerance=0.05)
+
+    def test_best_variance_small(self, term_scores):
+        # A well-chosen sigma should uniformise the control set well; the
+        # paper reports < 2e-5 on its corpora.  Our smaller control set
+        # gives a noisier estimate, so assert an order-of-magnitude bound.
+        train, control = term_scores
+        selection = select_sigma(train, control)
+        assert selection.best_variance < 1e-3
+
+    def test_empty_grid_rejected(self, term_scores):
+        train, control = term_scores
+        with pytest.raises(ValueError):
+            select_sigma(train, control, grid=())
+
+
+class TestSigmaSelectionDataclass:
+    def test_edge_minimum_not_u_shaped(self):
+        selection = SigmaSelection(sigmas=(1.0, 2.0), variances=(0.1, 0.2))
+        assert not selection.is_u_shaped()
+
+    def test_u_shape_detection(self):
+        selection = SigmaSelection(
+            sigmas=(1.0, 2.0, 3.0), variances=(0.3, 0.1, 0.4)
+        )
+        assert selection.is_u_shaped()
+
+    def test_non_monotone_sides_rejected(self):
+        selection = SigmaSelection(
+            sigmas=(1.0, 2.0, 3.0, 4.0, 5.0),
+            variances=(0.3, 0.5, 0.1, 0.4, 0.2),
+        )
+        assert not selection.is_u_shaped()
+
+
+class TestHeuristicSigma:
+    def test_matches_spacing(self):
+        scores = [0.1, 0.2, 0.3, 0.4]
+        assert heuristic_sigma(scores) == pytest.approx(4 / 0.3)
+
+    def test_degenerate_single_point(self):
+        assert heuristic_sigma([0.5]) == pytest.approx(1 / 0.05)
+
+    def test_degenerate_all_zero(self):
+        assert heuristic_sigma([0.0, 0.0]) == pytest.approx(1e4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heuristic_sigma([])
+
+    def test_close_to_cv_optimum(self, term_scores):
+        # The "future work" estimator should land within ~2 orders of
+        # magnitude of the CV optimum and give a comparable variance.
+        train, control = term_scores
+        selection = select_sigma(train, control)
+        direct = heuristic_sigma(train)
+        v_direct = trs_variance_for_sigma(train, control, direct)
+        assert v_direct < 20 * selection.best_variance

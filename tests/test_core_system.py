@@ -1,0 +1,88 @@
+"""Tests for the end-to-end system facade."""
+
+import pytest
+
+from repro import SystemConfig, ZerberRSystem
+from repro.errors import ConfigurationError
+from repro.index.merge import MergePlan
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SystemConfig()
+        assert config.r == 4.0
+        assert config.merge_scheme == "bfm"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(r=1.0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(training_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(merge_scheme="magic")
+
+
+class TestBuild:
+    def test_all_corpus_terms_in_plan(self, system):
+        vocab_terms = set(iter(system.vocabulary))
+        assert vocab_terms <= system.merge_plan.all_terms()
+
+    def test_server_holds_all_posting_elements(self, system, corpus):
+        expected = sum(len(corpus.stats(d).counts) for d in corpus.doc_ids())
+        assert system.server.num_elements == expected
+
+    def test_audit_confidential(self, system):
+        audit = system.audit()
+        assert audit.is_confidential
+        assert audit.max_amplification <= system.config.r + 1e-9
+
+    def test_groups_registered(self, system, corpus):
+        for group in corpus.groups():
+            assert group in system.key_service.groups()
+
+    def test_superuser_in_all_groups(self, system, corpus):
+        assert system.key_service.memberships("superuser") == corpus.groups()
+
+    def test_empty_corpus_rejected(self):
+        from repro.corpus.documents import Corpus
+
+        with pytest.raises(ConfigurationError):
+            ZerberRSystem.build(Corpus())
+
+    def test_merge_plan_is_valid(self, system):
+        assert isinstance(system.merge_plan, MergePlan)
+        probabilities = {
+            t: system.vocabulary.probability(t) for t in system.vocabulary
+        }
+        system.merge_plan.verify(probabilities)
+
+
+class TestQuerying:
+    def test_query_returns_hits(self, system, frequent_term):
+        result = system.query(frequent_term, k=5)
+        assert 1 <= len(result.hits) <= 5
+
+    def test_results_sorted_by_score(self, system, frequent_term):
+        result = system.query(frequent_term, k=10)
+        scores = [h.rscore for h in result.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_client_cached(self, system):
+        assert system.client_for("superuser") is system.client_for("superuser")
+
+    def test_register_user(self, corpus):
+        system = ZerberRSystem.build(corpus, SystemConfig(r=4.0, seed=77))
+        group = sorted(corpus.groups())[0]
+        client = system.register_user("newbie", {group})
+        term = sorted(corpus.stats(corpus.documents_in_group(group)[0].doc_id).counts)[0]
+        result = client.query(term, k=3)
+        assert all(hit.group == group for hit in result.hits)
+
+
+class TestMergeSchemes:
+    @pytest.mark.parametrize("scheme", ["bfm", "random", "greedy"])
+    def test_all_schemes_confidential(self, micro_corpus, scheme):
+        system = ZerberRSystem.build(
+            micro_corpus, SystemConfig(r=3.0, merge_scheme=scheme, seed=1)
+        )
+        assert system.audit().is_confidential

@@ -1,0 +1,135 @@
+"""Tests for the synthetic query workload (Fig. 10 preconditions)."""
+
+import pytest
+
+from repro.corpus.querylog import (
+    Query,
+    QueryLog,
+    QueryLogConfig,
+    QueryLogGenerator,
+    single_term_log,
+)
+from repro.text.analysis import DocumentStats
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def vocabulary(corpus):
+    return Vocabulary.from_documents(corpus.all_stats())
+
+
+@pytest.fixture(scope="module")
+def log(vocabulary):
+    config = QueryLogConfig(num_queries=3000, seed=3)
+    return QueryLogGenerator(vocabulary, config).generate()
+
+
+class TestQuery:
+    def test_valid(self):
+        assert len(Query(terms=("a", "b"))) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Query(terms=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Query(terms=("a", "a"))
+
+
+class TestQueryLog:
+    def test_total_and_distinct(self):
+        log = QueryLog({Query(terms=("a",)): 3, Query(terms=("a", "b")): 2})
+        assert log.total_queries == 5
+        assert log.distinct_queries == 2
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog({Query(terms=("a",)): 0})
+
+    def test_term_frequencies_flatten_multiterm(self):
+        log = QueryLog({Query(terms=("a",)): 3, Query(terms=("a", "b")): 2})
+        freqs = log.term_frequencies()
+        assert freqs["a"] == 5
+        assert freqs["b"] == 2
+
+    def test_mean_terms_per_query(self):
+        log = QueryLog({Query(terms=("a",)): 1, Query(terms=("a", "b", "c")): 1})
+        assert log.mean_terms_per_query() == pytest.approx(2.0)
+
+    def test_iteration_with_multiplicity(self):
+        log = QueryLog({Query(terms=("a",)): 2})
+        assert len(list(log)) == 2
+
+    def test_head_share_monotone(self):
+        log = QueryLog(
+            {
+                Query(terms=("a",)): 100,
+                Query(terms=("b",)): 10,
+                Query(terms=("c",)): 1,
+            }
+        )
+        assert log.head_share(0.34) > 0.8
+        assert log.head_share(1.0) == pytest.approx(1.0)
+
+    def test_single_term_log_helper(self):
+        log = single_term_log({"x": 5, "y": 1})
+        assert log.term_frequencies() == {"x": 5, "y": 1}
+
+
+class TestGenerator:
+    def test_total_queries(self, log):
+        assert log.total_queries == 3000
+
+    def test_mean_length_bounded(self, log):
+        # Dedup of i.i.d. draws shortens queries; on the tiny test
+        # vocabulary (a few hundred terms) head terms collide often, so
+        # only sanity bounds hold here — the realistic-vocabulary check is
+        # test_mean_length_near_target_realistic_vocabulary.
+        assert 1.0 < log.mean_terms_per_query() <= 2.4
+
+    def test_mean_length_near_target_realistic_vocabulary(self):
+        from repro.corpus.synthetic import studip_like
+
+        corpus = studip_like(num_documents=200, vocabulary_size=4000, seed=19)
+        vocabulary = Vocabulary.from_documents(corpus.all_stats())
+        log = QueryLogGenerator(
+            vocabulary, QueryLogConfig(num_queries=5000, seed=23)
+        ).generate()
+        assert log.mean_terms_per_query() == pytest.approx(2.4, abs=0.3)
+
+    def test_query_terms_come_from_vocabulary(self, log, vocabulary):
+        assert log.distinct_terms() <= set(iter(vocabulary))
+
+    def test_head_dominates_workload(self, log):
+        # The paper's Fig. 10 precondition: the most frequent few percent of
+        # terms carry most of the workload.
+        assert log.head_share(0.10) > 0.5
+
+    def test_query_frequency_correlates_with_df(self, log, vocabulary):
+        freqs = log.term_frequencies()
+        queried = [t for t, c in freqs.items() if c > 0]
+        # Spearman-lite: df of the top-queried decile vs. the bottom decile.
+        ranked = sorted(queried, key=lambda t: -freqs[t])
+        n = max(len(ranked) // 10, 1)
+        top_df = sum(vocabulary.document_frequency(t) for t in ranked[:n]) / n
+        bottom_df = sum(vocabulary.document_frequency(t) for t in ranked[-n:]) / n
+        assert top_df > bottom_df
+
+    def test_deterministic(self, vocabulary):
+        config = QueryLogConfig(num_queries=200, seed=11)
+        a = QueryLogGenerator(vocabulary, config).generate()
+        b = QueryLogGenerator(vocabulary, config).generate()
+        assert dict(a.items()) == dict(b.items())
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLogGenerator(Vocabulary())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(num_queries=0)
+        with pytest.raises(ValueError):
+            QueryLogConfig(mean_terms_per_query=0.5)
+        with pytest.raises(ValueError):
+            QueryLogConfig(demotion_factor=0.0)

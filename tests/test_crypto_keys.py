@@ -1,0 +1,102 @@
+"""Unit tests for group key management and access control."""
+
+import pytest
+
+from repro.crypto.keys import GroupKeyService
+from repro.errors import AccessDeniedError, ConfigurationError
+
+
+@pytest.fixture()
+def service():
+    svc = GroupKeyService(master_secret=b"m" * 32)
+    svc.create_group("g1")
+    svc.create_group("g2")
+    svc.register("alice", {"g1"})
+    svc.register("bob", {"g1", "g2"})
+    return svc
+
+
+class TestGroups:
+    def test_groups_listed(self, service):
+        assert service.groups() == {"g1", "g2"}
+
+    def test_duplicate_group_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.create_group("g1")
+
+    def test_ensure_group_idempotent(self, service):
+        service.ensure_group("g1")
+        service.ensure_group("g3")
+        assert "g3" in service.groups()
+
+    def test_short_master_secret_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupKeyService(master_secret=b"tiny")
+
+
+class TestPrincipals:
+    def test_membership(self, service):
+        assert service.is_member("alice", "g1")
+        assert not service.is_member("alice", "g2")
+
+    def test_unknown_principal_not_member(self, service):
+        assert not service.is_member("mallory", "g1")
+
+    def test_duplicate_principal_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.register("alice")
+
+    def test_register_creates_groups_on_demand(self, service):
+        service.register("carol", {"brand-new"})
+        assert service.is_member("carol", "brand-new")
+
+    def test_enroll_and_revoke(self, service):
+        service.enroll("alice", "g2")
+        assert service.is_member("alice", "g2")
+        service.revoke("alice", "g2")
+        assert not service.is_member("alice", "g2")
+
+    def test_enroll_unknown_principal(self, service):
+        with pytest.raises(ConfigurationError):
+            service.enroll("nobody", "g1")
+
+    def test_memberships(self, service):
+        assert service.memberships("bob") == {"g1", "g2"}
+
+
+class TestKeyHandout:
+    def test_member_gets_key(self, service):
+        key = service.group_key("alice", "g1")
+        assert len(key) == 32
+
+    def test_non_member_denied(self, service):
+        with pytest.raises(AccessDeniedError):
+            service.group_key("alice", "g2")
+
+    def test_same_key_for_all_members(self, service):
+        assert service.group_key("alice", "g1") == service.group_key("bob", "g1")
+
+    def test_different_groups_different_keys(self, service):
+        assert service.group_key("bob", "g1") != service.group_key("bob", "g2")
+
+    def test_deterministic_across_instances(self):
+        a = GroupKeyService(master_secret=b"s" * 32)
+        a.register("u", {"g"})
+        b = GroupKeyService(master_secret=b"s" * 32)
+        b.register("u", {"g"})
+        assert a.group_key("u", "g") == b.group_key("u", "g")
+
+    def test_cipher_for_member(self, service):
+        cipher = service.cipher_for("alice", "g1")
+        nonce = b"n" * 16
+        assert cipher.decrypt(cipher.encrypt(b"x", nonce)) == b"x"
+
+    def test_unseen_term_prf_shared_within_group(self, service):
+        prf_a = service.unseen_term_prf("alice", "g1")
+        prf_b = service.unseen_term_prf("bob", "g1")
+        assert prf_a.evaluate_unit(b"term") == prf_b.evaluate_unit(b"term")
+
+    def test_unseen_term_prf_group_separated(self, service):
+        prf_1 = service.unseen_term_prf("bob", "g1")
+        prf_2 = service.unseen_term_prf("bob", "g2")
+        assert prf_1.evaluate_unit(b"term") != prf_2.evaluate_unit(b"term")

@@ -1,0 +1,75 @@
+"""Unit tests for the bandwidth/efficiency metrics (Eq. 12–14)."""
+
+import pytest
+
+from repro.core.protocol import QueryTrace, ResponsePolicy
+from repro.evalmetrics.bandwidth import (
+    average_bandwidth_overhead,
+    average_num_requests,
+    efficiency_at_percentile,
+    efficiency_curve,
+    query_efficiency,
+    satisfied_fraction,
+    total_response_size,
+)
+
+
+def _trace(k, transferred, requests=1, satisfied=True):
+    return QueryTrace(
+        term="t",
+        k=k,
+        num_requests=requests,
+        elements_transferred=transferred,
+        satisfied=satisfied,
+    )
+
+
+class TestAggregates:
+    def test_total_response_size_eq12(self):
+        policy = ResponsePolicy(initial_size=10)
+        assert total_response_size(policy, 3) == 70
+
+    def test_avbo_eq13(self):
+        traces = [_trace(10, 10), _trace(10, 30)]
+        assert average_bandwidth_overhead(traces) == pytest.approx(2.0)
+
+    def test_average_requests(self):
+        traces = [_trace(10, 10, requests=1), _trace(10, 30, requests=3)]
+        assert average_num_requests(traces) == pytest.approx(2.0)
+
+    def test_query_efficiency_eq14(self):
+        assert query_efficiency(_trace(10, 40)) == pytest.approx(0.25)
+
+    def test_satisfied_fraction(self):
+        traces = [_trace(10, 10), _trace(10, 10, satisfied=False)]
+        assert satisfied_fraction(traces) == pytest.approx(0.5)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            average_bandwidth_overhead([])
+        with pytest.raises(ValueError):
+            average_num_requests([])
+        with pytest.raises(ValueError):
+            efficiency_curve([])
+        with pytest.raises(ValueError):
+            satisfied_fraction([])
+
+
+class TestCurve:
+    def test_descending(self):
+        traces = [_trace(10, 100), _trace(10, 10), _trace(10, 20)]
+        curve = efficiency_curve(traces)
+        assert curve == sorted(curve, reverse=True)
+        assert curve[0] == pytest.approx(1.0)
+
+    def test_percentile_lookup(self):
+        curve = [1.0, 0.5, 0.2, 0.1]
+        assert efficiency_at_percentile(curve, 0) == 1.0
+        assert efficiency_at_percentile(curve, 50) == 0.2
+        assert efficiency_at_percentile(curve, 100) == 0.1
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            efficiency_at_percentile([], 50)
+        with pytest.raises(ValueError):
+            efficiency_at_percentile([1.0], 101)

@@ -1,0 +1,87 @@
+"""Unit tests for the analytic workload model (Eq. 9–11, Fig. 10)."""
+
+import pytest
+
+from repro.evalmetrics.workload import (
+    cumulative_workload_curve,
+    expected_first_position,
+    expected_retrieval_count,
+    workload_cost,
+)
+from repro.index.merge import MergePlan
+
+DFS = {"freq": 100, "mid": 50, "rare": 2}
+PLAN = MergePlan(groups=(("freq", "mid", "rare"),), r=10.0)
+
+
+class TestEq10:
+    def test_frequent_term_near_head(self):
+        assert expected_first_position("freq", ["freq", "mid", "rare"], DFS) == pytest.approx(
+            1.52
+        )
+
+    def test_rare_term_deep(self):
+        assert expected_first_position("rare", ["freq", "mid", "rare"], DFS) == pytest.approx(
+            76.0
+        )
+
+    def test_singleton_list_position_one(self):
+        assert expected_first_position("freq", ["freq"], DFS) == pytest.approx(1.0)
+
+    def test_zero_df_rejected(self):
+        with pytest.raises(ValueError):
+            expected_first_position("zero", ["zero"], {"zero": 0})
+
+
+class TestEq11:
+    def test_scales_with_k(self):
+        n1 = expected_retrieval_count("mid", ["freq", "mid", "rare"], DFS, 1)
+        n10 = expected_retrieval_count("mid", ["freq", "mid", "rare"], DFS, 10)
+        assert n10 == pytest.approx(10 * n1)
+
+    def test_capped_at_list_size(self):
+        # rare with k=50 would need 3800 elements; the list holds 152.
+        n = expected_retrieval_count("rare", ["freq", "mid", "rare"], DFS, 50)
+        assert n == pytest.approx(152.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            expected_retrieval_count("freq", ["freq"], DFS, 0)
+
+
+class TestEq9:
+    def test_workload_sums_per_term_costs(self):
+        queries = {"freq": 10, "rare": 1}
+        expected = 10 * expected_retrieval_count(
+            "freq", ["freq", "mid", "rare"], DFS, 10
+        ) + 1 * expected_retrieval_count("rare", ["freq", "mid", "rare"], DFS, 10)
+        assert workload_cost(PLAN, DFS, queries, 10) == pytest.approx(expected)
+
+    def test_unqueried_terms_free(self):
+        assert workload_cost(PLAN, DFS, {}, 10) == 0.0
+
+    def test_terms_outside_plan_ignored(self):
+        assert workload_cost(PLAN, DFS, {"alien": 100}, 10) == 0.0
+
+
+class TestFig10Curve:
+    def test_monotone_to_one(self):
+        queries = {"freq": 100, "mid": 10, "rare": 1}
+        curve = cumulative_workload_curve(PLAN, DFS, queries, 10)
+        fractions = [f for _, f in curve]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_ordered_by_query_frequency(self):
+        queries = {"freq": 100, "mid": 10, "rare": 1}
+        curve = cumulative_workload_curve(PLAN, DFS, queries, 10)
+        assert [t for t, _ in curve] == ["freq", "mid", "rare"]
+
+    def test_head_dominance_visible(self):
+        queries = {"freq": 1000, "mid": 5, "rare": 1}
+        curve = cumulative_workload_curve(PLAN, DFS, queries, 10)
+        assert curve[0][1] > 0.9
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_workload_curve(PLAN, DFS, {"alien": 5}, 10)

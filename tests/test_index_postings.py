@@ -1,0 +1,153 @@
+"""Unit tests for posting element/list data structures."""
+
+import numpy as np
+import pytest
+
+from repro.index.postings import (
+    EncryptedPostingElement,
+    MergedPostingList,
+    PostingElement,
+    PostingList,
+)
+
+
+class TestPostingElement:
+    def test_rscore(self):
+        element = PostingElement(term="t", doc_id="d", tf=2, doc_length=8)
+        assert element.rscore == pytest.approx(0.25)
+
+    def test_zero_tf_rejected(self):
+        with pytest.raises(ValueError):
+            PostingElement(term="t", doc_id="d", tf=0, doc_length=5)
+
+    def test_tf_above_length_rejected(self):
+        with pytest.raises(ValueError):
+            PostingElement(term="t", doc_id="d", tf=6, doc_length=5)
+
+    def test_bytes_roundtrip(self):
+        element = PostingElement(term="tëst", doc_id="1.txt", tf=3, doc_length=10)
+        assert PostingElement.from_bytes(element.to_bytes()) == element
+
+    def test_bytes_canonical(self):
+        a = PostingElement(term="t", doc_id="d", tf=1, doc_length=2)
+        b = PostingElement(term="t", doc_id="d", tf=1, doc_length=2)
+        assert a.to_bytes() == b.to_bytes()
+
+
+class TestEncryptedPostingElement:
+    def test_trs_range_validated(self):
+        with pytest.raises(ValueError):
+            EncryptedPostingElement(ciphertext=b"x", group="g", trs=1.5)
+
+    def test_trs_none_allowed(self):
+        element = EncryptedPostingElement(ciphertext=b"x", group="g")
+        assert element.trs is None
+
+    def test_size_bits_with_trs(self):
+        element = EncryptedPostingElement(ciphertext=b"1234", group="g", trs=0.5)
+        assert element.size_bits == 4 * 8 + 64
+
+    def test_size_bits_without_trs(self):
+        element = EncryptedPostingElement(ciphertext=b"1234", group="g")
+        assert element.size_bits == 32
+
+
+class TestPostingList:
+    def _element(self, doc_id, tf, length):
+        return PostingElement(term="t", doc_id=doc_id, tf=tf, doc_length=length)
+
+    def test_sorted_descending(self):
+        plist = PostingList("t")
+        plist.add(self._element("low", 1, 10))
+        plist.add(self._element("high", 5, 10))
+        plist.add(self._element("mid", 3, 10))
+        assert [e.doc_id for e in plist] == ["high", "mid", "low"]
+
+    def test_top_k(self):
+        plist = PostingList(
+            "t", [self._element(f"d{i}", i + 1, 100) for i in range(5)]
+        )
+        top = plist.top_k(2)
+        assert [e.doc_id for e in top] == ["d4", "d3"]
+
+    def test_top_k_beyond_length(self):
+        plist = PostingList("t", [self._element("d", 1, 2)])
+        assert len(plist.top_k(10)) == 1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            PostingList("t").top_k(-1)
+
+    def test_wrong_term_rejected(self):
+        plist = PostingList("t")
+        with pytest.raises(ValueError):
+            plist.add(PostingElement(term="u", doc_id="d", tf=1, doc_length=2))
+
+    def test_ties_preserved(self):
+        plist = PostingList("t")
+        plist.add(self._element("a", 1, 10))
+        plist.add(self._element("b", 1, 10))
+        assert len(plist) == 2
+
+
+class TestMergedPostingList:
+    def _enc(self, trs):
+        return EncryptedPostingElement(ciphertext=b"c", group="g", trs=trs)
+
+    def test_sorted_insert(self):
+        merged = MergedPostingList(0)
+        for trs in [0.5, 0.9, 0.1, 0.7]:
+            merged.add_sorted_by_trs(self._enc(trs))
+        assert [e.trs for e in merged] == [0.9, 0.7, 0.5, 0.1]
+
+    def test_bulk_load_equivalent_to_incremental(self):
+        values = [0.4, 0.8, 0.2, 0.6, 0.6]
+        incremental = MergedPostingList(0)
+        for v in values:
+            incremental.add_sorted_by_trs(self._enc(v))
+        bulk = MergedPostingList(1)
+        bulk.bulk_load_sorted_by_trs(self._enc(v) for v in values)
+        assert [e.trs for e in incremental] == [e.trs for e in bulk]
+
+    def test_trs_required_for_sorted_insert(self):
+        merged = MergedPostingList(0)
+        with pytest.raises(ValueError):
+            merged.add_sorted_by_trs(
+                EncryptedPostingElement(ciphertext=b"c", group="g")
+            )
+        with pytest.raises(ValueError):
+            merged.bulk_load_sorted_by_trs(
+                [EncryptedPostingElement(ciphertext=b"c", group="g")]
+            )
+
+    def test_random_insert_position_bounds(self):
+        rng = np.random.default_rng(1)
+        merged = MergedPostingList(0)
+        for _ in range(50):
+            merged.add_random(
+                EncryptedPostingElement(ciphertext=b"c", group="g"), rng
+            )
+        assert len(merged) == 50
+
+    def test_version_increments(self):
+        merged = MergedPostingList(0)
+        v0 = merged.version
+        merged.add_sorted_by_trs(self._enc(0.5))
+        assert merged.version == v0 + 1
+        merged.bulk_load_sorted_by_trs([self._enc(0.2)])
+        assert merged.version == v0 + 2
+
+    def test_slice(self):
+        merged = MergedPostingList(0)
+        merged.bulk_load_sorted_by_trs([self._enc(v) for v in [0.9, 0.5, 0.1]])
+        assert [e.trs for e in merged.slice(1, 2)] == [0.5, 0.1]
+        assert merged.slice(5, 2) == []
+
+    def test_slice_validation(self):
+        with pytest.raises(ValueError):
+            MergedPostingList(0).slice(-1, 1)
+
+    def test_size_bits(self):
+        merged = MergedPostingList(0)
+        merged.bulk_load_sorted_by_trs([self._enc(0.5)])
+        assert merged.size_bits == 8 + 64

@@ -1,0 +1,123 @@
+"""Tests for index persistence (save/load roundtrip)."""
+
+import json
+
+import pytest
+
+from repro import SystemConfig, ZerberRSystem
+from repro.core.client import ZerberRClient
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError
+from repro.persist import (
+    FORMAT_VERSION,
+    load_index,
+    merge_plan_from_dict,
+    merge_plan_to_dict,
+    rstf_model_from_dict,
+    rstf_model_to_dict,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def built(micro_corpus):
+    service = GroupKeyService(master_secret=b"p" * 32)
+    system = ZerberRSystem.build(
+        micro_corpus, SystemConfig(r=3.0, seed=4), key_service=service
+    )
+    return system, service
+
+
+class TestEncoders:
+    def test_merge_plan_roundtrip(self, built):
+        system, _ = built
+        data = merge_plan_to_dict(system.merge_plan)
+        assert merge_plan_from_dict(data) == system.merge_plan
+
+    def test_rstf_model_roundtrip(self, built):
+        system, _ = built
+        data = rstf_model_to_dict(system.rstf_model)
+        model = rstf_model_from_dict(data)
+        assert model.terms() == system.rstf_model.terms()
+        term = next(iter(model.terms()))
+        assert model.get(term).transform(0.1) == system.rstf_model.get(
+            term
+        ).transform(0.1)
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_query_results(self, built, tmp_path):
+        system, service = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+
+        # A fresh key service with the same master secret reconstructs the
+        # group keys; principals must be re-registered (keys are trusted
+        # state, not part of the untrusted dump).
+        service2 = GroupKeyService(master_secret=b"p" * 32)
+        server2, plan2, model2 = load_index(path, service2)
+        for group in system.corpus.groups():
+            service2.ensure_group(group)
+        service2.register("superuser", set(system.corpus.groups()))
+        client = ZerberRClient(
+            principal="superuser",
+            key_service=service2,
+            server=server2,
+            rstf_model=model2,
+            merge_plan=plan2,
+        )
+        term = system.vocabulary.terms_by_frequency()[1]
+        original = system.query(term, k=5)
+        reloaded = client.query(term, k=5)
+        assert reloaded.doc_ids() == original.doc_ids()
+        assert [h.rscore for h in reloaded.hits] == [
+            h.rscore for h in original.hits
+        ]
+
+    def test_roundtrip_preserves_element_count(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        server2, _, _ = load_index(path, GroupKeyService(master_secret=b"p" * 32))
+        assert server2.num_elements == system.server.num_elements
+
+    def test_trs_order_preserved(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        server2, plan2, _ = load_index(path, GroupKeyService(master_secret=b"p" * 32))
+        for list_id in range(min(plan2.num_lists, 20)):
+            assert server2.visible_trs_values(list_id) == system.server.visible_trs_values(
+                list_id
+            )
+
+    def test_version_check(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            load_index(path, GroupKeyService(master_secret=b"p" * 32))
+
+    def test_wrong_secret_cannot_decrypt(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        wrong = GroupKeyService(master_secret=b"X" * 32)
+        server2, plan2, model2 = load_index(path, wrong)
+        for group in system.corpus.groups():
+            wrong.ensure_group(group)
+        wrong.register("superuser", set(system.corpus.groups()))
+        client = ZerberRClient(
+            principal="superuser",
+            key_service=wrong,
+            server=server2,
+            rstf_model=model2,
+            merge_plan=plan2,
+        )
+        term = system.vocabulary.terms_by_frequency()[1]
+        # All decryptions fail authentication -> zero hits, no crash.
+        result = client.query(term, k=5)
+        assert result.hits == ()

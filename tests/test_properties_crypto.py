@@ -1,0 +1,83 @@
+"""Property-based tests for the crypto substrate: roundtrip for all inputs,
+authentication rejects every single-bit tamper."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import NONCE_SIZE, StreamCipher
+from repro.crypto.prf import Prf, derive_key
+from repro.errors import AuthenticationError
+from repro.index.postings import PostingElement
+
+key_strategy = st.binary(min_size=16, max_size=64)
+nonce_strategy = st.binary(min_size=NONCE_SIZE, max_size=NONCE_SIZE)
+plaintext_strategy = st.binary(min_size=0, max_size=512)
+
+
+@given(key=key_strategy, nonce=nonce_strategy, plaintext=plaintext_strategy)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip(key, nonce, plaintext):
+    cipher = StreamCipher(key)
+    assert cipher.decrypt(cipher.encrypt(plaintext, nonce)) == plaintext
+
+
+@given(
+    key=key_strategy,
+    nonce=nonce_strategy,
+    plaintext=st.binary(min_size=1, max_size=128),
+    flip=st.integers(min_value=0),
+)
+@settings(max_examples=150, deadline=None)
+def test_any_bitflip_detected(key, nonce, plaintext, flip):
+    cipher = StreamCipher(key)
+    ciphertext = bytearray(cipher.encrypt(plaintext, nonce))
+    position = flip % (len(ciphertext) * 8)
+    ciphertext[position // 8] ^= 1 << (position % 8)
+    try:
+        cipher.decrypt(bytes(ciphertext))
+    except AuthenticationError:
+        return
+    raise AssertionError("tampered ciphertext accepted")
+
+
+@given(key=key_strategy, label_a=st.text(max_size=16), label_b=st.text(max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_derive_key_injective_in_label(key, label_a, label_b):
+    if label_a != label_b:
+        assert derive_key(key, label_a) != derive_key(key, label_b)
+    else:
+        assert derive_key(key, label_a) == derive_key(key, label_b)
+
+
+@given(key=key_strategy, message=st.binary(max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_prf_unit_in_range(key, message):
+    value = Prf(key).evaluate_unit(message)
+    assert 0.0 <= value < 1.0
+
+
+@given(
+    term=st.text(min_size=1, max_size=20),
+    doc_id=st.text(min_size=1, max_size=20),
+    tf=st.integers(min_value=1, max_value=1000),
+    extra=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=150, deadline=None)
+def test_posting_element_serialisation_roundtrip(term, doc_id, tf, extra):
+    element = PostingElement(
+        term=term, doc_id=doc_id, tf=tf, doc_length=tf + extra
+    )
+    assert PostingElement.from_bytes(element.to_bytes()) == element
+
+
+@given(
+    key=key_strategy,
+    nonce=nonce_strategy,
+    term=st.text(min_size=1, max_size=10),
+    tf=st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_encrypted_element_end_to_end(key, nonce, term, tf):
+    element = PostingElement(term=term, doc_id="d", tf=tf, doc_length=tf + 5)
+    cipher = StreamCipher(key)
+    ciphertext = cipher.encrypt(element.to_bytes(), nonce)
+    assert PostingElement.from_bytes(cipher.decrypt(ciphertext)) == element

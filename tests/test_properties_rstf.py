@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the RSTF invariants of §4.2.
+
+The three required properties of a relevance score transformation function:
+common range, uniform distribution, order preservation — the first and
+third must hold for *every* input, which is exactly what property testing
+checks.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rstf import Rstf
+from repro.core.sigma import heuristic_sigma
+
+scores_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+sigma_strategy = st.floats(min_value=0.5, max_value=1e4)
+
+kind_strategy = st.sampled_from(["logistic", "erf"])
+
+
+@given(mus=scores_strategy, sigma=sigma_strategy, kind=kind_strategy)
+@settings(max_examples=150, deadline=None)
+def test_output_always_in_unit_range(mus, sigma, kind):
+    rstf = Rstf.from_scores(mus, sigma=sigma, kind=kind)
+    x = np.linspace(-0.5, 1.5, 41)
+    values = rstf.transform(x)
+    assert np.all(values >= 0.0)
+    assert np.all(values <= 1.0)
+
+
+@given(mus=scores_strategy, sigma=sigma_strategy, kind=kind_strategy)
+@settings(max_examples=150, deadline=None)
+def test_order_preservation(mus, sigma, kind):
+    """Property 3: x1 < x2 => RSTF(x1) <= RSTF(x2) (monotone)."""
+    rstf = Rstf.from_scores(mus, sigma=sigma, kind=kind)
+    x = np.sort(np.linspace(0.0, 1.0, 31))
+    values = rstf.transform(x)
+    assert np.all(np.diff(values) >= -1e-12)
+
+
+@given(
+    mus=scores_strategy,
+    sigma=sigma_strategy,
+    kind=kind_strategy,
+    x1=st.floats(min_value=0.0, max_value=1.0),
+    x2=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_pairwise_order_preservation(mus, sigma, kind, x1, x2):
+    rstf = Rstf.from_scores(mus, sigma=sigma, kind=kind)
+    t1, t2 = rstf.transform(x1), rstf.transform(x2)
+    if x1 < x2:
+        assert t1 <= t2 + 1e-12
+    elif x1 > x2:
+        assert t2 <= t1 + 1e-12
+    else:
+        assert t1 == t2
+
+
+@given(mus=scores_strategy)
+@settings(max_examples=100, deadline=None)
+def test_heuristic_sigma_always_positive_and_finite(mus):
+    sigma = heuristic_sigma(mus)
+    assert sigma > 0
+    assert np.isfinite(sigma)
+    # The resulting RSTF must be constructible.
+    Rstf.from_scores(mus, sigma=sigma)
+
+
+@given(
+    mus=st.lists(
+        st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+        min_size=2,
+        max_size=30,
+        unique=True,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_training_scores_map_into_interior(mus):
+    """Training points never map to exactly 0 or 1 under the logistic form
+    (each bell contributes 1/2 at its own centre)."""
+    sigma = heuristic_sigma(mus)
+    rstf = Rstf.from_scores(mus, sigma=sigma, kind="logistic")
+    values = rstf.transform(np.asarray(sorted(mus)))
+    assert np.all(values > 0.0)
+    assert np.all(values < 1.0)
+
+
+@given(mus=scores_strategy, sigma=sigma_strategy)
+@settings(max_examples=100, deadline=None)
+def test_transform_deterministic(mus, sigma):
+    rstf = Rstf.from_scores(mus, sigma=sigma)
+    assert rstf.transform(0.37) == rstf.transform(0.37)

@@ -1,0 +1,105 @@
+"""Tests for the encrypted snippet store (§6.6 pipeline)."""
+
+import pytest
+
+from repro.crypto.keys import GroupKeyService
+from repro.errors import AccessDeniedError
+from repro.snippets import (
+    CHECKSUM_SIZE,
+    DEFAULT_SNIPPET_BYTES,
+    SnippetClient,
+    SnippetStore,
+)
+
+
+@pytest.fixture()
+def world():
+    keys = GroupKeyService(master_secret=b"s" * 32)
+    keys.register("alice", {"g1"})
+    keys.register("bob", {"g2"})
+    keys.register("root", {"g1", "g2"})
+    store = SnippetStore(keys)
+    alice = SnippetClient("alice", keys, store)
+    bob = SnippetClient("bob", keys, store)
+    root = SnippetClient("root", keys, store)
+    return keys, store, alice, bob, root
+
+
+SNIPPET = "<r><t>Reactor calibration</t><s>dosing schedule for the pilot…</s></r>"
+
+
+class TestPublishFetch:
+    def test_roundtrip(self, world):
+        _, _, alice, _, _ = world
+        alice.publish("g1", "doc-1", SNIPPET)
+        assert alice.fetch("g1", "doc-1") == SNIPPET
+
+    def test_cross_member_fetch(self, world):
+        _, _, alice, _, root = world
+        alice.publish("g1", "doc-1", SNIPPET)
+        assert root.fetch("g1", "doc-1") == SNIPPET
+
+    def test_non_member_gets_nothing(self, world):
+        keys, store, alice, bob, _ = world
+        alice.publish("g1", "doc-1", SNIPPET)
+        snippet_id = alice.snippet_id("g1", "doc-1")
+        assert store.fetch("bob", snippet_id) is None
+
+    def test_non_member_cannot_publish(self, world):
+        keys, store, _, bob, _ = world
+        with pytest.raises(AccessDeniedError):
+            store.put("bob", "g1", b"x" * 16, b"ciphertext")
+
+    def test_unknown_doc_is_none(self, world):
+        _, _, alice, _, _ = world
+        assert alice.fetch("g1", "ghost") is None
+
+    def test_fetch_many(self, world):
+        _, _, alice, _, _ = world
+        alice.publish("g1", "d1", "one")
+        alice.publish("g1", "d2", "two")
+        assert alice.fetch_many([("g1", "d1"), ("g1", "d2")]) == ["one", "two"]
+
+
+class TestServerView:
+    def test_server_sees_opaque_ids_and_ciphertext(self, world):
+        _, store, alice, _, _ = world
+        alice.publish("g1", "doc-1", SNIPPET)
+        (snippet_id, (group, ciphertext, _)) = next(iter(store._snippets.items()))
+        assert b"doc-1" not in snippet_id
+        assert SNIPPET.encode() not in ciphertext
+        assert group == "g1"
+
+    def test_republish_overwrites(self, world):
+        _, store, alice, _, _ = world
+        alice.publish("g1", "doc-1", "v1")
+        alice.publish("g1", "doc-1", "v2")
+        assert store.num_snippets == 1
+        assert alice.fetch("g1", "doc-1") == "v2"
+
+
+class TestChecksumCaching:
+    def test_second_fetch_ships_only_checksum(self, world):
+        _, _, alice, _, _ = world
+        text = "x" * DEFAULT_SNIPPET_BYTES
+        alice.publish("g1", "doc-1", text)
+        alice.fetch("g1", "doc-1")
+        first = alice.bytes_transferred
+        assert first > DEFAULT_SNIPPET_BYTES  # body + checksum
+        alice.fetch("g1", "doc-1")
+        assert alice.bytes_transferred == first + CHECKSUM_SIZE
+
+    def test_update_invalidates_cache(self, world):
+        _, _, alice, _, _ = world
+        alice.publish("g1", "doc-1", "v1")
+        assert alice.fetch("g1", "doc-1") == "v1"
+        alice.publish("g1", "doc-1", "v2 with new content")
+        assert alice.fetch("g1", "doc-1") == "v2 with new content"
+
+    def test_caches_are_per_client(self, world):
+        _, _, alice, _, root = world
+        alice.publish("g1", "doc-1", SNIPPET)
+        alice.fetch("g1", "doc-1")
+        root.fetch("g1", "doc-1")
+        # root paid for the full body despite alice's warm cache.
+        assert root.bytes_transferred > CHECKSUM_SIZE
