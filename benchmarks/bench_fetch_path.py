@@ -1,0 +1,207 @@
+"""Fetch-path microbenchmark: batched fetches + incremental readable views.
+
+Two claims, both load-bearing for the ROADMAP's throughput goal:
+
+1. **Batching** — a multi-term query served through
+   ``ZerberRClient.query_multi_batched`` issues one server call per
+   lockstep round (``max`` of the per-term round counts) instead of one
+   per term per round (``sum``), with identical results and bytes.
+2. **Incremental views** — a mixed insert/fetch workload no longer pays
+   a full membership-filtered readable-view rebuild after every
+   mutation: the ``ReadableViewIndex`` patches cached views in place
+   (bisect + splice), which the server's operation counters (and a
+   wall-clock comparison against forced rebuilds) demonstrate.
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_fetch_path.py [--quick]
+
+``--quick`` runs a seconds-scale configuration for CI smoke checks.
+Exits non-zero if either claim fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import SystemConfig, ZerberRSystem
+from repro.core.protocol import FetchRequest
+from repro.corpus import studip_like, tiny_corpus
+from repro.index.postings import EncryptedPostingElement
+
+
+def build_system(quick: bool) -> ZerberRSystem:
+    if quick:
+        corpus = tiny_corpus(seed=3)
+    else:
+        corpus = studip_like(num_documents=200, vocabulary_size=3000, seed=7)
+    return ZerberRSystem.build(corpus, SystemConfig(r=4.0, seed=41))
+
+
+def sample_queries(
+    system: ZerberRSystem, num_queries: int, terms_per_query: int
+) -> list[list[str]]:
+    """Multi-term queries over indexed terms, preferring distinct lists."""
+    by_df = [
+        t
+        for t in system.vocabulary.terms_by_frequency()
+        if system.vocabulary.document_frequency(t) >= 2
+    ]
+    queries: list[list[str]] = []
+    stride = max(1, len(by_df) // max(1, num_queries * terms_per_query))
+    pool = by_df[::stride] + by_df
+    cursor = 0
+    for _ in range(num_queries):
+        query: list[str] = []
+        used_lists: set[int] = set()
+        while len(query) < terms_per_query and cursor < len(pool):
+            term = pool[cursor]
+            cursor += 1
+            list_id = system.merge_plan.list_of(term)
+            if list_id in used_lists or term in query:
+                continue
+            used_lists.add(list_id)
+            query.append(term)
+        if len(query) == terms_per_query:
+            queries.append(query)
+    return queries
+
+
+def measure_batching(system: ZerberRSystem, queries: list[list[str]], k: int):
+    """Compare server calls: per-term sequential vs batched lockstep."""
+    client = system.client_for("superuser")
+    sequential_calls = 0
+    batched_calls = 0
+    for query in queries:
+        seq_ranked = {}
+        for term in query:
+            result = client.query(term, k)
+            sequential_calls += result.trace.num_requests
+            for hit in result.hits:
+                seq_ranked[hit.doc_id] = seq_ranked.get(hit.doc_id, 0.0) + hit.rscore
+        batched = client.query_multi_batched(query, k)
+        batched_calls += batched.batch_trace.num_rounds
+        expected = sorted(seq_ranked.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        assert list(batched.ranked) == expected, (
+            "batched ranking diverged from sequential",
+            query,
+        )
+    return sequential_calls, batched_calls
+
+
+def measure_views(system: ZerberRSystem, mutations: int):
+    """Interleave inserts and fetches; count rebuilds vs incremental patches.
+
+    Also times the same workload with views force-invalidated before every
+    fetch — the seed's rebuild-per-mutation behaviour — for a wall-clock
+    ratio.
+    """
+    server = system.server
+    # The longest list amplifies the O(list) rebuild cost.
+    list_id = max(range(server.num_lists), key=server.list_length)
+    merged = server._lists[list_id]
+    template = merged.elements[0]
+    group = template.group
+    # Snapshot so both timed runs start from the identical list state
+    # (otherwise the second run pays for the first run's inserts).
+    saved_elements = list(merged.elements)
+    saved_keys = list(merged._neg_trs_keys)
+
+    def restore_list() -> None:
+        merged.elements[:] = saved_elements
+        merged._neg_trs_keys[:] = saved_keys
+        merged.version += 1
+        server._views.invalidate_list(list_id)
+
+    def workload(invalidate: bool) -> float:
+        started = time.perf_counter()
+        for i in range(mutations):
+            trs = (i % 997) / 997.0
+            element = EncryptedPostingElement(
+                ciphertext=f"bench-{invalidate}-{i}".encode(),
+                group=group,
+                trs=trs,
+            )
+            server.insert("superuser", list_id, element)
+            if invalidate:
+                server._views.invalidate_list(list_id)
+            server.fetch(
+                FetchRequest(
+                    principal="superuser", list_id=list_id, offset=0, count=10
+                )
+            )
+        return time.perf_counter() - started
+
+    # Warm the view, then snapshot counters around the incremental run.
+    server.fetch(
+        FetchRequest(principal="superuser", list_id=list_id, offset=0, count=10)
+    )
+    builds_before = server.view_stats.full_builds
+    patches_before = server.view_stats.incremental_updates
+    incremental_seconds = workload(invalidate=False)
+    builds = server.view_stats.full_builds - builds_before
+    patches = server.view_stats.incremental_updates - patches_before
+    restore_list()
+    rebuild_seconds = workload(invalidate=True)
+    return builds, patches, incremental_seconds, rebuild_seconds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="seconds-scale CI configuration"
+    )
+    args = parser.parse_args()
+
+    num_queries = 5 if args.quick else 25
+    terms_per_query = 3
+    mutations = 100 if args.quick else 1000
+    k = 5
+
+    print(f"building system ({'quick' if args.quick else 'full'} mode)...")
+    system = build_system(args.quick)
+    queries = sample_queries(system, num_queries, terms_per_query)
+    assert queries, "could not assemble multi-term queries"
+
+    sequential_calls, batched_calls = measure_batching(system, queries, k)
+    print(f"\n== batched fetch ({len(queries)} queries x {terms_per_query} terms, k={k}) ==")
+    print(f"server calls, per-list fetch : {sequential_calls}")
+    print(f"server calls, batched fetch  : {batched_calls}")
+    print(f"round-trips saved            : {sequential_calls - batched_calls}")
+
+    builds, patches, incremental_seconds, rebuild_seconds = measure_views(
+        system, mutations
+    )
+    print(f"\n== readable views ({mutations} insert+fetch cycles) ==")
+    print(f"full view rebuilds           : {builds}")
+    print(f"incremental view patches     : {patches}")
+    print(f"incremental wall time        : {incremental_seconds * 1e3:.1f} ms")
+    print(f"rebuild-per-mutation time    : {rebuild_seconds * 1e3:.1f} ms")
+    if incremental_seconds > 0:
+        print(f"speedup                      : {rebuild_seconds / incremental_seconds:.1f}x")
+
+    failures = []
+    if batched_calls >= sequential_calls:
+        failures.append(
+            f"batched fetch did not save requests "
+            f"({batched_calls} >= {sequential_calls})"
+        )
+    # The incremental run must patch (not rebuild) on essentially every
+    # mutation; a handful of rebuilds is tolerated (cold/evicted views).
+    if patches < mutations:
+        failures.append(f"expected >= {mutations} view patches, saw {patches}")
+    if builds > 2:
+        failures.append(f"expected <= 2 full rebuilds, saw {builds}")
+
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: batching saves round-trips; mutations no longer rebuild views")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,11 @@
 Paper shape: with b=10, roughly the top 60% of queries achieve
 QRatioeff = 1 (ordinary-index parity) and the tail degrades; b=20 caps
 the best case at 0.5, b=50 at 0.2 — oversizing uniformly wastes bandwidth.
+
+Batching note: QRatioeff is a *bandwidth* ratio (k / elements shipped),
+so serving the same workload through the batched fetch protocol must not
+move any point of the curve — batching collapses round-trips, never
+bytes.  The companion test asserts that invariant on live sessions.
 """
 
 from __future__ import annotations
@@ -67,3 +72,35 @@ def test_fig13_efficiency_distribution(benchmark, collections):
         mean_50 = float(np.mean(curve_50))
         assert mean_20 < mean_10
         assert mean_50 < mean_20
+
+
+def test_fig13_batching_preserves_efficiency(collections):
+    """Batched sessions ship exactly the bytes sequential ones do."""
+    for c in collections:
+        terms = c.workload_terms(30, rng_seed=17)
+        client = c.system.client_for("superuser")
+        rows = []
+        for i in range(0, len(terms), 3):
+            query = terms[i : i + 3]
+            sequential_per_term = [
+                client.query(t, k=K).trace.elements_transferred for t in query
+            ]
+            batched = client.query_multi_batched(query, k=K)
+            batched_per_term = [
+                t.elements_transferred for t in batched.traces
+            ]
+            rows.append(
+                [
+                    " ".join(query)[:40],
+                    sum(sequential_per_term),
+                    sum(batched_per_term),
+                ]
+            )
+            # Identical per-term slices -> identical per-term QRatioeff:
+            # every Fig. 13 curve point survives batching untouched.
+            assert batched_per_term == sequential_per_term, query
+        print_series(
+            f"Fig. 13 batching invariance ({c.name})",
+            ["query", "sequential elements", "batched elements"],
+            rows,
+        )

@@ -41,6 +41,10 @@ from repro.corpus import (
     tiny_corpus,
 )
 from repro.core import (
+    BatchFetchRequest,
+    BatchFetchResponse,
+    BatchQueryTrace,
+    MultiQueryResult,
     QueryResult,
     QueryTrace,
     ResponsePolicy,
@@ -99,6 +103,10 @@ __all__ = [
     "QueryResult",
     "QueryTrace",
     "ResponsePolicy",
+    "BatchFetchRequest",
+    "BatchFetchResponse",
+    "BatchQueryTrace",
+    "MultiQueryResult",
     "Rstf",
     "RstfModel",
     "RstfTrainer",

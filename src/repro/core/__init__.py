@@ -15,9 +15,18 @@ from repro.core.confidentiality import (
     probability_amplification,
     ConfidentialityAudit,
 )
-from repro.core.protocol import FetchRequest, FetchResponse, QueryTrace, ResponsePolicy
+from repro.core.protocol import (
+    BatchFetchRequest,
+    BatchFetchResponse,
+    BatchQueryTrace,
+    FetchRequest,
+    FetchResponse,
+    QueryTrace,
+    ResponsePolicy,
+)
 from repro.core.server import ZerberRServer
-from repro.core.client import ZerberRClient, QueryResult
+from repro.core.views import ReadableViewIndex, ViewStats
+from repro.core.client import ZerberRClient, MultiQueryResult, QueryResult
 from repro.core.system import ZerberRSystem, SystemConfig
 
 __all__ = [
@@ -37,12 +46,18 @@ __all__ = [
     "audit_merge_plan",
     "probability_amplification",
     "ConfidentialityAudit",
+    "BatchFetchRequest",
+    "BatchFetchResponse",
+    "BatchQueryTrace",
     "FetchRequest",
     "FetchResponse",
     "QueryTrace",
     "ResponsePolicy",
     "ZerberRServer",
+    "ReadableViewIndex",
+    "ViewStats",
     "ZerberRClient",
+    "MultiQueryResult",
     "QueryResult",
     "ZerberRSystem",
     "SystemConfig",

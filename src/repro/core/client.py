@@ -12,6 +12,14 @@ doubled response sizes until ``k`` matches are held or the list is
 exhausted.  The client returns results ranked by the *decrypted* relevance
 score — identical to TRS order for a single term because the RSTF is
 monotonic (§4.2 property 3).
+
+Multi-term queries run the same per-term doubling protocol for every term
+*in lockstep*: each round bundles the next slice of every still-active
+term into one :class:`~repro.core.protocol.BatchFetchRequest`, so a round
+costs one server round-trip instead of one per term.  The per-term fetch
+sequence (offsets, counts, stop conditions) is identical to running
+:meth:`ZerberRClient.query` term by term — batching changes latency and
+request counts, never results or bytes.
 """
 
 from __future__ import annotations
@@ -19,7 +27,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.core.protocol import FetchRequest, QueryTrace, ResponsePolicy
+from repro.core.protocol import (
+    BatchFetchRequest,
+    BatchQueryTrace,
+    FetchRequest,
+    QueryTrace,
+    ResponsePolicy,
+)
 from repro.core.rstf import RstfModel
 from repro.core.server import ZerberRServer
 from repro.crypto.cipher import NonceSequence, StreamCipher
@@ -48,6 +62,82 @@ class QueryResult:
 
     def doc_ids(self) -> list[str]:
         return [hit.doc_id for hit in self.hits]
+
+
+@dataclass(frozen=True)
+class MultiQueryResult:
+    """Batched multi-term result: aggregate ranking plus cost traces.
+
+    ``traces`` holds one per-term :class:`QueryTrace` (slice-level
+    accounting, comparable to sequential per-term queries);
+    ``batch_trace`` holds the session-level round-trip accounting.
+    """
+
+    ranked: tuple[tuple[str, float], ...]
+    traces: tuple[QueryTrace, ...]
+    batch_trace: BatchQueryTrace
+
+    def doc_ids(self) -> list[str]:
+        return [doc_id for doc_id, _ in self.ranked]
+
+
+class _TermSession:
+    """Mutable state of one term's doubling protocol.
+
+    Holds exactly what :meth:`ZerberRClient.query`'s loop used to keep in
+    locals, so the single-term and batched multi-term paths share one
+    step function and cannot drift apart.
+    """
+
+    __slots__ = (
+        "term",
+        "list_id",
+        "k",
+        "policy",
+        "max_requests",
+        "trace",
+        "hits",
+        "hit_trs",
+        "offset",
+        "request_number",
+        "done",
+    )
+
+    def __init__(
+        self,
+        term: str,
+        list_id: int,
+        k: int,
+        policy: ResponsePolicy,
+        max_requests: int,
+    ) -> None:
+        self.term = term
+        self.list_id = list_id
+        self.k = k
+        self.policy = policy
+        self.max_requests = max_requests
+        self.trace = QueryTrace(term=term, k=k)
+        self.hits: list[RankedHit] = []
+        self.hit_trs: list[float] = []
+        self.offset = 0
+        self.request_number = 0
+        # max_requests < 1 means "issue no requests at all" (the old
+        # for-range loop's semantics): empty, unsatisfied result.
+        self.done = max_requests < 1
+
+    def next_request(self, principal: str) -> FetchRequest:
+        return FetchRequest(
+            principal=principal,
+            list_id=self.list_id,
+            offset=self.offset,
+            count=self.policy.response_size(self.request_number),
+        )
+
+    def ranked_hits(self) -> tuple[RankedHit, ...]:
+        # TRS order equals rscore order per term (monotonic RSTF), but the
+        # decrypted scores are the ground truth — sort defensively and trim.
+        self.hits.sort(key=lambda h: (-h.rscore, h.doc_id))
+        return tuple(self.hits[: self.k])
 
 
 class ZerberRClient:
@@ -161,6 +251,43 @@ class ZerberRClient:
 
     # -- querying (paper §5.2) ------------------------------------------------------
 
+    def _start_session(
+        self, term: str, k: int, policy: ResponsePolicy | None, max_requests: int
+    ) -> "_TermSession":
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        policy = policy if policy is not None else ResponsePolicy(initial_size=k)
+        try:
+            list_id = self._plan.list_of(term)
+        except KeyError:
+            raise UnknownTermError(term) from None
+        return _TermSession(
+            term=term,
+            list_id=list_id,
+            k=k,
+            policy=policy,
+            max_requests=max_requests,
+        )
+
+    def _absorb_response(self, session: "_TermSession", response) -> None:
+        """Feed one fetch response into a term session (shared step logic)."""
+        session.trace.record_response(response)
+        session.offset += len(response.elements)
+        session.request_number += 1
+        matches, trs_values = self._decrypt_matches(response.elements, session.term)
+        session.hits.extend(matches)
+        session.hit_trs.extend(trs_values)
+        if len(session.hits) >= session.k and self._topk_complete(
+            session.hit_trs, session.k, response.elements
+        ):
+            session.trace.satisfied = True
+            session.done = True
+        elif response.exhausted:
+            session.trace.satisfied = len(session.hits) >= session.k
+            session.done = True
+        elif session.request_number >= session.max_requests:
+            session.done = True
+
     def query(
         self,
         term: str,
@@ -174,45 +301,11 @@ class ZerberRClient:
         (§6.4).  ``max_requests`` is a safety valve against runaway loops;
         the doubling rule reaches any list length long before it triggers.
         """
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        policy = policy if policy is not None else ResponsePolicy(initial_size=k)
-        try:
-            list_id = self._plan.list_of(term)
-        except KeyError:
-            raise UnknownTermError(term) from None
-
-        trace = QueryTrace(term=term, k=k)
-        hits: list[RankedHit] = []
-        hit_trs: list[float] = []
-        offset = 0
-        for request_number in range(max_requests):
-            count = policy.response_size(request_number)
-            response = self._server.fetch(
-                FetchRequest(
-                    principal=self.principal,
-                    list_id=list_id,
-                    offset=offset,
-                    count=count,
-                )
-            )
-            trace.record_response(response)
-            offset += len(response.elements)
-            matches, trs_values = self._decrypt_matches(response.elements, term)
-            hits.extend(matches)
-            hit_trs.extend(trs_values)
-            if len(hits) >= k and self._topk_complete(
-                hit_trs, k, response.elements
-            ):
-                trace.satisfied = True
-                break
-            if response.exhausted:
-                trace.satisfied = len(hits) >= k
-                break
-        # TRS order equals rscore order per term (monotonic RSTF), but the
-        # decrypted scores are the ground truth — sort defensively and trim.
-        hits.sort(key=lambda h: (-h.rscore, h.doc_id))
-        return QueryResult(hits=tuple(hits[:k]), trace=trace)
+        session = self._start_session(term, k, policy, max_requests)
+        while not session.done:
+            response = self._server.fetch(session.next_request(self.principal))
+            self._absorb_response(session, response)
+        return QueryResult(hits=session.ranked_hits(), trace=session.trace)
 
     @staticmethod
     def _topk_complete(
@@ -267,24 +360,66 @@ class ZerberRClient:
                 trs_values.append(element.trs if element.trs is not None else 0.0)
         return matches, trs_values
 
+    def query_multi_batched(
+        self,
+        terms: Iterable[str],
+        k: int,
+        policy: ResponsePolicy | None = None,
+        max_requests: int = 64,
+    ) -> MultiQueryResult:
+        """Multi-term query over the batched fetch protocol.
+
+        Runs every term's doubling protocol in lockstep: each round issues
+        one :class:`BatchFetchRequest` carrying the next slice of every
+        still-active term, so the session costs ``max_t rounds(t)``
+        round-trips instead of ``Σ_t rounds(t)``.  Per-term offsets,
+        counts and stop conditions are identical to :meth:`query`, so
+        hits, scores and bytes shipped match the sequential path exactly.
+
+        Scores aggregate by summation *without* IDF (the confidentiality
+        trade-off the paper accepts, §3.2).
+        """
+        sessions = [
+            self._start_session(term, k, policy, max_requests) for term in terms
+        ]
+        batch_trace = BatchQueryTrace(
+            terms=tuple(s.term for s in sessions), k=k
+        )
+        while True:
+            active = [s for s in sessions if not s.done]
+            if not active:
+                break
+            batch = BatchFetchRequest(
+                principal=self.principal,
+                requests=tuple(s.next_request(self.principal) for s in active),
+            )
+            batch_response = self._server.batch_fetch(batch)
+            batch_trace.record_round(batch_response)
+            for session, response in zip(active, batch_response.responses):
+                self._absorb_response(session, response)
+        scores: dict[str, float] = {}
+        for session in sessions:
+            for hit in session.ranked_hits():
+                scores[hit.doc_id] = scores.get(hit.doc_id, 0.0) + hit.rscore
+        ranked = tuple(
+            sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        )
+        return MultiQueryResult(
+            ranked=ranked,
+            traces=tuple(s.trace for s in sessions),
+            batch_trace=batch_trace,
+        )
+
     def query_multi(
         self,
         terms: Iterable[str],
         k: int,
         policy: ResponsePolicy | None = None,
     ) -> tuple[list[tuple[str, float]], list[QueryTrace]]:
-        """Multi-term query as a sequence of single-term queries (§3.2).
+        """Multi-term query as per-term top-k sessions (§3.2).
 
-        Scores aggregate by summation *without* IDF (the confidentiality
-        trade-off the paper accepts); returns ``(doc_id, score)`` pairs in
-        descending order plus the per-term traces.
+        Thin compatibility wrapper over :meth:`query_multi_batched` — same
+        results and per-term traces, one batched server call per round.
         """
-        scores: dict[str, float] = {}
-        traces: list[QueryTrace] = []
-        for term in terms:
-            result = self.query(term, k, policy=policy)
-            traces.append(result.trace)
-            for hit in result.hits:
-                scores[hit.doc_id] = scores.get(hit.doc_id, 0.0) + hit.rscore
-        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
-        return ranked, traces
+        result = self.query_multi_batched(terms, k, policy=policy)
+        return list(result.ranked), list(result.traces)

@@ -4,8 +4,11 @@ set of largely untrusted index servers").
 A :class:`ServerCluster` shards the merged posting lists across N
 :class:`~repro.core.server.ZerberRServer` instances (deterministic
 round-robin by list id, optionally replicated) and exposes the same
-insert/fetch surface, so :class:`~repro.core.client.ZerberRClient` works
-against a cluster unchanged.
+insert/fetch/batch-fetch surface, so
+:class:`~repro.core.client.ZerberRClient` works against a cluster
+unchanged.  A batched fetch splits into one sub-batch per shard server
+(first live replica of each list), so a multi-term client round costs one
+round-trip per *touched server* rather than per merged list.
 
 Sharding also *improves* confidentiality in the compromised-server model:
 an adversary owning one server sees only ``1/N`` of the merged lists and
@@ -19,7 +22,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.core.protocol import FetchRequest, FetchResponse
+from repro.core.protocol import (
+    BatchFetchRequest,
+    BatchFetchResponse,
+    FetchRequest,
+    FetchResponse,
+)
 from repro.core.server import ObservedFetch, ZerberRServer
 from repro.crypto.keys import GroupKeyService
 from repro.errors import ConfigurationError, ProtocolError, UnknownListError
@@ -132,12 +140,43 @@ class ServerCluster:
 
     def fetch(self, request: FetchRequest) -> FetchResponse:
         """Serve from the first live replica of the requested list."""
-        for server_index in self.replicas_of(request.list_id):
+        return self._servers[self._route(request.list_id)].fetch(request)
+
+    def _route(self, list_id: int) -> int:
+        """First live replica holding *list_id* (replica failover)."""
+        for server_index in self.replicas_of(list_id):
             if self._alive[server_index]:
-                return self._servers[server_index].fetch(request)
+                return server_index
         raise ProtocolError(
-            f"all {self.replication} replica(s) of list {request.list_id} are down"
+            f"all {self.replication} replica(s) of list {list_id} are down"
         )
+
+    def batch_fetch(self, batch: BatchFetchRequest) -> BatchFetchResponse:
+        """Serve a batch with one sub-batch per shard server.
+
+        Each slice routes to the first live replica of its list; slices
+        that land on the same server travel as one
+        :class:`BatchFetchRequest` to it (one round-trip per touched
+        server, not per slice).  Responses reassemble in the original
+        slice order.  A list with no live replica fails the whole batch,
+        matching :meth:`fetch`'s error behaviour.
+        """
+        routed: list[int] = [
+            self._route(request.list_id) for request in batch.requests
+        ]
+        per_server: dict[int, list[int]] = {}
+        for slice_index, server_index in enumerate(routed):
+            per_server.setdefault(server_index, []).append(slice_index)
+        responses: list[FetchResponse | None] = [None] * len(batch.requests)
+        for server_index, slice_indices in per_server.items():
+            sub_batch = BatchFetchRequest(
+                principal=batch.principal,
+                requests=tuple(batch.requests[i] for i in slice_indices),
+            )
+            sub_response = self._servers[server_index].batch_fetch(sub_batch)
+            for i, response in zip(slice_indices, sub_response.responses):
+                responses[i] = response
+        return BatchFetchResponse(responses=tuple(responses))  # type: ignore[arg-type]
 
     # -- accounting -------------------------------------------------------------
 

@@ -13,6 +13,18 @@ total after ``n`` follow-ups is (Eq. 12)::
 :class:`ResponsePolicy` encodes the initial size and growth factor;
 :class:`QueryTrace` records what a query session cost, feeding the Fig.
 11–13 metrics.
+
+Batched fetches: a multi-term query touches one merged list per term, and
+issuing those slices as separate server calls pays one network round-trip
+each.  :class:`BatchFetchRequest` bundles many :class:`FetchRequest`
+slices (all from the same principal) into a single server call and
+:class:`BatchFetchResponse` returns the per-slice
+:class:`FetchResponse` replies in request order, so a client round of the
+doubling protocol over *t* terms costs one round-trip instead of *t*.
+:class:`BatchQueryTrace` accounts a batched multi-term session: it
+distinguishes server *round-trips* (batched calls, the quantity a
+latency-bound deployment cares about) from *sub-fetches* (slices served,
+the quantity the Fig. 12 per-term statistics count).
 """
 
 from __future__ import annotations
@@ -85,6 +97,63 @@ class FetchResponse:
         return len(self.elements)
 
 
+@dataclass(frozen=True)
+class BatchFetchRequest:
+    """Many fetch slices bundled into one server call.
+
+    All slices must come from the same authenticated principal (the
+    server authenticates the call once).  Slice order is significant: the
+    response carries replies in the same order.
+    """
+
+    principal: str
+    requests: tuple[FetchRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ProtocolError("batch must contain at least one fetch request")
+        for request in self.requests:
+            if request.principal != self.principal:
+                raise ProtocolError(
+                    "all requests in a batch must share the batch principal"
+                )
+
+    @classmethod
+    def for_slices(
+        cls, principal: str, slices: "tuple[tuple[int, int, int], ...] | list"
+    ) -> "BatchFetchRequest":
+        """Build a batch from ``(list_id, offset, count)`` triples."""
+        return cls(
+            principal=principal,
+            requests=tuple(
+                FetchRequest(
+                    principal=principal, list_id=list_id, offset=offset, count=count
+                )
+                for list_id, offset, count in slices
+            ),
+        )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass(frozen=True)
+class BatchFetchResponse:
+    """Per-slice replies, aligned with the batch's request order."""
+
+    responses: tuple[FetchResponse, ...]
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def __iter__(self):
+        return iter(self.responses)
+
+    @property
+    def elements_returned(self) -> int:
+        return sum(len(r) for r in self.responses)
+
+
 @dataclass
 class QueryTrace:
     """Cost accounting of one top-k query session.
@@ -133,3 +202,39 @@ class QueryTrace:
         if self.elements_transferred == 0:
             raise ProtocolError("no responses recorded")
         return self.k / self.elements_transferred
+
+
+@dataclass
+class BatchQueryTrace:
+    """Cost accounting of one batched multi-term query session.
+
+    ``num_rounds`` counts server round-trips (one per
+    :class:`BatchFetchRequest`); ``num_subfetches`` counts the slices
+    served across all rounds — what the same session would have cost in
+    round-trips had every slice been its own call.  The difference is the
+    latency win of batching; bytes shipped are identical either way.
+    """
+
+    terms: tuple[str, ...]
+    k: int
+    num_rounds: int = 0
+    num_subfetches: int = 0
+    elements_transferred: int = 0
+    bits_transferred: int = 0
+
+    def record_round(self, response: BatchFetchResponse) -> None:
+        self.num_rounds += 1
+        self.num_subfetches += len(response)
+        for sub in response:
+            self.elements_transferred += len(sub.elements)
+            self.bits_transferred += sum(e.size_bits for e in sub.elements)
+
+    @property
+    def num_requests(self) -> int:
+        """Server calls issued — the batched analogue of
+        :attr:`QueryTrace.num_requests`."""
+        return self.num_rounds
+
+    def requests_saved(self) -> int:
+        """Round-trips avoided versus per-list fetching."""
+        return self.num_subfetches - self.num_rounds

@@ -7,6 +7,21 @@ is group-based: every element is tagged with its owning group, and a fetch
 only ever returns elements of groups the requesting principal belongs to
 (paper §4.1: "The index server determines user's access rights").
 
+Two throughput mechanisms sit on the fetch path:
+
+* **Batched fetches** — :meth:`ZerberRServer.batch_fetch` serves a
+  :class:`~repro.core.protocol.BatchFetchRequest` bundling many slices
+  (one per merged list a multi-term query needs) in a single call, so a
+  client round of the doubling protocol costs one round-trip regardless
+  of term count.  Each slice is still logged individually (with a shared
+  ``batch_id``) because the compromised-server adversary sees them all.
+* **Incremental readable views** — the per-principal readable sub-list a
+  fetch slices is maintained by a
+  :class:`~repro.core.views.ReadableViewIndex`: inserts and deletes patch
+  cached views in place (bisect + positional splice) instead of forcing
+  a full membership-filtered rebuild of the merged list, and an LRU over
+  ``(list, principal)`` pairs bounds the memory.
+
 Everything the server can observe — stored TRS values, group tags, and the
 stream of fetch requests — is exactly what the threat-model adversary gets
 when she compromises the server, so the server also keeps an observation
@@ -16,9 +31,15 @@ log that the attack modules read.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.protocol import FetchRequest, FetchResponse
+from repro.core.protocol import (
+    BatchFetchRequest,
+    BatchFetchResponse,
+    FetchRequest,
+    FetchResponse,
+)
+from repro.core.views import ReadableViewIndex, ViewStats
 from repro.crypto.keys import GroupKeyService
 from repro.errors import AccessDeniedError, ProtocolError, UnknownListError
 from repro.index.postings import EncryptedPostingElement, MergedPostingList
@@ -26,19 +47,29 @@ from repro.index.postings import EncryptedPostingElement, MergedPostingList
 
 @dataclass(frozen=True)
 class ObservedFetch:
-    """What the compromised-server adversary records per fetch."""
+    """What the compromised-server adversary records per served slice.
+
+    ``batch_id`` groups the slices of one batched call (``None`` for a
+    singleton fetch) — the adversary sees which slices travelled together.
+    """
 
     principal: str
     list_id: int
     offset: int
     count: int
     returned: int
+    batch_id: int | None = None
 
 
 class ZerberRServer:
     """Merged, TRS-sorted, access-controlled posting-list store."""
 
-    def __init__(self, key_service: GroupKeyService, num_lists: int) -> None:
+    def __init__(
+        self,
+        key_service: GroupKeyService,
+        num_lists: int,
+        readable_view_capacity: int = 256,
+    ) -> None:
         if num_lists < 1:
             raise ProtocolError("num_lists must be >= 1")
         self._keys = key_service
@@ -46,10 +77,12 @@ class ZerberRServer:
             list_id: MergedPostingList(list_id) for list_id in range(num_lists)
         }
         self.observations: list[ObservedFetch] = []
-        # (list_id, principal) -> (list version, readable elements).  Fetch
-        # sessions issue several slices against an unchanged list; caching
-        # the readable view keeps that O(1) after the first slice.
-        self._readable_cache: dict[tuple[int, str], tuple[int, list]] = {}
+        # Incrementally maintained (list, principal) -> readable sub-list
+        # cache; see repro.core.views for the maintenance discipline.
+        self._views = ReadableViewIndex(
+            key_service, capacity=readable_view_capacity
+        )
+        self._batch_counter = 0
 
     # -- properties ----------------------------------------------------------
 
@@ -60,6 +93,11 @@ class ZerberRServer:
     @property
     def num_elements(self) -> int:
         return sum(len(lst) for lst in self._lists.values())
+
+    @property
+    def view_stats(self) -> ViewStats:
+        """Operation counters of the readable-view index (benchmarks)."""
+        return self._views.stats
 
     def list_length(self, list_id: int) -> int:
         return len(self._list(list_id))
@@ -79,12 +117,15 @@ class ZerberRServer:
 
         The server checks group membership ("checks his group membership
         and accepts the update if appropriate") and inserts by TRS order.
+        Cached readable views of the list are patched in place.
         """
         if element.trs is None:
             raise ProtocolError("Zerber+R elements must carry a TRS")
         if not self._keys.is_member(principal, element.group):
             raise AccessDeniedError(principal, element.group)
-        self._list(list_id).add_sorted_by_trs(element)
+        merged = self._list(list_id)
+        merged.add_sorted_by_trs(element)
+        self._views.note_insert(merged, element)
 
     def insert_many(
         self,
@@ -107,7 +148,9 @@ class ZerberRServer:
 
         Functionally identical to :meth:`insert_many` (including the
         membership checks) but O(n log n) per list instead of O(n²); used
-        when indexing a whole corpus at system setup.
+        when indexing a whole corpus at system setup.  Touched lists'
+        cached views are dropped wholesale — a bulk load changes too much
+        for per-element patching to win.
         """
         by_list: dict[int, list[EncryptedPostingElement]] = {}
         accepted = 0
@@ -121,10 +164,11 @@ class ZerberRServer:
             accepted += 1
         for list_id, elements in by_list.items():
             self._lists[list_id].bulk_load_sorted_by_trs(elements)
+            self._views.invalidate_list(list_id)
         return accepted
 
     # -- deletion (collaborative updates, paper §5's "unlimited index
-    # update and insert operations") --------------------------------------------
+    # update and insert operations") ------------------------------------------
 
     def delete_element(
         self, principal: str, list_id: int, ciphertext: bytes
@@ -134,21 +178,23 @@ class ZerberRServer:
         The server cannot read ciphertexts, so deletion is by exact match
         on the receipt the inserting client kept.  Group membership is
         enforced against the stored element's group tag — only members of
-        the owning group may delete it.  Returns whether an element was
-        removed.
+        the owning group may delete it.  The list is scanned once: the
+        same pass that finds the element yields its position, and cached
+        readable views are patched rather than invalidated.  Returns
+        whether an element was removed.
         """
         merged = self._list(list_id)
-        target = next(
-            (e for e in merged.elements if e.ciphertext == ciphertext), None
-        )
-        if target is None:
+        found = merged.find_by_ciphertext(ciphertext)
+        if found is None:
             return False
+        position, target = found
         if not self._keys.is_member(principal, target.group):
             raise AccessDeniedError(principal, target.group)
-        removed = merged.remove_by_ciphertext(ciphertext)
-        return removed is not None
+        merged.pop_at(position)
+        self._views.note_delete(merged, target)
+        return True
 
-    # -- queries (paper §5.2) ----------------------------------------------------
+    # -- queries (paper §5.2) --------------------------------------------------
 
     def fetch(self, request: FetchRequest) -> FetchResponse:
         """Serve a TRS-ordered slice of the principal-readable elements.
@@ -157,19 +203,28 @@ class ZerberRServer:
         learns how many unreadable elements interleave), and ``exhausted``
         signals that no readable elements remain past the returned slice.
         """
+        return self._serve_slice(request, batch_id=None)
+
+    def batch_fetch(self, batch: BatchFetchRequest) -> BatchFetchResponse:
+        """Serve many slices in one call (one client round-trip).
+
+        Slices are served in request order; each is logged as its own
+        :class:`ObservedFetch` carrying the shared ``batch_id``.
+        """
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        return BatchFetchResponse(
+            responses=tuple(
+                self._serve_slice(request, batch_id=batch_id)
+                for request in batch.requests
+            )
+        )
+
+    def _serve_slice(
+        self, request: FetchRequest, batch_id: int | None
+    ) -> FetchResponse:
         merged = self._list(request.list_id)
-        cache_key = (request.list_id, request.principal)
-        cached = self._readable_cache.get(cache_key)
-        if cached is not None and cached[0] == merged.version:
-            readable = cached[1]
-        else:
-            readable_groups = {
-                group
-                for group in {e.group for e in merged.elements}
-                if self._keys.is_member(request.principal, group)
-            }
-            readable = [e for e in merged.elements if e.group in readable_groups]
-            self._readable_cache[cache_key] = (merged.version, readable)
+        readable = self._views.get(merged, request.principal)
         slice_ = readable[request.offset : request.offset + request.count]
         exhausted = request.offset + request.count >= len(readable)
         self.observations.append(
@@ -179,11 +234,12 @@ class ZerberRServer:
                 offset=request.offset,
                 count=request.count,
                 returned=len(slice_),
+                batch_id=batch_id,
             )
         )
         return FetchResponse(elements=tuple(slice_), exhausted=exhausted)
 
-    # -- adversary-visible state (for the attack modules) -------------------------
+    # -- adversary-visible state (for the attack modules) -----------------------
 
     def visible_trs_values(self, list_id: int) -> list[float]:
         """All plaintext TRS values of a list, in server (descending) order."""

@@ -135,9 +135,14 @@ def heuristic_sigma(scores: Sequence[float]) -> float:
     if arr.size == 0:
         raise ValueError("empty score set")
     spread = float(arr.max() - arr.min())
-    if spread <= 0:
-        # All scores equal: any monotonic curve through the point works;
-        # pick a bell width of 10% of the score (or an absolute floor).
-        scale = max(abs(float(arr[0])) * 0.1, 1e-4)
-        return 1.0 / scale
-    return arr.size / spread
+    if spread > 0:
+        sigma = arr.size / spread
+        # A denormal spread (e.g. max - min == 5e-324) overflows the
+        # division; such scores are numerically identical — fall through
+        # to the equal-scores rule rather than returning inf.
+        if np.isfinite(sigma):
+            return sigma
+    # All scores equal: any monotonic curve through the point works;
+    # pick a bell width of 10% of the score (or an absolute floor).
+    scale = max(abs(float(arr[0])) * 0.1, 1e-4)
+    return 1.0 / scale

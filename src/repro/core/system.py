@@ -139,11 +139,18 @@ class ZerberRSystem:
             key_service = GroupKeyService()
         for group in sorted(corpus.groups()):
             key_service.ensure_group(group)
-        if not key_service.is_member("superuser", next(iter(corpus.groups()))):
+        # Check every group, not an arbitrary one: a pre-seeded key service
+        # may have enrolled the superuser in some groups but not others.
+        missing = sorted(
+            group
+            for group in corpus.groups()
+            if not key_service.is_member("superuser", group)
+        )
+        if missing:
             try:
-                key_service.register("superuser", set(corpus.groups()))
+                key_service.register("superuser", set(missing))
             except ConfigurationError:
-                for group in corpus.groups():
+                for group in missing:
                     key_service.enroll("superuser", group)
 
         server = ZerberRServer(key_service, num_lists=merge_plan.num_lists)

@@ -1,0 +1,212 @@
+"""Incremental per-principal readable views over merged posting lists.
+
+A fetch serves a TRS-ordered slice of the elements a principal may read.
+Deriving that readable sub-list from scratch costs O(list) per request;
+caching it keyed on the list version (the seed's approach) helps only
+between mutations — any insert or delete forced a full rebuild on the
+next fetch, which under a mixed read/write workload degenerates back to
+O(list) per mutation.
+
+:class:`ReadableViewIndex` keeps the readable sub-lists *incrementally*:
+server mutators notify it of each insert/delete, and a cached view whose
+version is exactly one behind the list is patched — an O(log n) bisect
+on the view's parallel TRS-key list plus one positional insert/delete
+(an O(view) tail shift, but no re-scan, no membership checks, no key
+rederivation) — instead of rebuilt from the full merged list.  Views that fall further behind — e.g. after a bulk
+load, or when tests mutate list internals directly — fail the version
+check and rebuild lazily on next access, so correctness never depends on
+every mutation being routed through the notifications.
+
+Freshness is two-dimensional: a cached view is served only while the
+list *version* and the principal's *membership snapshot* both match, so
+an enroll or revoke between requests forces a rebuild — a revoked
+principal can never keep reading a group's elements out of a cached
+view.
+
+Memory is bounded by an LRU over ``(list_id, principal)`` pairs: a
+deployment with millions of users cannot hold one materialised sub-list
+per principal per list, so cold pairs are evicted and rebuilt on demand.
+:class:`ViewStats` counts hits, builds, incremental patches and
+evictions; benchmarks assert on it to prove mutations no longer trigger
+rebuilds.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError
+from repro.index.postings import EncryptedPostingElement, MergedPostingList
+
+
+@dataclass
+class ViewStats:
+    """Operation counters of a :class:`ReadableViewIndex`."""
+
+    hits: int = 0
+    misses: int = 0
+    full_builds: int = 0
+    stale_rebuilds: int = 0
+    incremental_updates: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+class _ReadableView:
+    """One materialised readable sub-list with its parallel sort keys.
+
+    ``memberships`` is the principal's group set at build time: a view is
+    only fresh while both the list version AND the memberships match, so
+    an enroll/revoke between requests forces a rebuild instead of serving
+    (or withholding) elements under stale access rights.
+    """
+
+    __slots__ = ("elements", "keys", "version", "memberships")
+
+    def __init__(
+        self,
+        elements: list[EncryptedPostingElement],
+        keys: list[float],
+        version: int,
+        memberships: frozenset[str],
+    ) -> None:
+        self.elements = elements
+        self.keys = keys
+        self.version = version
+        self.memberships = memberships
+
+
+class ReadableViewIndex:
+    """LRU-bounded, incrementally maintained readable sub-lists."""
+
+    def __init__(self, key_service: GroupKeyService, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError("view capacity must be >= 1")
+        self._keys = key_service
+        self.capacity = capacity
+        self._views: OrderedDict[tuple[int, str], _ReadableView] = OrderedDict()
+        # list_id -> principals with a cached view; lets mutators find the
+        # views of one list without scanning the whole LRU.
+        self._by_list: dict[int, set[str]] = {}
+        self.stats = ViewStats()
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def cached_pairs(self) -> list[tuple[int, str]]:
+        """Cached ``(list_id, principal)`` pairs, LRU order (oldest first)."""
+        return list(self._views)
+
+    # -- read path -----------------------------------------------------------
+
+    def get(
+        self, merged: MergedPostingList, principal: str
+    ) -> list[EncryptedPostingElement]:
+        """The principal's readable sub-list of *merged*, in list order."""
+        cache_key = (merged.list_id, principal)
+        view = self._views.get(cache_key)
+        if (
+            view is not None
+            and view.version == merged.version
+            and view.memberships == self._keys.membership_snapshot(principal)
+        ):
+            self.stats.hits += 1
+            self._views.move_to_end(cache_key)
+            return view.elements
+        if view is None:
+            self.stats.misses += 1
+        else:
+            self.stats.stale_rebuilds += 1
+        view = self._build(merged, principal)
+        self._store(cache_key, view)
+        return view.elements
+
+    def _build(self, merged: MergedPostingList, principal: str) -> _ReadableView:
+        self.stats.full_builds += 1
+        memberships = self._keys.membership_snapshot(principal)
+        elements = [e for e in merged.elements if e.group in memberships]
+        keys = [MergedPostingList.sort_key(e) for e in elements]
+        return _ReadableView(elements, keys, merged.version, memberships)
+
+    def _store(self, cache_key: tuple[int, str], view: _ReadableView) -> None:
+        self._views[cache_key] = view
+        self._views.move_to_end(cache_key)
+        self._by_list.setdefault(cache_key[0], set()).add(cache_key[1])
+        while len(self._views) > self.capacity:
+            evicted_key, _ = self._views.popitem(last=False)
+            self._forget(evicted_key)
+            self.stats.evictions += 1
+
+    def _forget(self, cache_key: tuple[int, str]) -> None:
+        principals = self._by_list.get(cache_key[0])
+        if principals is not None:
+            principals.discard(cache_key[1])
+            if not principals:
+                del self._by_list[cache_key[0]]
+
+    # -- write path (called by the server AFTER the list mutated) -------------
+
+    def note_insert(
+        self, merged: MergedPostingList, element: EncryptedPostingElement
+    ) -> None:
+        """Patch cached views of *merged* for a just-inserted element.
+
+        Only views that were current immediately before this mutation
+        (``view.version == merged.version - 1``) are patched; anything
+        further behind rebuilds lazily on next access.
+        """
+        for principal in self._by_list.get(merged.list_id, ()):
+            view = self._views[(merged.list_id, principal)]
+            if view.version != merged.version - 1:
+                continue
+            # Patch against the view's own membership snapshot so the view
+            # stays internally consistent; a concurrent enroll/revoke is
+            # caught by the snapshot comparison on the next get().
+            if element.group in view.memberships:
+                key = MergedPostingList.sort_key(element)
+                # bisect_right mirrors MergedPostingList.add_sorted_by_trs:
+                # ties land after existing equals in both, so the view's
+                # relative order always matches the list's.
+                position = bisect.bisect_right(view.keys, key)
+                view.keys.insert(position, key)
+                view.elements.insert(position, element)
+                self.stats.incremental_updates += 1
+            view.version = merged.version
+
+    def note_delete(
+        self, merged: MergedPostingList, element: EncryptedPostingElement
+    ) -> None:
+        """Patch cached views of *merged* for a just-removed element."""
+        for principal in self._by_list.get(merged.list_id, ()):
+            view = self._views[(merged.list_id, principal)]
+            if view.version != merged.version - 1:
+                continue
+            if element.group in view.memberships:
+                key = MergedPostingList.sort_key(element)
+                low = bisect.bisect_left(view.keys, key)
+                high = bisect.bisect_right(view.keys, key)
+                for position in range(low, high):
+                    if view.elements[position].ciphertext == element.ciphertext:
+                        del view.elements[position]
+                        del view.keys[position]
+                        self.stats.incremental_updates += 1
+                        break
+                else:
+                    # The element should have been in the view; treat the
+                    # inconsistency as staleness rather than guessing.
+                    continue
+            view.version = merged.version
+
+    def invalidate_list(self, list_id: int) -> None:
+        """Drop every cached view of one list (bulk loads, external edits)."""
+        for principal in list(self._by_list.get(list_id, ())):
+            del self._views[(list_id, principal)]
+            self._forget((list_id, principal))
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        self._views.clear()
+        self._by_list.clear()

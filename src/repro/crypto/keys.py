@@ -97,6 +97,16 @@ class GroupKeyService:
         """All groups of a principal."""
         return set(self._principal(name).groups)
 
+    def membership_snapshot(self, name: str) -> frozenset[str]:
+        """Current memberships as an immutable set; empty for unknowns.
+
+        Servers compare snapshots to detect enroll/revoke between two
+        requests (cached per-principal state must not outlive a
+        revocation), so unlike :meth:`memberships` this never raises.
+        """
+        principal = self._principals.get(name)
+        return frozenset(principal.groups) if principal is not None else frozenset()
+
     # -- key handout -------------------------------------------------------------
 
     def group_key(self, principal: str, group: str) -> bytes:

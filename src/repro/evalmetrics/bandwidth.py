@@ -8,13 +8,22 @@
 * Eq. 14 — per-query efficiency ``QRatioeff = k / TRes``
   (:func:`query_efficiency`); Fig. 13 plots its sorted curve
   (:func:`efficiency_curve`).
+
+Batched sessions: a multi-term query served over the batch fetch protocol
+records a :class:`~repro.core.protocol.BatchQueryTrace` whose
+``num_rounds`` counts actual server calls while ``num_subfetches`` counts
+the slices those calls carried.  :func:`total_server_requests` sums
+honest request counts over mixed trace populations, and
+:func:`average_round_trips` / :func:`batched_request_reduction` quantify
+the round-trip savings of batching (what the §6.6 request-count
+discussion is really about once queries have several terms).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.protocol import QueryTrace, ResponsePolicy
+from repro.core.protocol import BatchQueryTrace, QueryTrace, ResponsePolicy
 
 
 def total_response_size(policy: ResponsePolicy, num_requests: int) -> int:
@@ -68,3 +77,43 @@ def satisfied_fraction(traces: Sequence[QueryTrace]) -> float:
     if not traces:
         raise ValueError("no traces")
     return sum(1 for t in traces if t.satisfied) / len(traces)
+
+
+def total_server_requests(
+    traces: Sequence[QueryTrace | BatchQueryTrace],
+) -> int:
+    """Client round-trips issued over a mixed trace population.
+
+    A :class:`QueryTrace` contributes its per-term request count; a
+    :class:`BatchQueryTrace` contributes its round count (each round is
+    one client call no matter how many slices it bundled).  Against a
+    sharded :class:`~repro.core.cluster.ServerCluster` one round fans
+    out to one sub-batch per touched shard server, so this counts what
+    the *client* pays in latency, not per-server load — read per-shard
+    load off each server's observation log instead.
+    """
+    if not traces:
+        raise ValueError("no traces")
+    return sum(t.num_requests for t in traces)
+
+
+def average_round_trips(traces: Sequence[BatchQueryTrace]) -> float:
+    """Mean server round-trips per batched multi-term session."""
+    if not traces:
+        raise ValueError("no traces")
+    return sum(t.num_rounds for t in traces) / len(traces)
+
+
+def batched_request_reduction(traces: Sequence[BatchQueryTrace]) -> float:
+    """Fraction of round-trips batching saved: ``1 - rounds/subfetches``.
+
+    0.0 means batching never helped (every round carried one slice — the
+    single-term case); approaching 1.0 means many slices per call.
+    """
+    if not traces:
+        raise ValueError("no traces")
+    rounds = sum(t.num_rounds for t in traces)
+    subfetches = sum(t.num_subfetches for t in traces)
+    if subfetches == 0:
+        raise ValueError("no sub-fetches recorded")
+    return 1.0 - rounds / subfetches

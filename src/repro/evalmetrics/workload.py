@@ -8,12 +8,23 @@ per-term uniform over the list by construction):
 * Eq. 11 — elements to retrieve for its top-k: ``N = k · pos1(t)``
 * Eq. 9 — total workload cost over a query log:
   ``Q ≈ Σ_L Σ_{j ∈ L} q_j · N_j(L)``
+
+Request-count extensions for the batched fetch protocol: under the
+doubling policy a term needs :func:`expected_num_requests` server calls
+to cover its Eq. 11 retrieval count.  For a *multi-term* query served in
+batched lockstep the rounds overlap — the session costs the **max** of
+the per-term round counts, not their sum.
+:func:`batched_workload_requests` evaluates both totals over a workload
+of multi-term queries, which is the honest request-count model behind the
+Fig. 12/13 discussion once queries stop being single-term.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 
+from repro.core.protocol import ResponsePolicy
 from repro.index.merge import MergePlan
 
 
@@ -44,6 +55,63 @@ def expected_retrieval_count(
     position = expected_first_position(term, list_terms, document_frequencies)
     total_elements = sum(document_frequencies[t] for t in list_terms)
     return min(k * position, float(total_elements))
+
+
+def expected_num_requests(
+    term: str,
+    list_terms: Sequence[str],
+    document_frequencies: Mapping[str, int],
+    k: int,
+    policy: ResponsePolicy,
+    max_requests: int = 64,
+) -> int:
+    """Expected server calls for one term under the follow-up *policy*.
+
+    The smallest ``n`` with ``policy.total_after(n)`` covering the Eq. 11
+    expected retrieval count (itself capped at the list length).
+    """
+    needed = expected_retrieval_count(term, list_terms, document_frequencies, k)
+    needed = int(math.ceil(needed))
+    for num_requests in range(1, max_requests + 1):
+        if policy.total_after(num_requests) >= needed:
+            return num_requests
+    return max_requests
+
+
+def batched_workload_requests(
+    plan: MergePlan,
+    queries: Sequence[Sequence[str]],
+    document_frequencies: Mapping[str, int],
+    k: int,
+    policy: ResponsePolicy,
+) -> tuple[int, int]:
+    """Expected request totals for a multi-term query workload.
+
+    Returns ``(per_list_requests, batched_requests)``: the first sums
+    every term's expected calls (one slice per call — the unbatched
+    protocol), the second charges each query the *max* of its terms'
+    round counts (lockstep rounds share one batched call).  Terms absent
+    from the plan are skipped, mirroring :func:`workload_cost`.
+    """
+    per_list_total = 0
+    batched_total = 0
+    for query in queries:
+        rounds_per_term: list[int] = []
+        for term in query:
+            try:
+                list_terms = plan.terms_of(plan.list_of(term))
+            except KeyError:
+                continue
+            rounds_per_term.append(
+                expected_num_requests(
+                    term, list(list_terms), document_frequencies, k, policy
+                )
+            )
+        if not rounds_per_term:
+            continue
+        per_list_total += sum(rounds_per_term)
+        batched_total += max(rounds_per_term)
+    return per_list_total, batched_total
 
 
 def workload_cost(

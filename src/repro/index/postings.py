@@ -15,7 +15,9 @@ Three element flavours appear in the reproduction:
 
 from __future__ import annotations
 
+import bisect
 import json
+import math
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
@@ -106,8 +108,6 @@ class PostingList:
             )
         # Binary search on (-rscore) keeps inserts O(log n) + O(n) shift; the
         # ordinary index is a baseline, so simplicity wins over a heap here.
-        import bisect
-
         keys = [-e.rscore for e in self._elements]
         position = bisect.bisect_right(keys, -element.rscore)
         self._elements.insert(position, element)
@@ -136,6 +136,13 @@ class MergedPostingList:
 
     ``version`` increments on every mutation so servers can cache derived
     views (e.g. per-principal readable sub-lists) safely.
+
+    ``_neg_trs_keys`` is a position-parallel list of sort keys
+    (``-trs``; TRS-less elements get ``+inf`` so they order after every
+    real TRS).  Every mutator maintains the parallelism invariant —
+    ``_neg_trs_keys[i] == sort_key(elements[i])`` for all ``i`` — so the
+    binary searches in :meth:`add_sorted_by_trs` and the position-paired
+    deletes in :meth:`pop_at` never act on stale keys.
     """
 
     list_id: int
@@ -143,16 +150,29 @@ class MergedPostingList:
     version: int = 0
     _neg_trs_keys: list[float] = field(default_factory=list, repr=False)
 
-    def add_sorted_by_trs(self, element: EncryptedPostingElement) -> None:
-        """Insert keeping descending-TRS order (Zerber+R discipline)."""
+    @staticmethod
+    def sort_key(element: EncryptedPostingElement) -> float:
+        """The descending-TRS sort key; TRS-less elements sort last."""
+        return -element.trs if element.trs is not None else math.inf
+
+    def keys_in_sync(self) -> bool:
+        """Whether the key list mirrors ``elements`` position-for-position."""
+        return self._neg_trs_keys == [self.sort_key(e) for e in self.elements]
+
+    def add_sorted_by_trs(self, element: EncryptedPostingElement) -> int:
+        """Insert keeping descending-TRS order (Zerber+R discipline).
+
+        Returns the insertion position.  (Derived per-principal views
+        re-derive their own position with a bisect on their filtered key
+        list — a merged-list position is not valid there.)
+        """
         if element.trs is None:
             raise ValueError("element has no TRS; use add_random() instead")
-        import bisect
-
         position = bisect.bisect_right(self._neg_trs_keys, -element.trs)
         self._neg_trs_keys.insert(position, -element.trs)
         self.elements.insert(position, element)
         self.version += 1
+        return position
 
     def bulk_load_sorted_by_trs(
         self, elements: Iterable[EncryptedPostingElement]
@@ -166,15 +186,44 @@ class MergedPostingList:
         if any(e.trs is None for e in incoming):
             raise ValueError("all bulk-loaded elements must carry a TRS")
         self.elements.extend(incoming)
-        self.elements.sort(key=lambda e: -e.trs)  # type: ignore[operator]
-        self._neg_trs_keys = [-e.trs for e in self.elements]  # type: ignore[operator]
+        self.elements.sort(key=self.sort_key)
+        self._neg_trs_keys = [self.sort_key(e) for e in self.elements]
         self.version += 1
 
-    def add_random(self, element: EncryptedPostingElement, rng) -> None:
-        """Insert at a uniformly random position (Zerber discipline)."""
+    def add_random(self, element: EncryptedPostingElement, rng) -> int:
+        """Insert at a uniformly random position (Zerber discipline).
+
+        Maintains the key/element parallelism invariant (a random insert
+        can break global *sortedness* — that is inherent to the Zerber
+        discipline — but the keys never desync positionally, so later
+        position-paired deletes stay correct).  Returns the position.
+        """
         position = int(rng.integers(0, len(self.elements) + 1))
+        self._neg_trs_keys.insert(position, self.sort_key(element))
         self.elements.insert(position, element)
         self.version += 1
+        return position
+
+    def find_by_ciphertext(
+        self, ciphertext: bytes
+    ) -> tuple[int, EncryptedPostingElement] | None:
+        """Locate the element with *ciphertext* in one scan.
+
+        Returns ``(position, element)`` or ``None``; lets callers inspect
+        the element (e.g. check its group tag) before committing to a
+        removal without a second O(list) pass.
+        """
+        for position, element in enumerate(self.elements):
+            if element.ciphertext == ciphertext:
+                return position, element
+        return None
+
+    def pop_at(self, position: int) -> EncryptedPostingElement:
+        """Remove and return the element at *position*, key kept in step."""
+        element = self.elements.pop(position)
+        del self._neg_trs_keys[position]
+        self.version += 1
+        return element
 
     def remove_by_ciphertext(self, ciphertext: bytes) -> EncryptedPostingElement | None:
         """Remove the element with *ciphertext*; returns it, or ``None``.
@@ -183,14 +232,11 @@ class MergedPostingList:
         matches.  Used by the deletion protocol: the owner presents the
         receipt it kept from the insert.
         """
-        for position, element in enumerate(self.elements):
-            if element.ciphertext == ciphertext:
-                del self.elements[position]
-                if position < len(self._neg_trs_keys):
-                    del self._neg_trs_keys[position]
-                self.version += 1
-                return element
-        return None
+        found = self.find_by_ciphertext(ciphertext)
+        if found is None:
+            return None
+        position, _ = found
+        return self.pop_at(position)
 
     def slice(self, start: int, count: int) -> list[EncryptedPostingElement]:
         """Elements ``[start, start+count)`` in server order."""

@@ -184,3 +184,89 @@ class TestMultiTerm:
         # both sum to 1.0; tie-break by doc id puts a1 first.
         assert ranked[0][0] == "a1"
         assert ranked[0][1] == pytest.approx(1.0)
+
+
+class TestBatchedMultiTerm:
+    def _populate(self, alice, bob):
+        alice.index_document(_doc("a1", {"apple": 5, "pear": 5}), "g1")
+        alice.index_document(_doc("a2", {"apple": 9, "pear": 1}), "g1")
+        alice.index_document(_doc("a3", {"apple": 2, "pear": 7, "plum": 1}), "g1")
+        bob.index_document(_doc("b1", {"apple": 5, "plum": 5}), "g2")
+
+    def test_batched_matches_sequential_per_term_queries(self, alice, bob, root):
+        self._populate(alice, bob)
+        terms = ["apple", "pear", "plum"]
+        k = 3
+        result = root.query_multi_batched(terms, k)
+        expected_scores: dict[str, float] = {}
+        for term, trace in zip(terms, result.traces):
+            single = root.query(term, k)
+            assert single.trace.num_requests == trace.num_requests, term
+            assert single.trace.elements_transferred == trace.elements_transferred
+            assert single.trace.satisfied == trace.satisfied
+            for hit in single.hits:
+                expected_scores[hit.doc_id] = (
+                    expected_scores.get(hit.doc_id, 0.0) + hit.rscore
+                )
+        expected = sorted(
+            expected_scores.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:k]
+        assert list(result.ranked) == expected
+
+    def test_lockstep_rounds_are_max_not_sum(self, alice, bob, root):
+        self._populate(alice, bob)
+        # b=1 forces several doubling rounds per term.
+        policy = ResponsePolicy(initial_size=1)
+        result = root.query_multi_batched(["apple", "pear"], k=3, policy=policy)
+        per_term = [t.num_requests for t in result.traces]
+        assert result.batch_trace.num_rounds == max(per_term)
+        assert result.batch_trace.num_subfetches == sum(per_term)
+        assert result.batch_trace.requests_saved() > 0
+
+    def test_fewer_server_calls_than_sequential(self, alice, bob, root, server):
+        self._populate(alice, bob)
+        server.clear_observations()
+        result = root.query_multi_batched(["apple", "pear", "plum"], k=2)
+        batch_ids = {obs.batch_id for obs in server.observations}
+        assert None not in batch_ids
+        # One server call per round: distinct batch ids == num_rounds, and
+        # strictly fewer than the slices served.
+        assert len(batch_ids) == result.batch_trace.num_rounds
+        assert len(batch_ids) < len(server.observations)
+
+    def test_wrapper_query_multi_uses_batched_path(self, alice, bob, root, server):
+        self._populate(alice, bob)
+        server.clear_observations()
+        ranked, traces = root.query_multi(["apple", "pear"], k=2)
+        assert len(traces) == 2
+        assert all(obs.batch_id is not None for obs in server.observations)
+
+    def test_duplicate_terms_keep_sequential_semantics(self, alice, bob, root):
+        self._populate(alice, bob)
+        ranked_once, _ = root.query_multi(["apple"], k=2)
+        ranked_twice, traces = root.query_multi(["apple", "apple"], k=2)
+        assert len(traces) == 2
+        assert ranked_twice[0][1] == pytest.approx(2 * ranked_once[0][1])
+
+    def test_empty_term_list(self, root):
+        result = root.query_multi_batched([], k=3)
+        assert result.ranked == ()
+        assert result.batch_trace.num_rounds == 0
+
+    def test_max_requests_zero_issues_no_fetches(self, alice, bob, root, server):
+        # Old for-range semantics: max_requests=0 contacts no server.
+        self._populate(alice, bob)
+        server.clear_observations()
+        single = root.query("apple", k=2, max_requests=0)
+        batched = root.query_multi_batched(["apple", "pear"], k=2, max_requests=0)
+        assert single.hits == ()
+        assert not single.trace.satisfied
+        assert batched.ranked == ()
+        assert batched.batch_trace.num_rounds == 0
+        assert server.observations == []
+
+    def test_unknown_term_rejected_before_any_fetch(self, root, server):
+        server.clear_observations()
+        with pytest.raises(UnknownTermError):
+            root.query_multi_batched(["apple", "mango"], k=1)
+        assert server.observations == []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.cluster import ServerCluster
-from repro.core.protocol import FetchRequest
+from repro.core.protocol import BatchFetchRequest, FetchRequest
 from repro.crypto.keys import GroupKeyService
 from repro.errors import ConfigurationError, ProtocolError, UnknownListError
 from repro.index.postings import EncryptedPostingElement
@@ -90,6 +90,72 @@ class TestDataPlane:
         assert cluster.fetch(
             FetchRequest(principal="u", list_id=0, offset=0, count=1)
         ).elements
+
+
+class TestBatchFetchCluster:
+    def _populated(self, keys, num_servers=2, replication=1):
+        cluster = ServerCluster(
+            keys, num_lists=4, num_servers=num_servers, replication=replication
+        )
+        for list_id in range(4):
+            for j, trs in enumerate([0.9, 0.6, 0.3]):
+                cluster.insert(
+                    "u", list_id, _element(trs, b"l%dj%d" % (list_id, j))
+                )
+        return cluster
+
+    def test_batch_spans_shards(self, keys):
+        cluster = self._populated(keys)
+        batch = BatchFetchRequest.for_slices(
+            "u", [(0, 0, 2), (1, 0, 2), (2, 1, 2), (3, 0, 1)]
+        )
+        batched = cluster.batch_fetch(batch)
+        assert len(batched) == 4
+        for request, response in zip(batch.requests, batched.responses):
+            single = cluster.fetch(request)
+            assert single.elements == response.elements
+            assert single.exhausted == response.exhausted
+
+    def test_one_sub_batch_per_touched_server(self, keys):
+        cluster = self._populated(keys)
+        batch = BatchFetchRequest.for_slices(
+            "u", [(0, 0, 1), (2, 0, 1), (1, 0, 1), (3, 0, 1)]
+        )
+        cluster.batch_fetch(batch)
+        # Lists 0/2 shard to server 0, lists 1/3 to server 1; each server
+        # must have served its two slices as ONE batch (same batch_id).
+        for server_index in range(2):
+            observations = cluster.observations_at(server_index)
+            assert len(observations) == 2
+            assert observations[0].batch_id == observations[1].batch_id
+            assert observations[0].batch_id is not None
+
+    def test_batch_failover_to_live_replica(self, keys):
+        cluster = self._populated(keys, num_servers=2, replication=2)
+        primary = cluster.replicas_of(0)[0]
+        cluster.fail_server(primary)
+        batched = cluster.batch_fetch(
+            BatchFetchRequest.for_slices("u", [(0, 0, 1), (1, 0, 1)])
+        )
+        assert [r.elements[0].trs for r in batched] == [0.9, 0.9]
+        # Nothing was served by the failed primary.
+        assert all(
+            obs.batch_id is not None
+            for obs in cluster.observations_at((primary + 1) % 2)
+        )
+
+    def test_batch_fails_when_all_replicas_down(self, keys):
+        cluster = self._populated(keys, num_servers=2, replication=1)
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        with pytest.raises(ProtocolError):
+            cluster.batch_fetch(
+                BatchFetchRequest.for_slices("u", [(0, 0, 1), (1, 0, 1)])
+            )
+        # Lists on the surviving server still batch-fetch fine.
+        batched = cluster.batch_fetch(
+            BatchFetchRequest.for_slices("u", [(1, 0, 1), (3, 0, 1)])
+        )
+        assert len(batched) == 2
 
 
 class TestAdversaryModel:

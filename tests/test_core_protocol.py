@@ -1,8 +1,12 @@
-"""Unit tests for the response policy and query traces (Eq. 12–14)."""
+"""Unit tests for the response policy, query traces (Eq. 12–14), and the
+batched fetch protocol messages."""
 
 import pytest
 
 from repro.core.protocol import (
+    BatchFetchRequest,
+    BatchFetchResponse,
+    BatchQueryTrace,
     FetchRequest,
     FetchResponse,
     QueryTrace,
@@ -80,3 +84,69 @@ class TestQueryTrace:
         trace = QueryTrace(term="t", k=0, elements_transferred=5)
         with pytest.raises(ProtocolError):
             trace.bandwidth_overhead()
+
+
+class TestBatchFetchMessages:
+    def _request(self, principal="p", list_id=0, offset=0, count=1):
+        return FetchRequest(
+            principal=principal, list_id=list_id, offset=offset, count=count
+        )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            BatchFetchRequest(principal="p", requests=())
+
+    def test_foreign_principal_rejected(self):
+        with pytest.raises(ProtocolError):
+            BatchFetchRequest(
+                principal="p",
+                requests=(self._request(), self._request(principal="q")),
+            )
+
+    def test_for_slices_builder(self):
+        batch = BatchFetchRequest.for_slices("p", [(0, 0, 5), (3, 10, 2)])
+        assert len(batch) == 2
+        assert batch.requests[1] == self._request(
+            principal="p", list_id=3, offset=10, count=2
+        )
+
+    def test_slice_validation_still_applies(self):
+        with pytest.raises(ProtocolError):
+            BatchFetchRequest.for_slices("p", [(0, -1, 5)])
+
+    def test_response_accounting(self):
+        response = BatchFetchResponse(
+            responses=(
+                FetchResponse(elements=(_element(),) * 2, exhausted=False),
+                FetchResponse(elements=(), exhausted=True),
+            )
+        )
+        assert len(response) == 2
+        assert response.elements_returned == 2
+        assert [r.exhausted for r in response] == [False, True]
+
+
+class TestBatchQueryTrace:
+    def _round(self, slice_sizes):
+        return BatchFetchResponse(
+            responses=tuple(
+                FetchResponse(elements=(_element(),) * n, exhausted=False)
+                for n in slice_sizes
+            )
+        )
+
+    def test_record_round_accumulates(self):
+        trace = BatchQueryTrace(terms=("a", "b"), k=10)
+        trace.record_round(self._round([10, 10]))
+        trace.record_round(self._round([20]))
+        assert trace.num_rounds == 2
+        assert trace.num_subfetches == 3
+        assert trace.elements_transferred == 40
+        assert trace.bits_transferred == 40 * (8 * 8 + 64)
+
+    def test_num_requests_counts_server_calls(self):
+        trace = BatchQueryTrace(terms=("a", "b", "c"), k=5)
+        trace.record_round(self._round([5, 5, 5]))
+        trace.record_round(self._round([10, 10]))
+        assert trace.num_requests == 2
+        assert trace.requests_saved() == 3

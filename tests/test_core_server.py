@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.protocol import FetchRequest
+from repro.core.protocol import BatchFetchRequest, FetchRequest
 from repro.core.server import ZerberRServer
 from repro.crypto.keys import GroupKeyService
 from repro.errors import AccessDeniedError, ProtocolError, UnknownListError
@@ -134,6 +134,179 @@ class TestFetch:
         server.fetch(FetchRequest(principal="root", list_id=0, offset=0, count=1))
         server.clear_observations()
         assert server.observations == []
+
+
+class TestBatchFetch:
+    def _populate(self, server):
+        for i, trs in enumerate([0.9, 0.8, 0.7, 0.6, 0.5]):
+            group = "g1" if i % 2 == 0 else "g2"
+            principal = "alice" if group == "g1" else "bob"
+            server.insert(
+                principal,
+                i % 2,
+                EncryptedPostingElement(
+                    ciphertext=b"c%d" % i, group=group, trs=trs
+                ),
+            )
+
+    def test_batch_matches_singleton_fetches(self, server):
+        self._populate(server)
+        batch = BatchFetchRequest.for_slices("root", [(0, 0, 2), (1, 0, 2), (0, 2, 2)])
+        batched = server.batch_fetch(batch)
+        assert len(batched) == 3
+        for request, response in zip(batch.requests, batched.responses):
+            single = server.fetch(request)
+            assert single.elements == response.elements
+            assert single.exhausted == response.exhausted
+
+    def test_batch_slices_share_batch_id(self, server):
+        self._populate(server)
+        server.clear_observations()
+        server.batch_fetch(BatchFetchRequest.for_slices("root", [(0, 0, 1), (1, 0, 1)]))
+        server.batch_fetch(BatchFetchRequest.for_slices("root", [(0, 1, 1)]))
+        ids = [obs.batch_id for obs in server.observations]
+        assert len(ids) == 3
+        assert ids[0] == ids[1] is not None
+        assert ids[2] not in (None, ids[0])
+
+    def test_singleton_fetch_has_no_batch_id(self, server):
+        self._populate(server)
+        server.fetch(FetchRequest(principal="root", list_id=0, offset=0, count=1))
+        assert server.observations[-1].batch_id is None
+
+    def test_batch_access_control_per_slice(self, server):
+        self._populate(server)
+        batched = server.batch_fetch(
+            BatchFetchRequest.for_slices("alice", [(0, 0, 10), (1, 0, 10)])
+        )
+        for response in batched:
+            assert all(e.group == "g1" for e in response.elements)
+
+    def test_batch_unknown_list(self, server):
+        with pytest.raises(UnknownListError):
+            server.batch_fetch(BatchFetchRequest.for_slices("root", [(9, 0, 1)]))
+
+
+class TestReadableViews:
+    def _populate(self, server):
+        for i, trs in enumerate([0.9, 0.8, 0.7, 0.6, 0.5]):
+            group = "g1" if i % 2 == 0 else "g2"
+            principal = "alice" if group == "g1" else "bob"
+            server.insert(
+                principal,
+                0,
+                EncryptedPostingElement(
+                    ciphertext=b"c%d" % i, group=group, trs=trs
+                ),
+            )
+
+    def _fetch(self, server, principal, count=10):
+        return server.fetch(
+            FetchRequest(principal=principal, list_id=0, offset=0, count=count)
+        )
+
+    def test_insert_patches_view_without_rebuild(self, server):
+        self._populate(server)
+        self._fetch(server, "alice")  # warm the view
+        builds = server.view_stats.full_builds
+        for i in range(20):
+            server.insert(
+                "alice",
+                0,
+                EncryptedPostingElement(
+                    ciphertext=b"new%d" % i, group="g1", trs=(i % 10) / 10.0
+                ),
+            )
+            response = self._fetch(server, "alice", count=30)
+            trs = [e.trs for e in response.elements]
+            assert trs == sorted(trs, reverse=True)
+        assert server.view_stats.full_builds == builds
+        assert server.view_stats.incremental_updates >= 20
+
+    def test_delete_patches_view_without_rebuild(self, server):
+        self._populate(server)
+        self._fetch(server, "alice")
+        builds = server.view_stats.full_builds
+        assert server.delete_element("alice", 0, b"c2")
+        response = self._fetch(server, "alice")
+        assert [e.trs for e in response.elements] == [0.9, 0.5]
+        assert server.view_stats.full_builds == builds
+
+    def test_unreadable_mutation_keeps_view_fresh(self, server):
+        # A g2 insert must not invalidate alice's (g1-only) cached view.
+        self._populate(server)
+        self._fetch(server, "alice")
+        builds = server.view_stats.full_builds
+        server.insert(
+            "bob",
+            0,
+            EncryptedPostingElement(ciphertext=b"bob-new", group="g2", trs=0.99),
+        )
+        response = self._fetch(server, "alice")
+        assert all(e.group == "g1" for e in response.elements)
+        assert server.view_stats.full_builds == builds
+
+    def test_lru_eviction_bounds_cached_views(self, keys):
+        server = ZerberRServer(keys, num_lists=1, readable_view_capacity=2)
+        server.insert(
+            "alice",
+            0,
+            EncryptedPostingElement(ciphertext=b"a", group="g1", trs=0.5),
+        )
+        for principal in ["alice", "bob", "root"]:
+            server.fetch(
+                FetchRequest(principal=principal, list_id=0, offset=0, count=1)
+            )
+        assert len(server._views) == 2
+        assert server.view_stats.evictions == 1
+        # The evicted (oldest) principal rebuilds on its next fetch.
+        builds = server.view_stats.full_builds
+        server.fetch(FetchRequest(principal="alice", list_id=0, offset=0, count=1))
+        assert server.view_stats.full_builds == builds + 1
+
+    def test_revocation_invalidates_cached_view(self, keys, server):
+        # A cached view must not outlive a revocation: the next fetch
+        # rebuilds under the new memberships and withholds g1 elements.
+        self._populate(server)
+        assert len(self._fetch(server, "alice").elements) == 3
+        keys.revoke("alice", "g1")
+        response = self._fetch(server, "alice")
+        assert response.elements == ()
+        assert server.view_stats.stale_rebuilds >= 1
+        # Re-enrollment restores visibility on the very next fetch too.
+        keys.enroll("alice", "g1")
+        assert len(self._fetch(server, "alice").elements) == 3
+
+    def test_external_mutation_falls_back_to_rebuild(self, server):
+        # Direct list edits (no server notification) bump the version, so
+        # the stale view is rebuilt, never served.
+        self._populate(server)
+        self._fetch(server, "alice")
+        merged = server._lists[0]
+        merged.elements.clear()
+        merged._neg_trs_keys.clear()
+        merged.version += 1
+        response = self._fetch(server, "alice")
+        assert response.elements == ()
+        assert response.exhausted
+
+    def test_bulk_load_invalidates_views(self, server):
+        self._populate(server)
+        self._fetch(server, "alice")
+        server.bulk_load(
+            "alice",
+            [
+                (
+                    0,
+                    EncryptedPostingElement(
+                        ciphertext=b"bulk", group="g1", trs=0.95
+                    ),
+                )
+            ],
+        )
+        response = self._fetch(server, "alice")
+        assert response.elements[0].trs == 0.95
+        assert server.view_stats.invalidations >= 1
 
 
 class TestAdversaryView:

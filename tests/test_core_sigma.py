@@ -125,6 +125,16 @@ class TestHeuristicSigma:
     def test_degenerate_all_zero(self):
         assert heuristic_sigma([0.0, 0.0]) == pytest.approx(1e4)
 
+    def test_denormal_spread_stays_finite(self):
+        # Regression: a denormal spread (5e-324) made size/spread
+        # overflow to inf; numerically-identical scores must take the
+        # equal-scores fallback instead.
+        import numpy as np
+
+        sigma = heuristic_sigma([0.0, 5e-324])
+        assert sigma > 0 and np.isfinite(sigma)
+        assert sigma == pytest.approx(1e4)
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             heuristic_sigma([])

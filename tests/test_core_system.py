@@ -43,6 +43,27 @@ class TestBuild:
     def test_superuser_in_all_groups(self, system, corpus):
         assert system.key_service.memberships("superuser") == corpus.groups()
 
+    def test_preseeded_partial_superuser_gets_missing_groups(self, micro_corpus):
+        # Regression: build() used to probe membership against an arbitrary
+        # set element, so a superuser pre-enrolled in *that* group was
+        # assumed enrolled everywhere and stayed blind to other groups.
+        from repro.crypto.keys import GroupKeyService
+
+        groups = sorted(micro_corpus.groups())
+        assert len(groups) >= 2
+        key_service = GroupKeyService(master_secret=b"p" * 32)
+        key_service.register("superuser", {groups[0]})
+        system = ZerberRSystem.build(
+            micro_corpus, SystemConfig(r=3.0, seed=8), key_service=key_service
+        )
+        assert system.key_service.memberships("superuser") == set(groups)
+        # And whole-collection queries actually see every group.
+        seen_groups = set()
+        for term in system.vocabulary.terms_by_frequency()[:20]:
+            for hit in system.query(term, k=10).hits:
+                seen_groups.add(hit.group)
+        assert len(seen_groups) >= 2
+
     def test_empty_corpus_rejected(self):
         from repro.corpus.documents import Corpus
 

@@ -2,10 +2,13 @@
 
 import pytest
 
-from repro.core.protocol import QueryTrace, ResponsePolicy
+from repro.core.protocol import BatchQueryTrace, QueryTrace, ResponsePolicy
 from repro.evalmetrics.bandwidth import (
     average_bandwidth_overhead,
     average_num_requests,
+    average_round_trips,
+    batched_request_reduction,
+    total_server_requests,
     efficiency_at_percentile,
     efficiency_curve,
     query_efficiency,
@@ -73,3 +76,40 @@ class TestCurve:
             efficiency_at_percentile([], 50)
         with pytest.raises(ValueError):
             efficiency_at_percentile([1.0], 101)
+
+
+def _batch_trace(rounds, subfetches):
+    return BatchQueryTrace(
+        terms=("a", "b"),
+        k=10,
+        num_rounds=rounds,
+        num_subfetches=subfetches,
+    )
+
+
+class TestBatchedAccounting:
+    def test_total_server_requests_mixed_population(self):
+        traces = [_trace(10, 10, requests=3), _batch_trace(2, 6)]
+        # The single-term trace issued 3 calls; the batched session 2.
+        assert total_server_requests(traces) == 5
+
+    def test_average_round_trips(self):
+        traces = [_batch_trace(2, 6), _batch_trace(4, 4)]
+        assert average_round_trips(traces) == pytest.approx(3.0)
+
+    def test_reduction_fraction(self):
+        traces = [_batch_trace(2, 6), _batch_trace(2, 2)]
+        # 4 rounds carried 8 slices: half the round-trips disappeared.
+        assert batched_request_reduction(traces) == pytest.approx(0.5)
+
+    def test_single_term_sessions_save_nothing(self):
+        traces = [_batch_trace(3, 3)]
+        assert batched_request_reduction(traces) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            total_server_requests([])
+        with pytest.raises(ValueError):
+            average_round_trips([])
+        with pytest.raises(ValueError):
+            batched_request_reduction([])

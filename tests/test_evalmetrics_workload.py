@@ -2,9 +2,12 @@
 
 import pytest
 
+from repro.core.protocol import ResponsePolicy
 from repro.evalmetrics.workload import (
+    batched_workload_requests,
     cumulative_workload_curve,
     expected_first_position,
+    expected_num_requests,
     expected_retrieval_count,
     workload_cost,
 )
@@ -85,3 +88,48 @@ class TestFig10Curve:
     def test_no_overlap_rejected(self):
         with pytest.raises(ValueError):
             cumulative_workload_curve(PLAN, DFS, {"alien": 5}, 10)
+
+
+class TestBatchedRequestModel:
+    POLICY = ResponsePolicy(initial_size=10)
+
+    def test_expected_num_requests_covers_retrieval_count(self):
+        terms = ["freq", "mid", "rare"]
+        for term in terms:
+            n = expected_num_requests(term, terms, DFS, 10, self.POLICY)
+            needed = expected_retrieval_count(term, terms, DFS, 10)
+            assert self.POLICY.total_after(n) >= needed
+            assert n == 1 or self.POLICY.total_after(n - 1) < needed
+
+    def test_frequent_term_single_round(self):
+        # freq's top-10 sits in the first ~16 elements; b=10 doubling
+        # covers it in 2 rounds, b=20 in 1.
+        terms = ["freq", "mid", "rare"]
+        assert expected_num_requests("freq", terms, DFS, 10, self.POLICY) == 2
+        assert (
+            expected_num_requests(
+                "freq", terms, DFS, 10, ResponsePolicy(initial_size=20)
+            )
+            == 1
+        )
+
+    def test_batched_charges_max_per_query(self):
+        queries = [["freq", "rare"], ["mid"]]
+        per_list, batched = batched_workload_requests(
+            PLAN, queries, DFS, 10, self.POLICY
+        )
+        terms = ["freq", "mid", "rare"]
+        r_freq = expected_num_requests("freq", terms, DFS, 10, self.POLICY)
+        r_mid = expected_num_requests("mid", terms, DFS, 10, self.POLICY)
+        r_rare = expected_num_requests("rare", terms, DFS, 10, self.POLICY)
+        assert per_list == r_freq + r_rare + r_mid
+        assert batched == max(r_freq, r_rare) + r_mid
+        assert batched <= per_list
+
+    def test_unknown_terms_skipped(self):
+        per_list, batched = batched_workload_requests(
+            PLAN, [["alien"], ["freq", "alien"]], DFS, 10, self.POLICY
+        )
+        terms = ["freq", "mid", "rare"]
+        expected = expected_num_requests("freq", terms, DFS, 10, self.POLICY)
+        assert (per_list, batched) == (expected, expected)

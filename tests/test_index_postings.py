@@ -151,3 +151,99 @@ class TestMergedPostingList:
         merged = MergedPostingList(0)
         merged.bulk_load_sorted_by_trs([self._enc(0.5)])
         assert merged.size_bits == 8 + 64
+
+    def test_sorted_insert_returns_position(self):
+        merged = MergedPostingList(0)
+        assert merged.add_sorted_by_trs(self._enc(0.5)) == 0
+        assert merged.add_sorted_by_trs(self._enc(0.9)) == 0
+        assert merged.add_sorted_by_trs(self._enc(0.1)) == 2
+
+    def test_find_and_pop_at(self):
+        merged = MergedPostingList(0)
+        for trs, payload in [(0.9, b"a"), (0.5, b"b"), (0.1, b"c")]:
+            merged.add_sorted_by_trs(
+                EncryptedPostingElement(ciphertext=payload, group="g", trs=trs)
+            )
+        position, element = merged.find_by_ciphertext(b"b")
+        assert (position, element.trs) == (1, 0.5)
+        assert merged.find_by_ciphertext(b"zz") is None
+        popped = merged.pop_at(position)
+        assert popped.ciphertext == b"b"
+        assert [e.trs for e in merged] == [0.9, 0.1]
+        assert merged.keys_in_sync()
+
+
+class TestKeySyncInvariant:
+    """The key list must mirror ``elements`` through every mutator mix."""
+
+    def _sorted_el(self, trs, payload):
+        return EncryptedPostingElement(ciphertext=payload, group="g", trs=trs)
+
+    def _random_el(self, payload):
+        return EncryptedPostingElement(ciphertext=payload, group="g")
+
+    def test_add_random_maintains_keys(self):
+        rng = np.random.default_rng(2)
+        merged = MergedPostingList(0)
+        for i, trs in enumerate([0.5, 0.9, 0.1]):
+            merged.add_sorted_by_trs(self._sorted_el(trs, b"s%d" % i))
+        for i in range(10):
+            merged.add_random(self._random_el(b"r%d" % i), rng)
+        assert merged.keys_in_sync()
+
+    def test_regression_delete_after_random_insert_respects_trs_order(self):
+        # Seed bug: add_random never inserted a key, so a later delete
+        # removed the *wrong* key and the next sorted insert bisected
+        # against stale keys, landing out of TRS order.
+        rng = np.random.default_rng(11)  # first draw inserts at position 0
+        merged = MergedPostingList(0)
+        for trs, payload in [(0.9, b"a"), (0.5, b"b"), (0.2, b"c")]:
+            merged.add_sorted_by_trs(self._sorted_el(trs, payload))
+        merged.add_random(self._random_el(b"rnd"), rng)
+        merged.remove_by_ciphertext(b"rnd")
+        merged.add_sorted_by_trs(self._sorted_el(0.8, b"d"))
+        assert [e.trs for e in merged] == [0.9, 0.8, 0.5, 0.2]
+        assert merged.keys_in_sync()
+
+    def test_mixed_mutator_fuzz_keeps_keys_in_sync(self):
+        rng = np.random.default_rng(7)
+        merged = MergedPostingList(0)
+        live: list[bytes] = []
+        counter = 0
+        for _ in range(300):
+            op = int(rng.integers(0, 3))
+            if op == 0:
+                payload = b"s%d" % counter
+                counter += 1
+                merged.add_sorted_by_trs(
+                    self._sorted_el(float(rng.uniform()), payload)
+                )
+                live.append(payload)
+            elif op == 1:
+                payload = b"r%d" % counter
+                counter += 1
+                merged.add_random(self._random_el(payload), rng)
+                live.append(payload)
+            elif live:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                assert merged.remove_by_ciphertext(victim) is not None
+            assert merged.keys_in_sync()
+        assert len(merged) == len(live)
+
+    def test_pure_sorted_discipline_survives_interleaved_deletes(self):
+        rng = np.random.default_rng(11)
+        merged = MergedPostingList(0)
+        live: list[bytes] = []
+        for i in range(200):
+            payload = b"e%d" % i
+            merged.add_sorted_by_trs(
+                self._sorted_el(float(rng.uniform()), payload)
+            )
+            live.append(payload)
+            if i % 3 == 2:
+                merged.remove_by_ciphertext(
+                    live.pop(int(rng.integers(0, len(live))))
+                )
+            trs = [e.trs for e in merged]
+            assert trs == sorted(trs, reverse=True)
+            assert merged.keys_in_sync()
