@@ -1,0 +1,230 @@
+"""Coordinator microbenchmark: cross-query coalescing + heat-aware shards.
+
+Two claims, both load-bearing for the ROADMAP's concurrent-traffic goal:
+
+1. **Cross-query coalescing** — N concurrent multi-term queries served
+   through a :class:`~repro.core.router.Coordinator` cost one envelope
+   per touched shard server per scheduling tick, instead of one batched
+   call per touched server *per query* when every client talks to the
+   cluster directly.  Results stay byte-identical to the direct path.
+2. **Heat-aware placement** — under a Zipf-skewed single-term workload,
+   rebalancing with :class:`~repro.core.placement.HeatWeightedPlacement`
+   yields a lower max/mean per-server load ratio than static round-robin,
+   and the migration (placement epoch bump) does not change any query's
+   results.
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_router.py [--quick]
+
+``--quick`` runs a seconds-scale configuration for CI smoke checks.
+Exits non-zero if either claim fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro import ResponsePolicy, SystemConfig, ZerberRSystem
+from repro.core.placement import (
+    HeatWeightedPlacement,
+    RoundRobinPlacement,
+    max_over_mean,
+)
+from repro.corpus import studip_like, tiny_corpus
+from repro.evalmetrics.workload import coalesced_workload_requests
+
+
+def build_system(quick: bool) -> ZerberRSystem:
+    if quick:
+        corpus = tiny_corpus(seed=3)
+    else:
+        corpus = studip_like(num_documents=200, vocabulary_size=3000, seed=7)
+    return ZerberRSystem.build(corpus, SystemConfig(r=4.0, seed=41))
+
+
+def sample_queries(
+    system: ZerberRSystem, num_queries: int, terms_per_query: int
+) -> list[list[str]]:
+    """Multi-term queries sharing a hot head term (the Fig. 10 skew)."""
+    by_df = [
+        t
+        for t in system.vocabulary.terms_by_frequency()
+        if system.vocabulary.document_frequency(t) >= 2
+    ]
+    hot = by_df[0]
+    queries: list[list[str]] = []
+    cursor = 1
+    while len(queries) < num_queries and cursor + terms_per_query - 1 < len(by_df):
+        tail = by_df[cursor : cursor + terms_per_query - 1]
+        cursor += terms_per_query - 1
+        queries.append([hot, *tail])
+    distinct = len(queries)
+    while queries and len(queries) < num_queries:  # small corpora: recycle
+        queries.append(list(queries[len(queries) % distinct]))
+    return queries[:num_queries]
+
+
+def measure_coalescing(system: ZerberRSystem, queries: list[list[str]], k: int):
+    """Server calls + result identity: direct per-client vs coordinator."""
+    num_users = 4
+    groups = set(system.corpus.groups())
+    for i in range(num_users):
+        system.register_user(f"bench-user{i}", groups)
+    cluster, coordinator = system.deploy_cluster(num_servers=3)
+    jobs = []
+    for i, query in enumerate(queries):
+        client = system.client_for(f"bench-user{i % num_users}", server=cluster)
+        jobs.append((client, query, k))
+
+    before = cluster.total_calls
+    direct = [client.query_multi_batched(query, k) for client, query, k in jobs]
+    direct_calls = cluster.total_calls - before
+
+    before = cluster.total_calls
+    coalesced = coordinator.run_queries(jobs)
+    coalesced_calls = cluster.total_calls - before
+
+    for d, c in zip(direct, coalesced):
+        assert list(c.ranked) == list(d.ranked), (
+            "coordinator ranking diverged from direct path",
+            d.ranked,
+            c.ranked,
+        )
+        assert [t.elements_transferred for t in c.traces] == [
+            t.elements_transferred for t in d.traces
+        ], "coordinator shipped different bytes than the direct path"
+
+    model_direct, model_coalesced = coalesced_workload_requests(
+        system.merge_plan,
+        queries,
+        {
+            term: system.vocabulary.document_frequency(term)
+            for term in system.vocabulary
+        },
+        k,
+        ResponsePolicy(initial_size=k),
+        cluster.num_servers,
+    )
+    return direct_calls, coalesced_calls, coordinator.stats, (model_direct, model_coalesced)
+
+
+def zipf_workload(system: ZerberRSystem, num_terms: int, scale: int) -> list[str]:
+    """Single-term fetch workload with Zipf-ish frequencies over hot terms."""
+    by_df = [
+        t
+        for t in system.vocabulary.terms_by_frequency()
+        if system.vocabulary.document_frequency(t) >= 2
+    ][:num_terms]
+    workload: list[str] = []
+    for rank, term in enumerate(by_df):
+        workload.extend([term] * max(1, math.ceil(scale / (rank + 1))))
+    return workload
+
+
+def measure_placement(system: ZerberRSystem, workload: list[str], k: int):
+    """Max/mean per-server load: static round-robin vs heat-weighted."""
+    num_servers = 4
+    rr_cluster, _ = system.deploy_cluster(
+        num_servers=num_servers, placement=RoundRobinPlacement()
+    )
+    hw_cluster, _ = system.deploy_cluster(
+        num_servers=num_servers, placement=HeatWeightedPlacement()
+    )
+    rr_client = system.client_for("superuser", server=rr_cluster)
+    hw_client = system.client_for("superuser", server=hw_cluster)
+
+    # Warm-up: accumulate heat on both clusters (round-robin ignores it).
+    warm_results = {}
+    for term in workload:
+        rr_client.query(term, k)
+        warm_results[term] = hw_client.query(term, k).doc_ids()
+
+    moves = hw_cluster.rebalance()
+    epoch = hw_cluster.placement_epoch
+
+    # Results must survive the migration / epoch bump byte-identically.
+    for term in dict.fromkeys(workload):
+        assert hw_client.query(term, k).doc_ids() == warm_results[term], (
+            "migration changed query results",
+            term,
+        )
+
+    # Measurement window: same workload again, loads counted per server.
+    rr_before = rr_cluster.per_server_load()
+    hw_before = hw_cluster.per_server_load()
+    for term in workload:
+        rr_client.query(term, k)
+        hw_client.query(term, k)
+    rr_loads = [a - b for a, b in zip(rr_cluster.per_server_load(), rr_before)]
+    hw_loads = [a - b for a, b in zip(hw_cluster.per_server_load(), hw_before)]
+    return rr_loads, hw_loads, len(moves), epoch
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="seconds-scale CI configuration"
+    )
+    args = parser.parse_args()
+
+    num_queries = 8
+    terms_per_query = 3
+    k = 5
+
+    print(f"building system ({'quick' if args.quick else 'full'} mode)...")
+    system = build_system(args.quick)
+    queries = sample_queries(system, num_queries, terms_per_query)
+    assert len(queries) == num_queries, "could not assemble concurrent queries"
+
+    direct_calls, coalesced_calls, stats, model = measure_coalescing(
+        system, queries, k
+    )
+    print(
+        f"\n== cross-query coalescing "
+        f"({num_queries} concurrent x {terms_per_query} terms, k={k}) =="
+    )
+    print(f"server calls, direct per-client batching : {direct_calls}")
+    print(f"server calls, coordinator envelopes      : {coalesced_calls}")
+    print(f"slices shared across sessions            : {stats.slices_shared}")
+    print(f"analytic model (direct, coalesced)       : {model}")
+
+    workload = zipf_workload(
+        system, num_terms=8 if args.quick else 24, scale=6 if args.quick else 24
+    )
+    rr_loads, hw_loads, num_moves, epoch = measure_placement(system, workload, k)
+    rr_ratio, hw_ratio = max_over_mean(rr_loads), max_over_mean(hw_loads)
+    print(f"\n== heat-aware placement (Zipf workload, {len(workload)} queries) ==")
+    print(f"round-robin per-server load  : {rr_loads} (max/mean {rr_ratio:.2f})")
+    print(f"heat-weighted per-server load: {hw_loads} (max/mean {hw_ratio:.2f})")
+    print(f"lists migrated               : {num_moves} (placement epoch {epoch})")
+
+    failures = []
+    if coalesced_calls * 2 > direct_calls:
+        failures.append(
+            f"coordinator did not halve server calls "
+            f"({coalesced_calls} vs {direct_calls})"
+        )
+    if hw_ratio >= rr_ratio:
+        failures.append(
+            f"heat-weighted placement did not beat round-robin "
+            f"(max/mean {hw_ratio:.3f} vs {rr_ratio:.3f})"
+        )
+    if num_moves == 0:
+        failures.append("rebalance moved no lists despite skewed heat")
+
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "OK: coordinator >=2x fewer server calls, identical results; "
+        "heat-weighted placement balances the Zipf workload"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     TrainingError,
+    UnavailableError,
     UnknownListError,
     UnknownTermError,
 )
@@ -44,10 +45,18 @@ from repro.core import (
     BatchFetchRequest,
     BatchFetchResponse,
     BatchQueryTrace,
+    ClientQuerySession,
+    CoalescedBatchRequest,
+    CoalescedBatchResponse,
+    Coordinator,
+    CoordinatorStats,
+    HeatWeightedPlacement,
     MultiQueryResult,
+    PlacementPolicy,
     QueryResult,
     QueryTrace,
     ResponsePolicy,
+    RoundRobinPlacement,
     Rstf,
     RstfModel,
     RstfTrainer,
@@ -84,6 +93,7 @@ __all__ = [
     "AuthenticationError",
     "AccessDeniedError",
     "ProtocolError",
+    "UnavailableError",
     "TrainingError",
     # corpus
     "Corpus",
@@ -106,7 +116,15 @@ __all__ = [
     "BatchFetchRequest",
     "BatchFetchResponse",
     "BatchQueryTrace",
+    "CoalescedBatchRequest",
+    "CoalescedBatchResponse",
+    "ClientQuerySession",
+    "Coordinator",
+    "CoordinatorStats",
     "MultiQueryResult",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "HeatWeightedPlacement",
     "Rstf",
     "RstfModel",
     "RstfTrainer",

@@ -19,6 +19,8 @@ from repro.core.protocol import (
     BatchFetchRequest,
     BatchFetchResponse,
     BatchQueryTrace,
+    CoalescedBatchRequest,
+    CoalescedBatchResponse,
     FetchRequest,
     FetchResponse,
     QueryTrace,
@@ -26,7 +28,19 @@ from repro.core.protocol import (
 )
 from repro.core.server import ZerberRServer
 from repro.core.views import ReadableViewIndex, ViewStats
-from repro.core.client import ZerberRClient, MultiQueryResult, QueryResult
+from repro.core.client import (
+    ClientQuerySession,
+    MultiQueryResult,
+    QueryResult,
+    ZerberRClient,
+)
+from repro.core.placement import (
+    HeatWeightedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    load_balance_ratio,
+)
+from repro.core.router import Coordinator, CoordinatorStats
 from repro.core.system import ZerberRSystem, SystemConfig
 
 __all__ = [
@@ -49,6 +63,8 @@ __all__ = [
     "BatchFetchRequest",
     "BatchFetchResponse",
     "BatchQueryTrace",
+    "CoalescedBatchRequest",
+    "CoalescedBatchResponse",
     "FetchRequest",
     "FetchResponse",
     "QueryTrace",
@@ -56,9 +72,16 @@ __all__ = [
     "ZerberRServer",
     "ReadableViewIndex",
     "ViewStats",
+    "ClientQuerySession",
     "ZerberRClient",
     "MultiQueryResult",
     "QueryResult",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "HeatWeightedPlacement",
+    "load_balance_ratio",
+    "Coordinator",
+    "CoordinatorStats",
     "ZerberRSystem",
     "SystemConfig",
 ]

@@ -20,6 +20,13 @@ costs one server round-trip instead of one per term.  The per-term fetch
 sequence (offsets, counts, stop conditions) is identical to running
 :meth:`ZerberRClient.query` term by term — batching changes latency and
 request counts, never results or bytes.
+
+The lockstep state machine is reified as :class:`ClientQuerySession` so a
+query can also be driven *externally*: a
+:class:`~repro.core.router.Coordinator` holds many users' sessions and
+coalesces their pending slices into shared per-shard server calls.  The
+self-driven and coordinator-driven paths share every line of step logic,
+so their results are identical by construction.
 """
 
 from __future__ import annotations
@@ -29,8 +36,10 @@ from dataclasses import dataclass
 
 from repro.core.protocol import (
     BatchFetchRequest,
+    BatchFetchResponse,
     BatchQueryTrace,
     FetchRequest,
+    FetchResponse,
     QueryTrace,
     ResponsePolicy,
 )
@@ -38,7 +47,7 @@ from repro.core.rstf import RstfModel
 from repro.core.server import ZerberRServer
 from repro.crypto.cipher import NonceSequence, StreamCipher
 from repro.crypto.keys import GroupKeyService
-from repro.errors import UnknownTermError
+from repro.errors import ProtocolError, UnknownTermError
 from repro.index.merge import MergePlan
 from repro.index.postings import EncryptedPostingElement, PostingElement
 from repro.text.analysis import DocumentStats
@@ -140,6 +149,88 @@ class _TermSession:
         return tuple(self.hits[: self.k])
 
 
+class ClientQuerySession:
+    """A multi-term query session as a resumable object.
+
+    One instance is one user's in-flight query: it exposes the next round's
+    fetch slices (:meth:`pending_requests`) and absorbs their responses
+    (:meth:`deliver`), holding all per-term doubling state in between.
+    :meth:`ZerberRClient.query_multi_batched` drives one session against
+    the client's own server; a :class:`~repro.core.router.Coordinator`
+    drives *many* sessions in lockstep, coalescing their slices into shared
+    per-shard envelopes.  Either driver feeds the identical step logic
+    (:meth:`ZerberRClient._absorb_response`), so results cannot depend on
+    who drives.
+    """
+
+    def __init__(
+        self, client: "ZerberRClient", sessions: list[_TermSession], k: int
+    ) -> None:
+        self._client = client
+        self._sessions = sessions
+        self._k = k
+        self.principal = client.principal
+        self.batch_trace = BatchQueryTrace(
+            terms=tuple(s.term for s in sessions), k=k
+        )
+
+    @property
+    def backend(self):
+        """The server/cluster the owning client is bound to.
+
+        A coordinator checks this at submit time: scheduling a session
+        whose client talks to a *different* backend would silently answer
+        it from the wrong index.
+        """
+        return self._client._server
+
+    @property
+    def done(self) -> bool:
+        return all(s.done for s in self._sessions)
+
+    def pending_requests(self) -> tuple[FetchRequest, ...]:
+        """Next slice of every still-active term, in term order."""
+        return tuple(
+            s.next_request(self.principal) for s in self._sessions if not s.done
+        )
+
+    def deliver(self, responses: Sequence[FetchResponse]) -> None:
+        """Absorb one round's responses (aligned with the pending order)."""
+        active = [s for s in self._sessions if not s.done]
+        if not active:
+            raise ProtocolError("session has no pending requests")
+        if len(responses) != len(active):
+            raise ProtocolError(
+                f"expected {len(active)} responses, got {len(responses)}"
+            )
+        self.batch_trace.record_round(
+            BatchFetchResponse(responses=tuple(responses))
+        )
+        for session, response in zip(active, responses):
+            self._client._absorb_response(session, response)
+
+    def result(self) -> MultiQueryResult:
+        """Aggregate ranking once every term session has finished.
+
+        Scores aggregate by summation *without* IDF (the confidentiality
+        trade-off the paper accepts, §3.2).
+        """
+        if not self.done:
+            raise ProtocolError("query session still has active terms")
+        scores: dict[str, float] = {}
+        for session in self._sessions:
+            for hit in session.ranked_hits():
+                scores[hit.doc_id] = scores.get(hit.doc_id, 0.0) + hit.rscore
+        ranked = tuple(
+            sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[: self._k]
+        )
+        return MultiQueryResult(
+            ranked=ranked,
+            traces=tuple(s.trace for s in self._sessions),
+            batch_trace=self.batch_trace,
+        )
+
+
 class ZerberRClient:
     """A group member that inserts into and queries a Zerber+R server."""
 
@@ -157,7 +248,6 @@ class ZerberRClient:
         self._rstf = rstf_model
         self._plan = merge_plan
         self._ciphers: dict[str, StreamCipher] = {}
-        self._nonces: dict[str, NonceSequence] = {}
 
     # -- key plumbing -----------------------------------------------------------
 
@@ -169,12 +259,11 @@ class ZerberRClient:
         return cipher
 
     def _nonce_sequence(self, group: str) -> NonceSequence:
-        seq = self._nonces.get(group)
-        if seq is None:
-            key = self._keys.group_key(self.principal, group)
-            seq = NonceSequence(key, label=f"nonce:{self.principal}")
-            self._nonces[group] = seq
-        return seq
+        # The key service owns THE sequence per (principal, group): two
+        # clients for one principal (e.g. bound to different backends)
+        # must continue one counter stream, never restart it — a restart
+        # reuses nonces on different plaintexts.
+        return self._keys.nonce_sequence(self.principal, group)
 
     def _unseen_trs(self, group: str, doc_id: str):
         """The paper's rule for training-unseen terms: a random TRS.
@@ -379,36 +468,34 @@ class ZerberRClient:
         Scores aggregate by summation *without* IDF (the confidentiality
         trade-off the paper accepts, §3.2).
         """
+        session = self.open_multi_session(
+            terms, k, policy=policy, max_requests=max_requests
+        )
+        while not session.done:
+            batch = BatchFetchRequest(
+                principal=self.principal, requests=session.pending_requests()
+            )
+            session.deliver(self._server.batch_fetch(batch).responses)
+        return session.result()
+
+    def open_multi_session(
+        self,
+        terms: Iterable[str],
+        k: int,
+        policy: ResponsePolicy | None = None,
+        max_requests: int = 64,
+    ) -> ClientQuerySession:
+        """Open a multi-term query session without driving it.
+
+        The caller (usually a :class:`~repro.core.router.Coordinator`)
+        repeatedly reads :meth:`ClientQuerySession.pending_requests`,
+        fetches them however it likes, and feeds the responses back via
+        :meth:`ClientQuerySession.deliver`.
+        """
         sessions = [
             self._start_session(term, k, policy, max_requests) for term in terms
         ]
-        batch_trace = BatchQueryTrace(
-            terms=tuple(s.term for s in sessions), k=k
-        )
-        while True:
-            active = [s for s in sessions if not s.done]
-            if not active:
-                break
-            batch = BatchFetchRequest(
-                principal=self.principal,
-                requests=tuple(s.next_request(self.principal) for s in active),
-            )
-            batch_response = self._server.batch_fetch(batch)
-            batch_trace.record_round(batch_response)
-            for session, response in zip(active, batch_response.responses):
-                self._absorb_response(session, response)
-        scores: dict[str, float] = {}
-        for session in sessions:
-            for hit in session.ranked_hits():
-                scores[hit.doc_id] = scores.get(hit.doc_id, 0.0) + hit.rscore
-        ranked = tuple(
-            sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
-        )
-        return MultiQueryResult(
-            ranked=ranked,
-            traces=tuple(s.trace for s in sessions),
-            batch_trace=batch_trace,
-        )
+        return ClientQuerySession(self, sessions, k)
 
     def query_multi(
         self,

@@ -2,13 +2,21 @@
 set of largely untrusted index servers").
 
 A :class:`ServerCluster` shards the merged posting lists across N
-:class:`~repro.core.server.ZerberRServer` instances (deterministic
-round-robin by list id, optionally replicated) and exposes the same
+:class:`~repro.core.server.ZerberRServer` instances and exposes the same
 insert/fetch/batch-fetch surface, so
 :class:`~repro.core.client.ZerberRClient` works against a cluster
 unchanged.  A batched fetch splits into one sub-batch per shard server
 (first live replica of each list), so a multi-term client round costs one
 round-trip per *touched server* rather than per merged list.
+
+Which server holds which list is decided by a pluggable
+:class:`~repro.core.placement.PlacementPolicy` (round-robin by default —
+the seed behaviour byte-for-byte).  The cluster owns the authoritative
+placement table plus a *placement epoch* that bumps whenever
+:meth:`rebalance` migrates lists between servers (heat-weighted policies
+move hot head-term lists off overloaded shards); coalesced envelopes pin
+the epoch they were routed under so a stale route is rejected rather than
+silently served from a server that no longer hosts the list.
 
 Sharding also *improves* confidentiality in the compromised-server model:
 an adversary owning one server sees only ``1/N`` of the merged lists and
@@ -21,16 +29,31 @@ server loss.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import fields as dataclass_fields
 
+from repro.core.placement import (
+    PlacementPolicy,
+    RoundRobinPlacement,
+    validate_placement,
+)
 from repro.core.protocol import (
     BatchFetchRequest,
     BatchFetchResponse,
+    CoalescedBatchRequest,
+    CoalescedBatchResponse,
     FetchRequest,
     FetchResponse,
 )
 from repro.core.server import ObservedFetch, ZerberRServer
+from repro.core.views import ViewStats
 from repro.crypto.keys import GroupKeyService
-from repro.errors import ConfigurationError, ProtocolError, UnknownListError
+from repro.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    ProtocolError,
+    UnavailableError,
+    UnknownListError,
+)
 from repro.index.postings import EncryptedPostingElement
 
 
@@ -43,6 +66,7 @@ class ServerCluster:
         num_lists: int,
         num_servers: int,
         replication: int = 1,
+        placement: PlacementPolicy | None = None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one server")
@@ -52,11 +76,20 @@ class ServerCluster:
             raise ProtocolError("num_lists must be >= 1")
         self._num_lists = num_lists
         self.replication = replication
+        self._keys = key_service
         self._servers = [
             ZerberRServer(key_service, num_lists=num_lists)
             for _ in range(num_servers)
         ]
         self._alive = [True] * num_servers
+        self._policy = placement if placement is not None else RoundRobinPlacement()
+        self._placement = validate_placement(
+            self._policy.initial_placement(num_lists, num_servers, replication),
+            num_lists,
+            num_servers,
+            replication,
+        )
+        self._epoch = 0
 
     # -- topology -----------------------------------------------------------
 
@@ -68,14 +101,20 @@ class ServerCluster:
     def num_lists(self) -> int:
         return self._num_lists
 
+    @property
+    def placement_policy(self) -> PlacementPolicy:
+        return self._policy
+
+    @property
+    def placement_epoch(self) -> int:
+        """Version of the placement table; bumps on every rebalance."""
+        return self._epoch
+
     def replicas_of(self, list_id: int) -> list[int]:
         """Server indices holding *list_id* (primary first)."""
         if not 0 <= list_id < self._num_lists:
             raise UnknownListError(list_id)
-        primary = list_id % len(self._servers)
-        return [
-            (primary + i) % len(self._servers) for i in range(self.replication)
-        ]
+        return list(self._placement[list_id])
 
     def server(self, index: int) -> ZerberRServer:
         """Direct access to one server (the adversary's viewpoint)."""
@@ -102,12 +141,49 @@ class ServerCluster:
         principal: str,
         items: Iterable[tuple[int, EncryptedPostingElement]],
     ) -> int:
-        """Replicated multi-insert (client-compatible surface)."""
-        accepted = 0
+        """Replicated multi-insert, batched per server.
+
+        Like :meth:`bulk_load`, items are grouped by destination first and
+        each touched server gets ONE ``insert_many`` call covering all of
+        its replicas' elements — O(touched servers) server calls instead
+        of O(elements × replication).  Per-server item order preserves the
+        caller's order, so view patching behaves as repeated
+        :meth:`insert`.
+
+        Every item is validated (list id, TRS, group membership) *before*
+        any server is touched: a rejected batch must not leave replicas of
+        the same list divergent, which per-server dispatch would otherwise
+        do on a mid-batch failure.
+        """
+        total, per_server = self._validated_per_server(principal, items)
+        for server_index in sorted(per_server):
+            self._servers[server_index].insert_many(
+                principal, per_server[server_index]
+            )
+        return total
+
+    def _validated_per_server(
+        self,
+        principal: str,
+        items: Iterable[tuple[int, EncryptedPostingElement]],
+    ) -> tuple[int, dict[int, list[tuple[int, EncryptedPostingElement]]]]:
+        """Validate every item, then group by destination server.
+
+        The shared all-or-nothing preamble of :meth:`insert_many` and
+        :meth:`bulk_load`: list id, TRS and group membership are checked
+        for the whole batch before any server is touched, so a rejected
+        batch cannot leave replicas of a list divergent.
+        """
+        items = list(items)
+        per_server: dict[int, list[tuple[int, EncryptedPostingElement]]] = {}
         for list_id, element in items:
-            self.insert(principal, list_id, element)
-            accepted += 1
-        return accepted
+            if element.trs is None:
+                raise ProtocolError("Zerber+R elements must carry a TRS")
+            if not self._keys.is_member(principal, element.group):
+                raise AccessDeniedError(principal, element.group)
+            for server_index in self.replicas_of(list_id):
+                per_server.setdefault(server_index, []).append((list_id, element))
+        return len(items), per_server
 
     def delete_element(
         self, principal: str, list_id: int, ciphertext: bytes
@@ -126,30 +202,34 @@ class ServerCluster:
         principal: str,
         items: Iterable[tuple[int, EncryptedPostingElement]],
     ) -> int:
-        """Bulk-load each element into all of its replicas."""
-        items = list(items)
-        accepted = 0
-        per_server: dict[int, list[tuple[int, EncryptedPostingElement]]] = {}
-        for list_id, element in items:
-            for server_index in self.replicas_of(list_id):
-                per_server.setdefault(server_index, []).append((list_id, element))
-            accepted += 1
-        for server_index, shard_items in per_server.items():
-            self._servers[server_index].bulk_load(principal, shard_items)
-        return accepted
+        """Bulk-load each element into all of its replicas.
+
+        Like :meth:`insert_many`, every item is validated before any
+        server is touched, so a rejected batch cannot leave replicas of
+        the same list divergent.
+        """
+        total, per_server = self._validated_per_server(principal, items)
+        for server_index in sorted(per_server):
+            self._servers[server_index].bulk_load(
+                principal, per_server[server_index]
+            )
+        return total
 
     def fetch(self, request: FetchRequest) -> FetchResponse:
         """Serve from the first live replica of the requested list."""
-        return self._servers[self._route(request.list_id)].fetch(request)
+        return self._servers[self.route(request.list_id)].fetch(request)
 
-    def _route(self, list_id: int) -> int:
-        """First live replica holding *list_id* (replica failover)."""
-        for server_index in self.replicas_of(list_id):
+    def route(self, list_id: int) -> int:
+        """First live replica holding *list_id* (replica failover).
+
+        Raises :class:`UnavailableError` (naming the list) when every
+        replica is down.
+        """
+        replicas = self.replicas_of(list_id)
+        for server_index in replicas:
             if self._alive[server_index]:
                 return server_index
-        raise ProtocolError(
-            f"all {self.replication} replica(s) of list {list_id} are down"
-        )
+        raise UnavailableError(list_id, len(replicas))
 
     def batch_fetch(self, batch: BatchFetchRequest) -> BatchFetchResponse:
         """Serve a batch with one sub-batch per shard server.
@@ -162,7 +242,7 @@ class ServerCluster:
         matching :meth:`fetch`'s error behaviour.
         """
         routed: list[int] = [
-            self._route(request.list_id) for request in batch.requests
+            self.route(request.list_id) for request in batch.requests
         ]
         per_server: dict[int, list[int]] = {}
         for slice_index, server_index in enumerate(routed):
@@ -177,6 +257,123 @@ class ServerCluster:
             for i, response in zip(slice_indices, sub_response.responses):
                 responses[i] = response
         return BatchFetchResponse(responses=tuple(responses))  # type: ignore[arg-type]
+
+    def serve_envelope(
+        self, server_index: int, envelope: CoalescedBatchRequest
+    ) -> CoalescedBatchResponse:
+        """Deliver a coordinator envelope to one (live) shard server.
+
+        The coordinator routed the envelope itself, so the cluster only
+        verifies that the target is alive and that the envelope was routed
+        under the *current* placement epoch — an envelope built before a
+        rebalance must be re-routed, not served from a stale shard map.
+        """
+        if not 0 <= server_index < len(self._servers):
+            raise ConfigurationError(f"unknown server index {server_index}")
+        if not self._alive[server_index]:
+            raise ProtocolError(f"server {server_index} is down")
+        if envelope.epoch is not None and envelope.epoch != self._epoch:
+            raise ProtocolError(
+                f"envelope routed under placement epoch {envelope.epoch}, "
+                f"cluster is at {self._epoch}"
+            )
+        return self._servers[server_index].coalesced_fetch(envelope)
+
+    # -- placement control plane -------------------------------------------------
+
+    def list_heat(self) -> dict[int, int]:
+        """Cumulative slices served per list, aggregated over all servers.
+
+        Counters stay with the server that served the fetch, so summing
+        across servers keeps a migrated list's history intact.
+        """
+        heat: dict[int, int] = {}
+        for server in self._servers:
+            for list_id, count in server.fetch_counts.items():
+                heat[list_id] = heat.get(list_id, 0) + count
+        return heat
+
+    def rebalance(self) -> dict[int, tuple[int, ...]]:
+        """Ask the placement policy for heat-driven moves and apply them.
+
+        Every proposed move is migrated (data copied to new replicas, then
+        dropped from old ones) and the placement epoch bumps once if
+        anything moved — including when a later migration fails midway, so
+        envelopes routed under the pre-rebalance table are always rejected
+        rather than served from a half-migrated shard map.  Moves that
+        would place a list on a dead server are refused here even if a
+        (buggy) policy proposes them.  Returns the applied moves; empty
+        for static policies such as round-robin.
+        """
+        proposal = self._policy.propose(
+            self.list_heat(),
+            [tuple(replicas) for replicas in self._placement],
+            self.num_servers,
+            self.replication,
+            alive=tuple(self._alive),
+        )
+        # Reject a malformed proposal wholesale BEFORE applying any move —
+        # a defence against buggy policies; failing on move k after moves
+        # 0..k-1 were applied would leave a half-rebalanced cluster.
+        for list_id, targets in proposal.items():
+            if not 0 <= list_id < self._num_lists:
+                raise ConfigurationError(
+                    f"placement policy proposed unknown list {list_id}"
+                )
+            targets = tuple(targets)
+            if len(targets) != self.replication or len(set(targets)) != len(
+                targets
+            ):
+                raise ConfigurationError(
+                    f"placement policy proposed {len(targets)} replicas for "
+                    f"list {list_id}, expected {self.replication} distinct"
+                )
+            if not all(0 <= s < len(self._servers) for s in targets):
+                raise ConfigurationError(
+                    f"placement policy proposed unknown server for list {list_id}"
+                )
+        moves = {
+            list_id: tuple(targets)
+            for list_id, targets in proposal.items()
+            if tuple(targets) != self._placement[list_id]
+            and all(self._alive[s] for s in targets)
+        }
+        applied: dict[int, tuple[int, ...]] = {}
+        try:
+            for list_id, targets in sorted(moves.items()):
+                try:
+                    self._migrate_list(list_id, targets)
+                except UnavailableError:
+                    # Every current replica of this list is down, so its
+                    # data cannot be copied anywhere — leave it in place
+                    # (it is unreachable either way) instead of failing
+                    # the whole rebalance and aborting unrelated queries.
+                    continue
+                applied[list_id] = targets
+        finally:
+            if applied:
+                self._epoch += 1
+        return applied
+
+    def _migrate_list(self, list_id: int, targets: tuple[int, ...]) -> None:
+        """Move one list's replicas: copy to new servers, drop from old."""
+        if len(targets) != self.replication or len(set(targets)) != len(targets):
+            raise ConfigurationError(
+                f"migration of list {list_id} needs {self.replication} "
+                "distinct target servers"
+            )
+        if not all(0 <= s < len(self._servers) for s in targets):
+            raise ConfigurationError("migration names an unknown server")
+        old = self._placement[list_id]
+        source = self.route(list_id)
+        elements = self._servers[source].export_list(list_id)
+        for server_index in targets:
+            if server_index not in old:
+                self._servers[server_index].import_list(list_id, elements)
+        for server_index in old:
+            if server_index not in targets:
+                self._servers[server_index].clear_list(list_id)
+        self._placement[list_id] = tuple(targets)
 
     # -- accounting -------------------------------------------------------------
 
@@ -199,6 +396,34 @@ class ServerCluster:
 
     def storage_bits(self) -> int:
         return sum(s.storage_bits() for s in self._servers)
+
+    @property
+    def total_calls(self) -> int:
+        """Fetch calls served cluster-wide (a batch/envelope counts once)."""
+        return sum(s.num_calls for s in self._servers)
+
+    def per_server_load(self) -> list[int]:
+        """Slices served per server — the read-load balance signal."""
+        return [sum(s.fetch_counts.values()) for s in self._servers]
+
+    def view_stats(self) -> ViewStats:
+        """Cluster-wide readable-view health: summed per-server counters.
+
+        Aggregates every server's :class:`~repro.core.views.ViewStats`
+        (hits, rebuilds, patches, evictions, …) so benchmarks and the
+        coordinator can watch view churn — e.g. a migration-heavy
+        rebalance shows up as a spike in invalidations.
+        """
+        total = ViewStats()
+        for server in self._servers:
+            stats = server.view_stats
+            for field in dataclass_fields(ViewStats):
+                setattr(
+                    total,
+                    field.name,
+                    getattr(total, field.name) + getattr(stats, field.name),
+                )
+        return total
 
     # -- adversary model ----------------------------------------------------------
 

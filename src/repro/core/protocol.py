@@ -25,6 +25,16 @@ doubling protocol over *t* terms costs one round-trip instead of *t*.
 distinguishes server *round-trips* (batched calls, the quantity a
 latency-bound deployment cares about) from *sub-fetches* (slices served,
 the quantity the Fig. 12 per-term statistics count).
+
+Coalesced envelopes: a :class:`~repro.core.router.Coordinator` collects
+the pending slices of *many* concurrent client sessions — potentially
+different principals — and ships everything bound for one shard server as
+a single :class:`CoalescedBatchRequest` per scheduling tick.  The
+envelope nests one single-principal :class:`BatchFetchRequest` per
+principal (the server still authenticates each one), carries a flat tuple
+of coordinator-assigned *slice ids* so shared slices demultiplex back to
+every requesting session, and pins the *placement epoch* it was routed
+under so a concurrent shard migration cannot serve it from a stale route.
 """
 
 from __future__ import annotations
@@ -152,6 +162,58 @@ class BatchFetchResponse:
     @property
     def elements_returned(self) -> int:
         return sum(len(r) for r in self.responses)
+
+
+@dataclass(frozen=True)
+class CoalescedBatchRequest:
+    """One coordinator→server envelope per scheduling tick.
+
+    ``batches`` holds one single-principal :class:`BatchFetchRequest` per
+    principal with slices on this server this tick.  ``slice_ids`` runs
+    parallel to the *flattened* slice order (batches concatenated in
+    order) and must be unique within the envelope — they are the
+    coordinator's demultiplexing handles, opaque to the server.
+    ``epoch`` is the placement epoch the envelope was routed under;
+    ``None`` means "unrouted" (direct single-server use).
+    """
+
+    batches: tuple[BatchFetchRequest, ...]
+    slice_ids: tuple[int, ...]
+    epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.batches:
+            raise ProtocolError("envelope must contain at least one sub-batch")
+        total_slices = sum(len(batch) for batch in self.batches)
+        if len(self.slice_ids) != total_slices:
+            raise ProtocolError(
+                f"envelope carries {total_slices} slices but "
+                f"{len(self.slice_ids)} slice ids"
+            )
+        if len(set(self.slice_ids)) != len(self.slice_ids):
+            raise ProtocolError("slice ids must be unique within an envelope")
+
+    def __len__(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+
+@dataclass(frozen=True)
+class CoalescedBatchResponse:
+    """Per-slice replies of an envelope, keyed by the echoed slice ids."""
+
+    responses: tuple[FetchResponse, ...]
+    slice_ids: tuple[int, ...]
+    epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.responses) != len(self.slice_ids):
+            raise ProtocolError("one response per slice id required")
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def by_slice_id(self) -> dict[int, FetchResponse]:
+        return dict(zip(self.slice_ids, self.responses))
 
 
 @dataclass

@@ -1,0 +1,303 @@
+"""Coordinator: cross-query slice coalescing over the sharded cluster.
+
+The seed topology had every client talk to the cluster directly, so N
+concurrent users issued N independent batched calls per round even when
+they wanted the *same* head-term slices (the Fig. 10 skew makes that the
+common case).  The coordinator inverts the call direction — clients no
+longer call servers; they park resumable
+:class:`~repro.core.client.ClientQuerySession` objects at the coordinator,
+which runs discrete *scheduling ticks*::
+
+    client sessions                coordinator                 shard servers
+    ---------------          ----------------------          ---------------
+    s1: [t1,t2,t3] ──submit─▸ tick():                  env    +----------+
+    s2: [t1,t4]    ──submit─▸   1 gather pending  ──{srv 0}─▸ | server 0 |
+    s3: [t2,t5]    ──submit─▸     slices                      +----------+
+                                2 dedup shared slices  env    +----------+
+     ◂─deliver()/result()──     3 route @ epoch   ──{srv 1}─▸ | server 1 |
+                                4 demux by slice id           +----------+
+                                5 (every R ticks) rebalance
+
+Per tick the coordinator (1) gathers every active session's pending fetch
+slices, (2) deduplicates identical slices — same principal, list, offset,
+count — so concurrent queries for the same hot list share one server
+slice, (3) routes unique slices through the cluster's placement table and
+packs everything bound for one server into a single
+:class:`~repro.core.protocol.CoalescedBatchRequest` (one server call per
+touched server per tick, regardless of how many sessions are in flight),
+(4) demultiplexes responses back to sessions by slice id, and (5)
+optionally triggers heat-driven shard rebalancing between ticks.  Every
+envelope pins the placement epoch it was routed under, so a rebalance can
+never tear a tick: the cluster rejects stale-epoch envelopes instead of
+serving them from the wrong shard.
+
+Per-session fetch sequences (offsets, counts, stop conditions) are exactly
+what the session would have issued against the cluster directly, so query
+results are byte-identical to the direct path — the coordinator changes
+*who pays for round-trips*, never what a query returns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.client import ClientQuerySession, MultiQueryResult, ZerberRClient
+from repro.core.cluster import ServerCluster
+from repro.core.protocol import (
+    BatchFetchRequest,
+    CoalescedBatchRequest,
+    FetchRequest,
+    FetchResponse,
+    ResponsePolicy,
+)
+from repro.errors import ConfigurationError, ProtocolError
+
+SliceKey = tuple[str, int, int, int]
+"""Identity of a fetch slice: (principal, list_id, offset, count)."""
+
+
+@dataclass
+class CoordinatorStats:
+    """Scheduling counters of one coordinator.
+
+    ``slices_requested`` counts session slices gathered;
+    ``slices_sent`` counts unique slices actually shipped after
+    cross-session deduplication — the difference is work served from a
+    shared response.  ``server_calls`` counts envelopes sent (the number a
+    latency-bound deployment cares about).
+    """
+
+    ticks: int = 0
+    server_calls: int = 0
+    slices_requested: int = 0
+    slices_sent: int = 0
+    sessions_completed: int = 0
+    rebalances: int = 0
+    lists_migrated: int = 0
+
+    @property
+    def slices_shared(self) -> int:
+        """Session slices answered from another session's fetch."""
+        return self.slices_requested - self.slices_sent
+
+
+@dataclass
+class _TickPlan:
+    """Work of one tick: per-session slice keys plus unique routed slices."""
+
+    session_keys: list[tuple[ClientQuerySession, list[SliceKey]]] = field(
+        default_factory=list
+    )
+    unique: dict[SliceKey, tuple[int, FetchRequest]] = field(default_factory=dict)
+
+
+class Coordinator:
+    """Shared front-end scheduling many query sessions over one cluster."""
+
+    def __init__(
+        self,
+        cluster: ServerCluster,
+        rebalance_every: int | None = None,
+    ) -> None:
+        if rebalance_every is not None and rebalance_every < 1:
+            raise ConfigurationError("rebalance_every must be >= 1")
+        self._cluster = cluster
+        self._rebalance_every = rebalance_every
+        self._sessions: list[ClientQuerySession] = []
+        self.stats = CoordinatorStats()
+
+    @property
+    def cluster(self) -> ServerCluster:
+        return self._cluster
+
+    @property
+    def active_sessions(self) -> int:
+        return sum(1 for s in self._sessions if not s.done)
+
+    # -- session intake ----------------------------------------------------------
+
+    def submit(self, session: ClientQuerySession) -> ClientQuerySession:
+        """Park a client's query session for lockstep scheduling.
+
+        The session's client must be bound to this coordinator's cluster;
+        accepting a session from a client on another backend would answer
+        it from the wrong index.
+        """
+        if session.backend is not self._cluster:
+            raise ConfigurationError(
+                "session's client is not bound to this coordinator's cluster"
+            )
+        if any(existing is session for existing in self._sessions):
+            raise ProtocolError("session is already submitted")
+        self._sessions.append(session)
+        return session
+
+    def evict(self, session: ClientQuerySession) -> None:
+        """Remove a parked session (e.g. a caller abandoning a query)."""
+        self._sessions = [s for s in self._sessions if s is not session]
+
+    def open_session(
+        self,
+        client: ZerberRClient,
+        terms: Sequence[str],
+        k: int,
+        policy: ResponsePolicy | None = None,
+        max_requests: int = 64,
+    ) -> ClientQuerySession:
+        """Open a session on *client* and submit it in one step."""
+        return self.submit(
+            client.open_multi_session(
+                terms, k, policy=policy, max_requests=max_requests
+            )
+        )
+
+    # -- scheduling --------------------------------------------------------------
+
+    def tick(self) -> bool:
+        """Run one scheduling tick; returns whether any work was done.
+
+        Raises :class:`~repro.errors.UnavailableError` if a needed list
+        has no live replica — fail-fast, matching
+        :meth:`ServerCluster.batch_fetch` semantics.
+        """
+        finished = [s for s in self._sessions if s.done]
+        if finished:
+            # Sessions that were already done when submitted (e.g. zero
+            # terms) never reach _demultiplex; count and prune them here.
+            self.stats.sessions_completed += len(finished)
+            self._sessions = [s for s in self._sessions if not s.done]
+        active = self._sessions
+        if not active:
+            return False
+        plan = self._gather(active)
+        responses = self._dispatch(plan)
+        self._demultiplex(plan, responses)
+        self.stats.ticks += 1
+        self._sessions = [s for s in self._sessions if not s.done]
+        if (
+            self._rebalance_every is not None
+            and self.stats.ticks % self._rebalance_every == 0
+        ):
+            self.rebalance()
+        return True
+
+    def _gather(self, active: list[ClientQuerySession]) -> _TickPlan:
+        """Collect pending slices, deduplicating across sessions."""
+        plan = _TickPlan()
+        next_slice_id = 0
+        for session in active:
+            keys: list[SliceKey] = []
+            for request in session.pending_requests():
+                key: SliceKey = (
+                    request.principal,
+                    request.list_id,
+                    request.offset,
+                    request.count,
+                )
+                if key not in plan.unique:
+                    plan.unique[key] = (next_slice_id, request)
+                    next_slice_id += 1
+                keys.append(key)
+                self.stats.slices_requested += 1
+            plan.session_keys.append((session, keys))
+        return plan
+
+    def _dispatch(self, plan: _TickPlan) -> dict[int, FetchResponse]:
+        """Route unique slices, send one envelope per touched server."""
+        epoch = self._cluster.placement_epoch
+        per_server: dict[int, dict[str, list[tuple[int, FetchRequest]]]] = {}
+        for slice_id, request in plan.unique.values():
+            server_index = self._cluster.route(request.list_id)
+            per_server.setdefault(server_index, {}).setdefault(
+                request.principal, []
+            ).append((slice_id, request))
+        by_slice_id: dict[int, FetchResponse] = {}
+        for server_index in sorted(per_server):
+            by_principal = per_server[server_index]
+            batches = []
+            slice_ids: list[int] = []
+            for principal in sorted(by_principal):
+                slices = by_principal[principal]
+                batches.append(
+                    BatchFetchRequest(
+                        principal=principal,
+                        requests=tuple(request for _, request in slices),
+                    )
+                )
+                slice_ids.extend(slice_id for slice_id, _ in slices)
+            envelope = CoalescedBatchRequest(
+                batches=tuple(batches),
+                slice_ids=tuple(slice_ids),
+                epoch=epoch,
+            )
+            response = self._cluster.serve_envelope(server_index, envelope)
+            by_slice_id.update(response.by_slice_id())
+            self.stats.server_calls += 1
+            self.stats.slices_sent += len(envelope)
+        return by_slice_id
+
+    def _demultiplex(
+        self, plan: _TickPlan, by_slice_id: dict[int, FetchResponse]
+    ) -> None:
+        """Fan every slice response out to all sessions that wanted it."""
+        for session, keys in plan.session_keys:
+            responses = tuple(
+                by_slice_id[plan.unique[key][0]] for key in keys
+            )
+            session.deliver(responses)
+            if session.done:
+                self.stats.sessions_completed += 1
+
+    def run_until_complete(self) -> int:
+        """Tick until every submitted session is done; returns ticks run."""
+        ticks = 0
+        while self.tick():
+            ticks += 1
+        return ticks
+
+    def run_queries(
+        self,
+        jobs: Sequence[tuple[ZerberRClient, Sequence[str], int]],
+        policy: ResponsePolicy | None = None,
+        max_requests: int = 64,
+    ) -> list[MultiQueryResult]:
+        """Serve ``(client, terms, k)`` jobs concurrently; results in order."""
+        if self.active_sessions:
+            raise ProtocolError("coordinator already has sessions in flight")
+        # Open every session before submitting any: a bad job (unknown
+        # term, invalid k) must fail the whole call without leaving
+        # earlier jobs parked, which would wedge later run_queries calls.
+        sessions = [
+            client.open_multi_session(
+                terms, k, policy=policy, max_requests=max_requests
+            )
+            for client, terms, k in jobs
+        ]
+        for session in sessions:
+            self.submit(session)
+        try:
+            self.run_until_complete()
+        except BaseException:
+            # A mid-run failure (e.g. every replica of a list down) must
+            # not park these sessions forever and wedge the coordinator.
+            for session in sessions:
+                self.evict(session)
+            raise
+        return [session.result() for session in sessions]
+
+    # -- placement ---------------------------------------------------------------
+
+    def rebalance(self) -> dict[int, tuple[int, ...]]:
+        """Trigger heat-driven shard rebalancing between ticks.
+
+        Safe at any tick boundary: the next tick routes from the updated
+        placement table under the bumped epoch, and session state (offsets
+        into readable sub-lists) is placement-independent, so in-flight
+        queries continue with identical results.
+        """
+        moves = self._cluster.rebalance()
+        if moves:
+            self.stats.rebalances += 1
+            self.stats.lists_migrated += len(moves)
+        return moves

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from repro.core.protocol import (
     BatchFetchRequest,
     BatchFetchResponse,
+    CoalescedBatchRequest,
+    CoalescedBatchResponse,
     FetchRequest,
     FetchResponse,
 )
@@ -83,6 +85,10 @@ class ZerberRServer:
             key_service, capacity=readable_view_capacity
         )
         self._batch_counter = 0
+        # Per-list fetch counters ("heat") — drive heat-weighted placement —
+        # and a call counter (round-trips served, whatever the envelope).
+        self._fetch_counts: dict[int, int] = {}
+        self._calls_served = 0
 
     # -- properties ----------------------------------------------------------
 
@@ -98,6 +104,16 @@ class ZerberRServer:
     def view_stats(self) -> ViewStats:
         """Operation counters of the readable-view index (benchmarks)."""
         return self._views.stats
+
+    @property
+    def num_calls(self) -> int:
+        """Fetch calls served (a batch or envelope counts once)."""
+        return self._calls_served
+
+    @property
+    def fetch_counts(self) -> dict[int, int]:
+        """Slices served per list id — the list-heat signal placement uses."""
+        return dict(self._fetch_counts)
 
     def list_length(self, list_id: int) -> int:
         return len(self._list(list_id))
@@ -194,6 +210,31 @@ class ZerberRServer:
         self._views.note_delete(merged, target)
         return True
 
+    # -- shard migration (cluster control plane) --------------------------------
+
+    def export_list(self, list_id: int) -> list[EncryptedPostingElement]:
+        """Snapshot one list's elements in server order (migration source)."""
+        return list(self._list(list_id).elements)
+
+    def import_list(
+        self, list_id: int, elements: Iterable[EncryptedPostingElement]
+    ) -> None:
+        """Replace one list's content wholesale (migration target).
+
+        Elements arrive already encrypted and TRS-tagged from the source
+        replica — no membership re-check, the data was admitted when first
+        inserted.  Cached views of the list are dropped.
+        """
+        merged = self._list(list_id)
+        merged.clear()
+        merged.bulk_load_sorted_by_trs(elements)
+        self._views.invalidate_list(list_id)
+
+    def clear_list(self, list_id: int) -> None:
+        """Drop one list's content (this server no longer hosts it)."""
+        self._list(list_id).clear()
+        self._views.invalidate_list(list_id)
+
     # -- queries (paper §5.2) --------------------------------------------------
 
     def fetch(self, request: FetchRequest) -> FetchResponse:
@@ -203,6 +244,7 @@ class ZerberRServer:
         learns how many unreadable elements interleave), and ``exhausted``
         signals that no readable elements remain past the returned slice.
         """
+        self._calls_served += 1
         return self._serve_slice(request, batch_id=None)
 
     def batch_fetch(self, batch: BatchFetchRequest) -> BatchFetchResponse:
@@ -211,6 +253,7 @@ class ZerberRServer:
         Slices are served in request order; each is logged as its own
         :class:`ObservedFetch` carrying the shared ``batch_id``.
         """
+        self._calls_served += 1
         self._batch_counter += 1
         batch_id = self._batch_counter
         return BatchFetchResponse(
@@ -220,6 +263,31 @@ class ZerberRServer:
             )
         )
 
+    def coalesced_fetch(
+        self, envelope: CoalescedBatchRequest
+    ) -> CoalescedBatchResponse:
+        """Serve a coordinator envelope — many principals, one round-trip.
+
+        Each nested sub-batch keeps the single-principal invariant and is
+        served exactly as :meth:`batch_fetch` would; all slices share one
+        ``batch_id`` because the compromised-server adversary sees them
+        travel together.  The response echoes the coordinator's slice ids
+        and placement epoch so demultiplexing is by id, not position.
+        """
+        self._calls_served += 1
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        responses = tuple(
+            self._serve_slice(request, batch_id=batch_id)
+            for batch in envelope.batches
+            for request in batch.requests
+        )
+        return CoalescedBatchResponse(
+            responses=responses,
+            slice_ids=envelope.slice_ids,
+            epoch=envelope.epoch,
+        )
+
     def _serve_slice(
         self, request: FetchRequest, batch_id: int | None
     ) -> FetchResponse:
@@ -227,6 +295,9 @@ class ZerberRServer:
         readable = self._views.get(merged, request.principal)
         slice_ = readable[request.offset : request.offset + request.count]
         exhausted = request.offset + request.count >= len(readable)
+        self._fetch_counts[request.list_id] = (
+            self._fetch_counts.get(request.list_id, 0) + 1
+        )
         self.observations.append(
             ObservedFetch(
                 principal=request.principal,

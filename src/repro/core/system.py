@@ -20,8 +20,11 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.client import QueryResult, ZerberRClient
+from repro.core.cluster import ServerCluster
 from repro.core.confidentiality import ConfidentialityAudit, audit_merge_plan
+from repro.core.placement import PlacementPolicy
 from repro.core.protocol import ResponsePolicy
+from repro.core.router import Coordinator
 from repro.core.rstf import RstfModel, RstfTrainer, TrainerConfig
 from repro.core.server import ZerberRServer
 from repro.corpus.documents import Corpus
@@ -90,7 +93,8 @@ class ZerberRSystem:
         self.key_service = key_service
         self.server = server
         self.config = config
-        self._clients: dict[str, ZerberRClient] = {}
+        # (principal, backend id) -> client.
+        self._clients: dict[tuple[str, int | None], ZerberRClient] = {}
 
     # -- assembly ---------------------------------------------------------------
 
@@ -178,8 +182,15 @@ class ZerberRSystem:
             return random_merge(probabilities, config.r, rng=rng)
         return greedy_pairing_merge(probabilities, config.r)
 
-    def _index_corpus(self) -> None:
-        """Online insertion phase: per-group owners encrypt and upload."""
+    def _index_corpus(self, backend=None) -> None:
+        """Online insertion phase: per-group owners encrypt and upload.
+
+        *backend* is any object with the server bulk-load surface; it
+        defaults to this system's single server and lets
+        :meth:`deploy_cluster` re-index the same corpus into a
+        :class:`~repro.core.cluster.ServerCluster`.
+        """
+        backend = backend if backend is not None else self.server
         for group in sorted(self.corpus.groups()):
             owner = f"owner:{group}"
             try:
@@ -194,7 +205,7 @@ class ZerberRSystem:
                 doc_stats = self.corpus.stats(doc.doc_id)
                 for term in sorted(doc_stats.counts):
                     items.append(client.build_element(term, doc_stats, group))
-            self.server.bulk_load(owner, items)
+            backend.bulk_load(owner, items)
 
     # -- principals and clients -----------------------------------------------------
 
@@ -203,19 +214,58 @@ class ZerberRSystem:
         self.key_service.register(name, groups)
         return self.client_for(name)
 
-    def client_for(self, principal: str) -> ZerberRClient:
-        """A (cached) client bound to *principal*."""
-        client = self._clients.get(principal)
+    def client_for(self, principal: str, server=None) -> ZerberRClient:
+        """A (cached) client bound to *principal*.
+
+        Without *server*, the client talks to this system's own server;
+        with *server* — e.g. a :class:`~repro.core.cluster.ServerCluster`
+        deployed via :meth:`deploy_cluster` — to that backend.  Clients
+        are cached per ``(principal, backend)`` for object identity and
+        to avoid re-deriving key material; nonce safety does NOT depend
+        on the cache — the shared key service owns one
+        :class:`~repro.crypto.cipher.NonceSequence` per (principal,
+        group), so even independently constructed clients continue one
+        counter stream.
+        """
+        cache_key = (principal, None if server is None else id(server))
+        client = self._clients.get(cache_key)
         if client is None:
             client = ZerberRClient(
                 principal=principal,
                 key_service=self.key_service,
-                server=self.server,
+                server=self.server if server is None else server,
                 rstf_model=self.rstf_model,
                 merge_plan=self.merge_plan,
             )
-            self._clients[principal] = client
+            self._clients[cache_key] = client
         return client
+
+    def deploy_cluster(
+        self,
+        num_servers: int,
+        replication: int = 1,
+        placement: PlacementPolicy | None = None,
+        rebalance_every: int | None = None,
+    ) -> tuple[ServerCluster, Coordinator]:
+        """Stand up a sharded deployment of this system's index.
+
+        Builds a :class:`~repro.core.cluster.ServerCluster` over the same
+        key service and merge plan, re-indexes the corpus into it through
+        the per-group owners, and fronts it with a
+        :class:`~repro.core.router.Coordinator` for cross-query slice
+        coalescing.  Query it either directly
+        (``system.client_for(p, server=cluster)``) or through coordinator
+        sessions — results are identical.
+        """
+        cluster = ServerCluster(
+            self.key_service,
+            num_lists=self.merge_plan.num_lists,
+            num_servers=num_servers,
+            replication=replication,
+            placement=placement,
+        )
+        self._index_corpus(backend=cluster)
+        return cluster, Coordinator(cluster, rebalance_every=rebalance_every)
 
     # -- convenience -----------------------------------------------------------------
 

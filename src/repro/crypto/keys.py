@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from repro.crypto.cipher import StreamCipher
+from repro.crypto.cipher import NonceSequence, StreamCipher
 from repro.crypto.prf import Prf, derive_key
 from repro.errors import AccessDeniedError, ConfigurationError
 
@@ -42,6 +42,7 @@ class GroupKeyService:
         self._master = master_secret
         self._groups: dict[str, bytes] = {}
         self._principals: dict[str, Principal] = {}
+        self._nonce_sequences: dict[tuple[str, str], NonceSequence] = {}
 
     # -- groups --------------------------------------------------------------
 
@@ -118,6 +119,33 @@ class GroupKeyService:
     def cipher_for(self, principal: str, group: str) -> StreamCipher:
         """A ready-to-use cipher for a member of *group*."""
         return StreamCipher(self.group_key(principal, group))
+
+    def nonce_sequence(self, principal: str, group: str) -> NonceSequence:
+        """THE nonce sequence of a (member, group) pair — a singleton.
+
+        A principal's nonces are ``PRF(counter)`` under a key derived only
+        from the group key and the principal's name, so two independent
+        :class:`NonceSequence` instances would restart the counter and
+        reuse nonces on different plaintexts — an XOR-stream
+        confidentiality break.  The key service (shared by every client of
+        a deployment) therefore owns one cached sequence per pair; clients
+        must draw nonces from here instead of building their own.
+        """
+        # Membership is checked on EVERY call, not just the cache miss: a
+        # revoked principal must lose access immediately (cached state
+        # never outlives a revocation).  The cache entry itself survives a
+        # revoke so that a later re-enroll resumes the counter instead of
+        # restarting it.
+        if not self.is_member(principal, group):
+            raise AccessDeniedError(principal, group)
+        cache_key = (principal, group)
+        sequence = self._nonce_sequences.get(cache_key)
+        if sequence is None:
+            sequence = NonceSequence(
+                self.group_key(principal, group), label=f"nonce:{principal}"
+            )
+            self._nonce_sequences[cache_key] = sequence
+        return sequence
 
     def unseen_term_prf(self, principal: str, group: str) -> Prf:
         """The keyed PRF members use to assign TRS to training-unseen terms.

@@ -71,5 +71,21 @@ class ProtocolError(ReproError):
     """A malformed or out-of-order client/server protocol interaction."""
 
 
+class UnavailableError(ProtocolError):
+    """Every replica of a merged posting list is down.
+
+    Carries the list id so routing layers (cluster, coordinator) can say
+    *which* list became unreachable; subclasses :class:`ProtocolError` so
+    callers treating replica exhaustion as a protocol failure keep working.
+    """
+
+    def __init__(self, list_id: int, num_replicas: int) -> None:
+        super().__init__(
+            f"all {num_replicas} replica(s) of list {list_id} are down"
+        )
+        self.list_id = list_id
+        self.num_replicas = num_replicas
+
+
 class TrainingError(ReproError):
     """RSTF training failed (e.g. empty training set for a term)."""

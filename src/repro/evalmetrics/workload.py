@@ -17,6 +17,13 @@ the per-term round counts, not their sum.
 :func:`batched_workload_requests` evaluates both totals over a workload
 of multi-term queries, which is the honest request-count model behind the
 Fig. 12/13 discussion once queries stop being single-term.
+
+Shared-call extension for the coordinator topology:
+:func:`coalesced_workload_requests` models N queries running
+*concurrently* over a sharded cluster — each tick of the coordinator's
+schedule costs one server call per *touched shard*, shared by every
+in-flight query, versus one call per touched shard *per query* when each
+client batches alone.
 """
 
 from __future__ import annotations
@@ -112,6 +119,69 @@ def batched_workload_requests(
         per_list_total += sum(rounds_per_term)
         batched_total += max(rounds_per_term)
     return per_list_total, batched_total
+
+
+def coalesced_workload_requests(
+    plan: MergePlan,
+    queries: Sequence[Sequence[str]],
+    document_frequencies: Mapping[str, int],
+    k: int,
+    policy: ResponsePolicy,
+    num_servers: int,
+    max_requests: int = 64,
+) -> tuple[int, int]:
+    """Expected *server calls* for serving *queries* CONCURRENTLY.
+
+    Returns ``(direct_calls, coalesced_calls)``.  Both sides run the
+    lockstep doubling protocol over a cluster of ``num_servers`` shards
+    with the default round-robin placement (list ``l`` primaried on
+    ``l % num_servers``):
+
+    * *direct* — each query is its own client: every round costs one
+      batched call per shard server its still-active terms touch, summed
+      over queries (the PR-1 topology).
+    * *coalesced* — all queries tick together behind a coordinator: a
+      scheduling tick costs one envelope per server touched by ANY
+      query's still-active terms, so concurrent queries share calls.
+
+    Terms absent from the plan are skipped, mirroring
+    :func:`batched_workload_requests`.
+    """
+    if num_servers < 1:
+        raise ValueError("num_servers must be >= 1")
+    per_query: list[list[tuple[int, int]]] = []
+    for query in queries:
+        entries: list[tuple[int, int]] = []
+        for term in query:
+            try:
+                list_id = plan.list_of(term)
+                list_terms = plan.terms_of(list_id)
+            except KeyError:
+                continue
+            rounds = expected_num_requests(
+                term,
+                list(list_terms),
+                document_frequencies,
+                k,
+                policy,
+                max_requests,
+            )
+            entries.append((list_id % num_servers, rounds))
+        if entries:
+            per_query.append(entries)
+    if not per_query:
+        return 0, 0
+    horizon = max(rounds for entries in per_query for _, rounds in entries)
+    direct_calls = 0
+    coalesced_calls = 0
+    for tick in range(1, horizon + 1):
+        touched_any: set[int] = set()
+        for entries in per_query:
+            touched = {server for server, rounds in entries if rounds >= tick}
+            direct_calls += len(touched)
+            touched_any |= touched
+        coalesced_calls += len(touched_any)
+    return direct_calls, coalesced_calls
 
 
 def workload_cost(

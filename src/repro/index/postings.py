@@ -238,6 +238,12 @@ class MergedPostingList:
         position, _ = found
         return self.pop_at(position)
 
+    def clear(self) -> None:
+        """Drop every element (shard migration hands the list elsewhere)."""
+        self.elements.clear()
+        self._neg_trs_keys.clear()
+        self.version += 1
+
     def slice(self, start: int, count: int) -> list[EncryptedPostingElement]:
         """Elements ``[start, start+count)`` in server order."""
         if start < 0 or count < 0:

@@ -4,8 +4,15 @@ import pytest
 
 from repro.core.cluster import ServerCluster
 from repro.core.protocol import BatchFetchRequest, FetchRequest
+from repro.core.server import ZerberRServer
 from repro.crypto.keys import GroupKeyService
-from repro.errors import ConfigurationError, ProtocolError, UnknownListError
+from repro.errors import (
+    ConfigurationError,
+    CryptoError,
+    ProtocolError,
+    UnavailableError,
+    UnknownListError,
+)
 from repro.index.postings import EncryptedPostingElement
 
 
@@ -90,6 +97,90 @@ class TestDataPlane:
         assert cluster.fetch(
             FetchRequest(principal="u", list_id=0, offset=0, count=1)
         ).elements
+
+    def test_all_replicas_down_names_the_list(self, keys):
+        cluster = ServerCluster(keys, num_lists=3, num_servers=2, replication=2)
+        cluster.insert("u", 1, _element(0.7))
+        for server_index in cluster.replicas_of(1):
+            cluster.fail_server(server_index)
+        with pytest.raises(UnavailableError) as excinfo:
+            cluster.fetch(FetchRequest(principal="u", list_id=1, offset=0, count=1))
+        assert excinfo.value.list_id == 1
+        assert excinfo.value.num_replicas == 2
+        assert "list 1" in str(excinfo.value)
+        # UnavailableError specialises the old undifferentiated failure, so
+        # legacy ProtocolError handlers keep working.
+        assert isinstance(excinfo.value, ProtocolError)
+
+    def test_insert_many_batches_per_server(self, keys, monkeypatch):
+        """Replicated multi-insert costs one call per touched server."""
+        cluster = ServerCluster(keys, num_lists=4, num_servers=3, replication=2)
+        calls = []
+        original = ZerberRServer.insert_many
+
+        def counting_insert_many(self, principal, items):
+            items = list(items)
+            calls.append(len(items))
+            return original(self, principal, items)
+
+        monkeypatch.setattr(ZerberRServer, "insert_many", counting_insert_many)
+        items = [
+            (list_id, _element(0.1 * (i + 1), b"im%d" % i))
+            for i, list_id in enumerate([0, 1, 2, 3, 0, 1])
+        ]
+        assert cluster.insert_many("u", items) == 6
+        # 6 elements x 2 replicas over 3 servers: one call per server, not 12.
+        assert len(calls) == 3
+        assert sum(calls) == 12
+        # Contents landed exactly as per-element replicated inserts would.
+        assert cluster.num_elements == 6
+
+    def test_insert_many_rejected_batch_touches_no_server(self, keys):
+        """Validation failures must not leave replicas divergent."""
+        cluster = ServerCluster(keys, num_lists=2, num_servers=2, replication=2)
+        bad_group = EncryptedPostingElement(
+            ciphertext=b"bad", group="not-a-group", trs=0.5
+        )
+        with pytest.raises(CryptoError):
+            cluster.insert_many("u", [(0, _element(0.9)), (1, bad_group)])
+        assert cluster.num_elements == 0
+        with pytest.raises(ProtocolError):
+            cluster.insert_many(
+                "u",
+                [
+                    (0, _element(0.9)),
+                    (1, EncryptedPostingElement(ciphertext=b"x", group="g", trs=None)),
+                ],
+            )
+        assert cluster.num_elements == 0
+
+    def test_bulk_load_rejected_batch_touches_no_server(self, keys):
+        """bulk_load gets the same all-or-nothing validation as insert_many."""
+        cluster = ServerCluster(keys, num_lists=2, num_servers=3, replication=2)
+        bad = EncryptedPostingElement(
+            ciphertext=b"bad", group="not-a-group", trs=0.5
+        )
+        with pytest.raises(CryptoError):
+            cluster.bulk_load("u", [(0, _element(0.9)), (1, bad)])
+        assert cluster.num_elements == 0
+
+    def test_view_stats_aggregates_across_servers(self, keys):
+        cluster = ServerCluster(keys, num_lists=4, num_servers=2)
+        for list_id in range(4):
+            cluster.insert("u", list_id, _element(0.5, b"vs%d" % list_id))
+        for list_id in range(4):
+            cluster.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=1)
+            )
+            cluster.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=1)
+            )
+        aggregated = cluster.view_stats()
+        per_server = [cluster.server(i).view_stats for i in range(2)]
+        assert aggregated.full_builds == sum(s.full_builds for s in per_server)
+        assert aggregated.hits == sum(s.hits for s in per_server)
+        assert aggregated.full_builds == 4  # one cold build per list
+        assert aggregated.hits == 4  # one warm hit per list
 
 
 class TestBatchFetchCluster:

@@ -1,0 +1,301 @@
+"""Unit tests for pluggable placement policies and shard migration."""
+
+import pytest
+
+from repro.core.cluster import ServerCluster
+from repro.core.placement import (
+    HeatWeightedPlacement,
+    RoundRobinPlacement,
+    load_balance_ratio,
+    validate_placement,
+)
+from repro.core.protocol import FetchRequest
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError
+from repro.index.postings import EncryptedPostingElement
+
+
+@pytest.fixture()
+def keys():
+    svc = GroupKeyService(master_secret=b"p" * 32)
+    svc.register("u", {"g"})
+    return svc
+
+
+def _element(trs, payload=b"cipher"):
+    return EncryptedPostingElement(ciphertext=payload, group="g", trs=trs)
+
+
+class TestRoundRobinPlacement:
+    def test_matches_seed_modulo_rule(self):
+        placement = RoundRobinPlacement().initial_placement(
+            num_lists=10, num_servers=4, replication=2
+        )
+        for list_id, replicas in enumerate(placement):
+            assert replicas == (list_id % 4, (list_id + 1) % 4)
+
+    def test_never_proposes_moves(self):
+        policy = RoundRobinPlacement()
+        current = policy.initial_placement(6, 3, 1)
+        assert policy.propose({0: 1000}, current, 3, 1) == {}
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            validate_placement([(0,)], num_lists=2, num_servers=2, replication=1)
+        with pytest.raises(ConfigurationError):
+            validate_placement(
+                [(0,), (1, 0)], num_lists=2, num_servers=2, replication=1
+            )
+
+    def test_rejects_duplicate_or_unknown_servers(self):
+        with pytest.raises(ConfigurationError):
+            validate_placement([(1, 1)], num_lists=1, num_servers=2, replication=2)
+        with pytest.raises(ConfigurationError):
+            validate_placement([(5,)], num_lists=1, num_servers=2, replication=1)
+
+
+class TestHeatWeightedPlacement:
+    def test_initial_is_round_robin(self):
+        hw = HeatWeightedPlacement().initial_placement(8, 4, 2)
+        rr = RoundRobinPlacement().initial_placement(8, 4, 2)
+        assert hw == rr
+
+    def test_separates_colliding_hot_lists(self):
+        """Two hot lists congruent mod N must not share a primary."""
+        policy = HeatWeightedPlacement()
+        current = policy.initial_placement(8, 4, 1)
+        heat = {0: 100, 4: 100, 1: 1, 2: 1, 3: 1, 5: 1, 6: 1, 7: 1}
+        proposal = policy.propose(heat, current, 4, 1)
+        merged = {
+            list_id: proposal.get(list_id, current[list_id])
+            for list_id in range(8)
+        }
+        assert merged[0][0] != merged[4][0]
+
+    def test_lowers_max_over_mean_on_skewed_heat(self):
+        policy = HeatWeightedPlacement()
+        current = policy.initial_placement(8, 4, 1)
+        heat = {0: 100, 4: 100, 1: 1, 2: 1, 3: 1, 5: 1, 6: 1, 7: 1}
+        proposal = policy.propose(heat, current, 4, 1)
+        rebalanced = [
+            proposal.get(list_id, current[list_id]) for list_id in range(8)
+        ]
+        assert load_balance_ratio(heat, rebalanced, 4) < load_balance_ratio(
+            heat, current, 4
+        )
+
+    def test_cold_lists_stay_put(self):
+        policy = HeatWeightedPlacement()
+        current = policy.initial_placement(6, 3, 1)
+        proposal = policy.propose({0: 50}, current, 3, 1)
+        assert all(list_id == 0 for list_id in proposal) or proposal == {}
+
+    def test_replicas_distinct(self):
+        policy = HeatWeightedPlacement()
+        current = policy.initial_placement(6, 3, 2)
+        proposal = policy.propose(
+            {i: 10 * (6 - i) for i in range(6)}, current, 3, 2
+        )
+        for replicas in proposal.values():
+            assert len(set(replicas)) == 2
+
+
+class TestClusterMigration:
+    def _hot_cluster(self, keys, replication=1):
+        """4 lists / 2 servers; lists 0 and 2 (both on server 0) made hot."""
+        cluster = ServerCluster(
+            keys,
+            num_lists=4,
+            num_servers=2,
+            replication=replication,
+            placement=HeatWeightedPlacement(),
+        )
+        for list_id in range(4):
+            for j, trs in enumerate([0.9, 0.6, 0.3]):
+                cluster.insert("u", list_id, _element(trs, b"l%dj%d" % (list_id, j)))
+        for list_id in (0, 2):
+            for _ in range(10):
+                cluster.fetch(
+                    FetchRequest(principal="u", list_id=list_id, offset=0, count=3)
+                )
+        return cluster
+
+    def test_rebalance_bumps_epoch_and_moves_a_hot_list(self, keys):
+        cluster = self._hot_cluster(keys)
+        assert cluster.placement_epoch == 0
+        moves = cluster.rebalance()
+        assert moves
+        assert cluster.placement_epoch == 1
+        # The two hot lists no longer share a primary.
+        assert cluster.replicas_of(0)[0] != cluster.replicas_of(2)[0]
+
+    def test_migration_preserves_fetch_results(self, keys):
+        cluster = self._hot_cluster(keys)
+        before = {
+            list_id: cluster.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=3)
+            )
+            for list_id in range(4)
+        }
+        assert cluster.rebalance()
+        for list_id in range(4):
+            after = cluster.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=3)
+            )
+            assert after.elements == before[list_id].elements
+            assert after.exhausted == before[list_id].exhausted
+
+    def test_migration_preserves_element_counts(self, keys):
+        cluster = self._hot_cluster(keys, replication=2)
+        total = cluster.num_elements
+        assert cluster.rebalance() is not None
+        assert cluster.num_elements == total
+        # Every list is stored on exactly `replication` servers.
+        for list_id in range(4):
+            holders = [
+                i
+                for i in range(2)
+                if cluster.server(i).list_length(list_id) > 0
+            ]
+            assert len(holders) == 2
+
+    def test_round_robin_cluster_never_rebalances(self, keys):
+        cluster = ServerCluster(keys, num_lists=4, num_servers=2)
+        cluster.insert("u", 0, _element(0.5))
+        for _ in range(5):
+            cluster.fetch(
+                FetchRequest(principal="u", list_id=0, offset=0, count=1)
+            )
+        assert cluster.rebalance() == {}
+        assert cluster.placement_epoch == 0
+
+    def test_list_heat_survives_migration(self, keys):
+        cluster = self._hot_cluster(keys)
+        heat_before = cluster.list_heat()
+        cluster.rebalance()
+        heat_after = cluster.list_heat()
+        for list_id, count in heat_before.items():
+            assert heat_after[list_id] >= count
+
+    def test_rebalance_never_targets_dead_servers(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=6,
+            num_servers=3,
+            replication=1,
+            placement=HeatWeightedPlacement(),
+        )
+        for list_id in range(6):
+            cluster.insert("u", list_id, _element(0.5, b"dd%d" % list_id))
+        for list_id, count in [(0, 10), (3, 5), (1, 3)]:
+            for _ in range(count):
+                cluster.fetch(
+                    FetchRequest(principal="u", list_id=list_id, offset=0, count=1)
+                )
+        cluster.fail_server(2)
+        before = {lid: tuple(cluster.replicas_of(lid)) for lid in range(6)}
+        moves = cluster.rebalance()
+        for list_id, targets in moves.items():
+            assert 2 not in targets, "rebalance placed a list on the dead server"
+        # Cold lists were not gratuitously moved.
+        for list_id in (2, 4, 5):
+            assert tuple(cluster.replicas_of(list_id)) == before[list_id]
+        # Every fetched list is still fetchable after the rebalance.
+        for list_id in (0, 1, 3):
+            assert cluster.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=1)
+            ).elements
+
+    def test_no_rebalance_when_too_few_live_servers(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=4,
+            num_servers=2,
+            replication=2,
+            placement=HeatWeightedPlacement(),
+        )
+        cluster.insert("u", 0, _element(0.5))
+        cluster.fetch(FetchRequest(principal="u", list_id=0, offset=0, count=1))
+        cluster.fail_server(1)
+        assert cluster.rebalance() == {}
+        assert cluster.placement_epoch == 0
+
+    def test_rebalance_skips_lists_with_no_live_replica(self, keys):
+        """A fully-down hot list must not abort the whole rebalance."""
+        cluster = ServerCluster(
+            keys,
+            num_lists=4,
+            num_servers=3,
+            replication=1,
+            placement=HeatWeightedPlacement(),
+        )
+        for list_id in range(4):
+            cluster.insert("u", list_id, _element(0.5, b"ds%d" % list_id))
+        # Heat on lists 1 (server 1) and 0, 3 (servers 0 and 0-after-move).
+        for list_id, count in [(1, 10), (0, 8), (3, 5)]:
+            for _ in range(count):
+                cluster.fetch(
+                    FetchRequest(principal="u", list_id=list_id, offset=0, count=1)
+                )
+        cluster.fail_server(1)  # list 1's only replica is gone
+        moves = cluster.rebalance()
+        assert 1 not in moves  # unreachable list left in place
+        # Other hot lists still rebalanced onto the live servers.
+        for targets in moves.values():
+            assert 1 not in targets
+
+    def test_buggy_policy_proposal_rejected_clearly(self, keys):
+        class BadServerPolicy(HeatWeightedPlacement):
+            def propose(self, heat, current, num_servers, replication, alive=None):
+                return {0: (num_servers,)}
+
+        class BadListPolicy(HeatWeightedPlacement):
+            def propose(self, heat, current, num_servers, replication, alive=None):
+                return {-1: (0,)}
+
+        class BadArityPolicy(HeatWeightedPlacement):
+            def propose(self, heat, current, num_servers, replication, alive=None):
+                return {0: (0, 1)}  # replication is 1
+
+        for policy in (BadServerPolicy(), BadListPolicy(), BadArityPolicy()):
+            cluster = ServerCluster(
+                keys, num_lists=2, num_servers=2, placement=policy
+            )
+            cluster.insert("u", 0, _element(0.5))
+            with pytest.raises(ConfigurationError):
+                cluster.rebalance()
+            assert cluster.placement_epoch == 0
+
+    def test_partial_migration_failure_still_bumps_epoch(self, keys, monkeypatch):
+        """A half-applied rebalance must not keep validating old-epoch routes."""
+        cluster = ServerCluster(
+            keys,
+            num_lists=4,
+            num_servers=2,
+            replication=1,
+            placement=HeatWeightedPlacement(),
+        )
+        for list_id in range(4):
+            cluster.insert("u", list_id, _element(0.5, b"pm%d" % list_id))
+        # Heat picked so the greedy proposal moves (at least) two lists.
+        for list_id, count in [(0, 10), (2, 10), (1, 2)]:
+            for _ in range(count):
+                cluster.fetch(
+                    FetchRequest(principal="u", list_id=list_id, offset=0, count=1)
+                )
+        original = ServerCluster._migrate_list
+        migrated = []
+
+        def flaky_migrate(self, list_id, targets):
+            if migrated:
+                raise RuntimeError("migration transport failed")
+            migrated.append(list_id)
+            return original(self, list_id, targets)
+
+        monkeypatch.setattr(ServerCluster, "_migrate_list", flaky_migrate)
+        with pytest.raises(RuntimeError):
+            cluster.rebalance()
+        assert migrated, "test needs a proposal with at least two moves"
+        assert cluster.placement_epoch == 1

@@ -1,0 +1,261 @@
+"""Unit tests for the coordinator (cross-query slice coalescing)."""
+
+import pytest
+
+from repro.core.cluster import ServerCluster
+from repro.core.placement import HeatWeightedPlacement
+from repro.core.protocol import (
+    BatchFetchRequest,
+    CoalescedBatchRequest,
+    FetchRequest,
+)
+from repro.core.router import Coordinator
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError, ProtocolError, UnavailableError
+
+
+@pytest.fixture()
+def system(micro_corpus):
+    from repro import SystemConfig, ZerberRSystem
+
+    return ZerberRSystem.build(micro_corpus, SystemConfig(r=3.0, seed=22))
+
+
+@pytest.fixture()
+def deployment(system):
+    cluster, coordinator = system.deploy_cluster(num_servers=3)
+    return system, cluster, coordinator
+
+
+def _queries(system, num_queries, terms_per_query=2):
+    terms = [
+        t
+        for t in system.vocabulary.terms_by_frequency()
+        if system.vocabulary.document_frequency(t) >= 2
+    ]
+    queries = []
+    for i in range(num_queries):
+        start = (i * terms_per_query) % max(1, len(terms) - terms_per_query)
+        queries.append(terms[start : start + terms_per_query])
+    return queries
+
+
+class TestCoalescing:
+    def test_results_match_direct_path(self, deployment):
+        system, cluster, coordinator = deployment
+        queries = _queries(system, 6)
+        client = system.client_for("superuser", server=cluster)
+        direct = [client.query_multi_batched(q, 4) for q in queries]
+        results = coordinator.run_queries([(client, q, 4) for q in queries])
+        for d, r in zip(direct, results):
+            assert r.ranked == d.ranked
+            assert [t.elements_transferred for t in r.traces] == [
+                t.elements_transferred for t in d.traces
+            ]
+
+    def test_fewer_server_calls_than_direct(self, deployment):
+        system, cluster, coordinator = deployment
+        queries = _queries(system, 6)
+        client = system.client_for("superuser", server=cluster)
+        before = cluster.total_calls
+        for q in queries:
+            client.query_multi_batched(q, 4)
+        direct_calls = cluster.total_calls - before
+        before = cluster.total_calls
+        coordinator.run_queries([(client, q, 4) for q in queries])
+        coalesced_calls = cluster.total_calls - before
+        assert coalesced_calls < direct_calls
+
+    def test_identical_sessions_share_slices(self, deployment):
+        system, cluster, coordinator = deployment
+        query = _queries(system, 1)[0]
+        client = system.client_for("superuser", server=cluster)
+        coordinator.run_queries([(client, query, 4), (client, query, 4)])
+        stats = coordinator.stats
+        assert stats.slices_shared > 0
+        assert stats.slices_sent < stats.slices_requested
+
+    def test_distinct_principals_not_deduplicated(self, deployment):
+        system, cluster, coordinator = deployment
+        groups = set(system.corpus.groups())
+        system.register_user("router-a", groups)
+        system.register_user("router-b", groups)
+        query = _queries(system, 1)[0]
+        a = system.client_for("router-a", server=cluster)
+        b = system.client_for("router-b", server=cluster)
+        results = coordinator.run_queries([(a, query, 4), (b, query, 4)])
+        assert coordinator.stats.slices_shared == 0
+        assert results[0].ranked == results[1].ranked
+
+    def test_one_envelope_per_touched_server_per_tick(self, deployment):
+        system, cluster, coordinator = deployment
+        queries = _queries(system, 5)
+        client = system.client_for("superuser", server=cluster)
+        coordinator.run_queries([(client, q, 4) for q in queries])
+        assert (
+            coordinator.stats.server_calls
+            <= coordinator.stats.ticks * cluster.num_servers
+        )
+
+    def test_sessions_submitted_midway(self, deployment):
+        system, cluster, coordinator = deployment
+        queries = _queries(system, 2)
+        client = system.client_for("superuser", server=cluster)
+        first = coordinator.open_session(client, queries[0], 4)
+        coordinator.tick()
+        second = coordinator.open_session(client, queries[1], 4)
+        coordinator.run_until_complete()
+        direct = client.query_multi_batched(queries[1], 4)
+        assert second.result().ranked == direct.ranked
+        assert first.done
+
+
+class TestFailureAndEpoch:
+    def test_unavailable_list_raises_named_error(self, deployment):
+        system, cluster, coordinator = deployment
+        query = _queries(system, 1)[0]
+        list_id = system.merge_plan.list_of(query[0])
+        for server_index in cluster.replicas_of(list_id):
+            cluster.fail_server(server_index)
+        client = system.client_for("superuser", server=cluster)
+        coordinator.open_session(client, query, 4)
+        with pytest.raises(UnavailableError) as excinfo:
+            coordinator.tick()
+        assert excinfo.value.list_id == list_id
+
+    def test_stale_epoch_envelope_rejected(self, system):
+        cluster, _ = system.deploy_cluster(
+            num_servers=2, placement=HeatWeightedPlacement()
+        )
+        term = system.vocabulary.terms_by_frequency()[0]
+        list_id = system.merge_plan.list_of(term)
+        request = FetchRequest(
+            principal="superuser", list_id=list_id, offset=0, count=2
+        )
+        envelope = CoalescedBatchRequest(
+            batches=(
+                BatchFetchRequest(principal="superuser", requests=(request,)),
+            ),
+            slice_ids=(0,),
+            epoch=cluster.placement_epoch + 1,
+        )
+        with pytest.raises(ProtocolError):
+            cluster.serve_envelope(cluster.route(list_id), envelope)
+
+    def test_rebalance_mid_stream_preserves_results(self, system):
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=3,
+            placement=HeatWeightedPlacement(),
+            rebalance_every=1,
+        )
+        queries = _queries(system, 6)
+        client = system.client_for("superuser", server=cluster)
+        # Warm heat so the first rebalance actually has something to move.
+        for q in queries:
+            client.query_multi_batched(q, 4)
+        direct = [client.query_multi_batched(q, 4) for q in queries]
+        results = coordinator.run_queries([(client, q, 4) for q in queries])
+        for d, r in zip(direct, results):
+            assert r.ranked == d.ranked
+
+    def test_rebalance_every_validated(self, deployment):
+        _, cluster, _ = deployment
+        with pytest.raises(ConfigurationError):
+            Coordinator(cluster, rebalance_every=0)
+
+
+class TestSessionProtocol:
+    def test_deliver_wrong_count_rejected(self, deployment):
+        system, cluster, _ = deployment
+        query = _queries(system, 1)[0]
+        client = system.client_for("superuser", server=cluster)
+        session = client.open_multi_session(query, 4)
+        with pytest.raises(ProtocolError):
+            session.deliver(())
+
+    def test_result_before_done_rejected(self, deployment):
+        system, cluster, _ = deployment
+        query = _queries(system, 1)[0]
+        client = system.client_for("superuser", server=cluster)
+        session = client.open_multi_session(query, 4)
+        with pytest.raises(ProtocolError):
+            session.result()
+
+    def test_run_queries_rejects_concurrent_reuse(self, deployment):
+        system, cluster, coordinator = deployment
+        query = _queries(system, 1)[0]
+        client = system.client_for("superuser", server=cluster)
+        coordinator.open_session(client, query, 4)
+        with pytest.raises(ProtocolError):
+            coordinator.run_queries([(client, query, 4)])
+
+    def test_run_queries_bad_job_leaves_coordinator_usable(self, deployment):
+        """A failing job must not park earlier jobs' sessions forever."""
+        from repro.errors import UnknownTermError
+
+        system, cluster, coordinator = deployment
+        query = _queries(system, 1)[0]
+        client = system.client_for("superuser", server=cluster)
+        with pytest.raises(UnknownTermError):
+            coordinator.run_queries(
+                [(client, query, 4), (client, ["no-such-term"], 4)]
+            )
+        assert coordinator.active_sessions == 0
+        direct = client.query_multi_batched(query, 4)
+        results = coordinator.run_queries([(client, query, 4)])
+        assert results[0].ranked == direct.ranked
+
+    def test_session_on_other_backend_rejected(self, deployment):
+        """A session bound to a different backend must not be scheduled."""
+        system, cluster, coordinator = deployment
+        query = _queries(system, 1)[0]
+        single_server_client = system.client_for("superuser")
+        session = single_server_client.open_multi_session(query, 4)
+        with pytest.raises(ConfigurationError):
+            coordinator.submit(session)
+        assert coordinator.active_sessions == 0
+
+    def test_duplicate_submit_rejected(self, deployment):
+        system, cluster, coordinator = deployment
+        query = _queries(system, 1)[0]
+        client = system.client_for("superuser", server=cluster)
+        session = coordinator.open_session(client, query, 4)
+        with pytest.raises(ProtocolError):
+            coordinator.submit(session)
+        coordinator.run_until_complete()
+        assert session.done
+
+    def test_failed_run_does_not_wedge_coordinator(self, deployment):
+        """An outage mid-run evicts the jobs so later runs can proceed."""
+        system, cluster, coordinator = deployment
+        queries = _queries(system, 2)
+        down_list = system.merge_plan.list_of(queries[0][0])
+        for server_index in cluster.replicas_of(down_list):
+            cluster.fail_server(server_index)
+        client = system.client_for("superuser", server=cluster)
+        with pytest.raises(UnavailableError):
+            coordinator.run_queries([(client, queries[0], 4)])
+        assert coordinator.active_sessions == 0
+        for server_index in range(cluster.num_servers):
+            cluster.restore_server(server_index)
+        results = coordinator.run_queries([(client, queries[1], 4)])
+        assert results[0].ranked == client.query_multi_batched(queries[1], 4).ranked
+
+    def test_done_at_submit_sessions_are_pruned(self, deployment):
+        system, cluster, coordinator = deployment
+        client = system.client_for("superuser", server=cluster)
+        session = coordinator.open_session(client, [], 4)
+        assert session.done
+        assert coordinator.tick() is False
+        assert not coordinator._sessions
+        assert coordinator.stats.sessions_completed == 1
+        assert session.result().ranked == ()
+
+    def test_client_for_caches_per_backend(self, deployment):
+        """One client (one nonce sequence) per (principal, backend)."""
+        system, cluster, _ = deployment
+        a = system.client_for("superuser", server=cluster)
+        b = system.client_for("superuser", server=cluster)
+        assert a is b
+        assert system.client_for("superuser") is system.client_for("superuser")
+        assert system.client_for("superuser") is not a

@@ -91,6 +91,37 @@ class TestKeyHandout:
         nonce = b"n" * 16
         assert cipher.decrypt(cipher.encrypt(b"x", nonce)) == b"x"
 
+    def test_nonce_sequence_is_singleton_per_member(self, service):
+        """Two lookups share one counter — nonces never restart at 0."""
+        a = service.nonce_sequence("alice", "g1")
+        first = a.next()
+        b = service.nonce_sequence("alice", "g1")
+        assert b is a
+        assert b.next() != first
+
+    def test_nonce_sequence_member_and_group_separated(self, service):
+        assert service.nonce_sequence("alice", "g1") is not service.nonce_sequence(
+            "bob", "g1"
+        )
+        assert service.nonce_sequence("bob", "g1") is not service.nonce_sequence(
+            "bob", "g2"
+        )
+
+    def test_nonce_sequence_requires_membership(self, service):
+        with pytest.raises(AccessDeniedError):
+            service.nonce_sequence("alice", "g2")
+
+    def test_nonce_sequence_denied_after_revocation(self, service):
+        before = service.nonce_sequence("bob", "g2")
+        before.next()
+        service.revoke("bob", "g2")
+        with pytest.raises(AccessDeniedError):
+            service.nonce_sequence("bob", "g2")
+        # Re-enrolling resumes the counter rather than restarting it.
+        service.enroll("bob", "g2")
+        after = service.nonce_sequence("bob", "g2")
+        assert after is before
+
     def test_unseen_term_prf_shared_within_group(self, service):
         prf_a = service.unseen_term_prf("alice", "g1")
         prf_b = service.unseen_term_prf("bob", "g1")

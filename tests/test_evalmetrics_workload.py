@@ -5,6 +5,7 @@ import pytest
 from repro.core.protocol import ResponsePolicy
 from repro.evalmetrics.workload import (
     batched_workload_requests,
+    coalesced_workload_requests,
     cumulative_workload_curve,
     expected_first_position,
     expected_num_requests,
@@ -133,3 +134,56 @@ class TestBatchedRequestModel:
         terms = ["freq", "mid", "rare"]
         expected = expected_num_requests("freq", terms, DFS, 10, self.POLICY)
         assert (per_list, batched) == (expected, expected)
+
+
+class TestCoalescedRequestModel:
+    POLICY = ResponsePolicy(initial_size=10)
+    # Two merged lists so queries can touch different shards.
+    DFS = {"freq": 100, "mid": 50, "rare": 2, "other": 40}
+    PLAN = MergePlan(groups=(("freq", "mid", "rare"), ("other",)), r=10.0)
+
+    def test_single_query_coalesced_equals_direct(self):
+        direct, coalesced = coalesced_workload_requests(
+            self.PLAN, [["freq", "other"]], self.DFS, 10, self.POLICY, 2
+        )
+        assert direct == coalesced
+
+    def test_concurrent_identical_queries_share_calls(self):
+        one_direct, one_coalesced = coalesced_workload_requests(
+            self.PLAN, [["freq", "other"]], self.DFS, 10, self.POLICY, 2
+        )
+        direct, coalesced = coalesced_workload_requests(
+            self.PLAN, [["freq", "other"]] * 8, self.DFS, 10, self.POLICY, 2
+        )
+        # Direct clients each pay their own calls; the coordinator serves
+        # all eight from the shared per-shard envelopes of one query.
+        assert direct == 8 * one_direct
+        assert coalesced == one_coalesced
+
+    def test_coalesced_never_exceeds_direct(self):
+        queries = [["freq"], ["mid", "other"], ["rare", "freq"], ["other"]]
+        direct, coalesced = coalesced_workload_requests(
+            self.PLAN, queries, self.DFS, 10, self.POLICY, 3
+        )
+        assert 0 < coalesced <= direct
+
+    def test_coalesced_bounded_by_servers_times_ticks(self):
+        queries = [["freq", "other"]] * 5
+        terms = ["freq", "mid", "rare"]
+        horizon = expected_num_requests("freq", terms, self.DFS, 10, self.POLICY)
+        _, coalesced = coalesced_workload_requests(
+            self.PLAN, queries, self.DFS, 10, self.POLICY, 2
+        )
+        assert coalesced <= 2 * max(
+            horizon,
+            expected_num_requests("other", ["other"], self.DFS, 10, self.POLICY),
+        )
+
+    def test_empty_and_unknown_queries(self):
+        assert coalesced_workload_requests(
+            self.PLAN, [["alien"]], self.DFS, 10, self.POLICY, 2
+        ) == (0, 0)
+        with pytest.raises(ValueError):
+            coalesced_workload_requests(
+                self.PLAN, [["freq"]], self.DFS, 10, self.POLICY, 0
+            )
