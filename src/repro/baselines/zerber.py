@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.client import QueryResult, RankedHit
+from repro.core.client import QueryResult, RankedHit, skim_plaintexts
 from repro.core.protocol import QueryTrace
 from repro.corpus.documents import Corpus
 from repro.crypto.cipher import NonceSequence, StreamCipher
@@ -126,9 +126,12 @@ class ZerberClient:
             elements_transferred=len(elements),
             bits_transferred=sum(e.size_bits for e in elements),
         )
+        # Zerber downloads the WHOLE merged list, so the skim is the
+        # dominant client cost — batch it per group (the server already
+        # filtered to groups this principal belongs to).
+        plaintexts = skim_plaintexts(elements, self._cipher)
         hits: list[RankedHit] = []
-        for element in elements:
-            plaintext = self._cipher(element.group).try_decrypt(element.ciphertext)
+        for element, plaintext in zip(elements, plaintexts):
             if plaintext is None:
                 continue
             posting = PostingElement.from_bytes(plaintext)

@@ -27,6 +27,7 @@ from repro.core.protocol import (
     ResponsePolicy,
 )
 from repro.core.server import ZerberRServer
+from repro.core.ordstat import OrderStatList
 from repro.core.views import ReadableViewIndex, ViewStats
 from repro.core.client import (
     ClientQuerySession,
@@ -70,6 +71,7 @@ __all__ = [
     "QueryTrace",
     "ResponsePolicy",
     "ZerberRServer",
+    "OrderStatList",
     "ReadableViewIndex",
     "ViewStats",
     "ClientQuerySession",

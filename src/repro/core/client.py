@@ -62,6 +62,34 @@ class RankedHit:
     group: str
 
 
+def skim_plaintexts(
+    elements: Sequence[EncryptedPostingElement],
+    cipher_for,
+    readable: set[str] | frozenset[str] | None = None,
+) -> list[bytes | None]:
+    """Batch-decrypt a fetched slice, one entry per element in order.
+
+    Groups the elements per owning group and runs one
+    :meth:`~repro.crypto.cipher.StreamCipher.try_decrypt_many` call per
+    group (``cipher_for(group)`` supplies the cipher), so the skim costs
+    one cipher call per readable group rather than one per element.
+    Elements whose group is not in *readable* (``None`` = skim all) and
+    elements that fail authentication yield ``None``.
+    """
+    by_group: dict[str, list[int]] = {}
+    for index, element in enumerate(elements):
+        if readable is None or element.group in readable:
+            by_group.setdefault(element.group, []).append(index)
+    plaintexts: list[bytes | None] = [None] * len(elements)
+    for group, indices in by_group.items():
+        decrypted = cipher_for(group).try_decrypt_many(
+            [elements[i].ciphertext for i in indices]
+        )
+        for i, plaintext in zip(indices, decrypted):
+            plaintexts[i] = plaintext
+    return plaintexts
+
+
 @dataclass(frozen=True)
 class QueryResult:
     """Top-k hits plus the session's cost trace."""
@@ -426,15 +454,17 @@ class ZerberRClient:
         """Decrypt readable elements and keep those matching *term*.
 
         Returns the hits plus their server-visible TRS values (needed for
-        the completeness check of :meth:`_topk_complete`).
+        the completeness check of :meth:`_topk_complete`).  The skim is
+        batched per group through :func:`skim_plaintexts`, so a fetched
+        slice costs one cipher call per readable group rather than one
+        per element.
         """
+        plaintexts = skim_plaintexts(
+            elements, self._cipher, self._readable_groups()
+        )
         matches: list[RankedHit] = []
         trs_values: list[float] = []
-        readable = self._readable_groups()
-        for element in elements:
-            if element.group not in readable:
-                continue
-            plaintext = self._cipher(element.group).try_decrypt(element.ciphertext)
+        for element, plaintext in zip(elements, plaintexts):
             if plaintext is None:
                 continue
             posting = PostingElement.from_bytes(plaintext)

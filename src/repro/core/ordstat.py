@@ -1,0 +1,238 @@
+"""Positional order-statistic list: an indexable skip list.
+
+The readable views of :mod:`repro.core.views` need a sequence that is
+simultaneously *sorted* (patches locate their position by sort key) and
+*positional* (fetches slice it by ``(offset, count)``).  A plain Python
+list does the key search in O(log n) via ``bisect`` but pays an O(n)
+memmove per insert/delete; at paper-scale head lists that tail shift is
+the patch cost.
+
+:class:`OrderStatList` is a skip list whose forward links carry *widths*
+(the number of level-0 hops they skip), following the classic indexable
+skip-list design (Pugh's lists + order-statistic ranks).  That makes all
+four operations logarithmic:
+
+* ``insert(key, value)`` — O(log n), lands *after* existing equal keys
+  (``bisect_right`` semantics, matching
+  ``MergedPostingList.add_sorted_by_trs``);
+* ``pop(position)`` — O(log n) positional delete;
+* ``slice(start, count)`` — O(log n + count): descend by widths to
+  *start*, then walk ``count`` level-0 links;
+* ``bisect_left/right(key)`` — O(log n) rank queries.
+
+Tower heights are drawn from a private seeded RNG so behaviour is
+deterministic across runs; :meth:`from_sorted` bulk-builds in O(n) by
+linking each new node behind per-level tail pointers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+_MAX_LEVEL = 24  # comfortably supports ~2**24 elements
+_DEFAULT_SEED = 0x5EED
+
+
+class _Node:
+    __slots__ = ("key", "value", "next", "width")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.next: list[_Node | None] = [None] * level
+        self.width: list[int] = [0] * level
+
+
+class OrderStatList:
+    """Sorted, positionally-indexable container of ``(key, value)`` pairs."""
+
+    __slots__ = ("_head", "_size", "_rng")
+
+    def __init__(self, seed: int = _DEFAULT_SEED) -> None:
+        self._rng = random.Random(seed)
+        # Head widths span to the virtual end: position(end) - position(head)
+        # with the head at position 0 and element i at position i + 1.
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._head.width = [1] * _MAX_LEVEL
+        self._size = 0
+
+    @classmethod
+    def from_sorted(
+        cls, items: Iterable[tuple[Any, Any]], seed: int = _DEFAULT_SEED
+    ) -> "OrderStatList":
+        """Bulk-build from key-sorted ``(key, value)`` pairs in O(n).
+
+        The caller vouches for the ordering (views build from an already
+        TRS-sorted merged list); ties keep their input order, matching a
+        sequence of bisect-right inserts.
+        """
+        self = cls(seed=seed)
+        head = self._head
+        tails: list[_Node] = [head] * _MAX_LEVEL
+        tail_pos = [0] * _MAX_LEVEL
+        random_level = self._random_level
+        position = 0
+        for key, value in items:
+            position += 1
+            level = random_level()
+            node = _Node(key, value, level)
+            for i in range(level):
+                prev = tails[i]
+                prev.next[i] = node
+                prev.width[i] = position - tail_pos[i]
+                tails[i] = node
+                tail_pos[i] = position
+        self._size = position
+        end = position + 1
+        for i in range(_MAX_LEVEL):
+            tails[i].width[i] = end - tail_pos[i]
+        return self
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < 0.5:
+            level += 1
+        return level
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- key-ordered writes ----------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> int:
+        """Insert keeping key order, *after* existing equal keys.
+
+        Returns the insertion position (``bisect_right`` of *key* before
+        the insert).
+        """
+        chain: list[_Node] = [self._head] * _MAX_LEVEL
+        steps_at_level = [0] * _MAX_LEVEL
+        node = self._head
+        for level in reversed(range(_MAX_LEVEL)):
+            nxt = node.next[level]
+            while nxt is not None and nxt.key <= key:
+                steps_at_level[level] += node.width[level]
+                node = nxt
+                nxt = node.next[level]
+            chain[level] = node
+        position = sum(steps_at_level)
+        new_level = self._random_level()
+        new_node = _Node(key, value, new_level)
+        steps = 0
+        for level in range(new_level):
+            prev = chain[level]
+            new_node.next[level] = prev.next[level]
+            prev.next[level] = new_node
+            new_node.width[level] = prev.width[level] - steps
+            prev.width[level] = steps + 1
+            steps += steps_at_level[level]
+        for level in range(new_level, _MAX_LEVEL):
+            chain[level].width[level] += 1
+        self._size += 1
+        return position
+
+    def pop(self, position: int) -> Any:
+        """Remove and return the value at *position* (0-based)."""
+        if not 0 <= position < self._size:
+            raise IndexError("pop position out of range")
+        target = position + 1  # node positions are 1-based past the head
+        chain: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        pos = 0
+        for level in reversed(range(_MAX_LEVEL)):
+            while pos + node.width[level] < target:
+                pos += node.width[level]
+                node = node.next[level]  # type: ignore[assignment]
+            chain[level] = node
+        victim = chain[0].next[0]
+        assert victim is not None
+        victim_level = len(victim.next)
+        for level in range(_MAX_LEVEL):
+            prev = chain[level]
+            if level < victim_level and prev.next[level] is victim:
+                prev.width[level] += victim.width[level] - 1
+                prev.next[level] = victim.next[level]
+            else:
+                prev.width[level] -= 1
+        self._size -= 1
+        return victim.value
+
+    # -- positional reads ------------------------------------------------------
+
+    def __getitem__(self, position: int) -> Any:
+        if not 0 <= position < self._size:
+            raise IndexError("position out of range")
+        node = self._head
+        remaining = position + 1
+        for level in reversed(range(_MAX_LEVEL)):
+            while node.width[level] <= remaining:
+                remaining -= node.width[level]
+                node = node.next[level]  # type: ignore[assignment]
+        return node.value
+
+    def slice(self, start: int, count: int) -> list[Any]:
+        """Values at positions ``[start, start + count)`` — O(log n + count).
+
+        Out-of-range spans clamp like Python list slicing (no errors, a
+        short or empty result instead).
+        """
+        if start < 0 or count < 0:
+            raise ValueError("start and count must be non-negative")
+        if start >= self._size or count == 0:
+            return []
+        node = self._head
+        remaining = start + 1
+        for level in reversed(range(_MAX_LEVEL)):
+            while node.width[level] <= remaining:
+                remaining -= node.width[level]
+                node = node.next[level]  # type: ignore[assignment]
+        out = []
+        append = out.append
+        walker: _Node | None = node
+        for _ in range(min(count, self._size - start)):
+            assert walker is not None
+            append(walker.value)
+            walker = walker.next[0]
+        return out
+
+    def __iter__(self) -> Iterator[Any]:
+        """All values in order (O(n); not for the fetch hot path)."""
+        node = self._head.next[0]
+        while node is not None:
+            yield node.value
+            node = node.next[0]
+
+    def keys(self) -> Iterator[Any]:
+        """All keys in order (O(n); diagnostics and tests)."""
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key
+            node = node.next[0]
+
+    # -- rank queries ----------------------------------------------------------
+
+    def bisect_left(self, key: Any) -> int:
+        """Number of elements with a key strictly smaller than *key*."""
+        node = self._head
+        rank = 0
+        for level in reversed(range(_MAX_LEVEL)):
+            nxt = node.next[level]
+            while nxt is not None and nxt.key < key:
+                rank += node.width[level]
+                node = nxt
+                nxt = node.next[level]
+        return rank
+
+    def bisect_right(self, key: Any) -> int:
+        """Number of elements with a key smaller than or equal to *key*."""
+        node = self._head
+        rank = 0
+        for level in reversed(range(_MAX_LEVEL)):
+            nxt = node.next[level]
+            while nxt is not None and nxt.key <= key:
+                rank += node.width[level]
+                node = nxt
+                nxt = node.next[level]
+        return rank

@@ -16,12 +16,15 @@ cluster can be built with:
   least-loaded servers, so two head-term lists no longer share a shard
   just because their ids are congruent mod N.
 
-A policy is stateless: the cluster owns the authoritative placement table
-and a monotonically increasing *placement epoch*, and calls
-:meth:`PlacementPolicy.propose` with the measured heat when asked to
-rebalance.  Only read load is balanced — fetches are served by the first
-live replica, so a list's entire heat lands on its primary; trailing
-replicas exist for availability and carry write load only.
+The cluster owns the authoritative placement table and a monotonically
+increasing *placement epoch*, and calls :meth:`PlacementPolicy.propose`
+with the measured heat when asked to rebalance.  Policies carry no
+placement state of their own; the heat-weighted policy may carry *decay*
+state (an exponentially-weighted view of the cumulative counters) so a
+briefly-hot list stops pinning placement once its traffic fades.  Only
+read load is balanced — fetches are served by the first live replica, so
+a list's entire heat lands on its primary; trailing replicas exist for
+availability and carry write load only.
 """
 
 from __future__ import annotations
@@ -142,6 +145,16 @@ class HeatWeightedPlacement(PlacementPolicy):
     (zero observed fetches) keep their current placement — moving them
     costs a migration and buys nothing.
 
+    ``heat_half_life`` adds exponential decay on top of the cluster's
+    *cumulative* fetch counters: each :meth:`propose` call is one decay
+    tick, new fetches since the previous call arrive at full weight, and
+    older traffic halves every ``heat_half_life`` ticks.  A list that was
+    hot for one burst therefore stops dominating placement after a few
+    rebalance cycles instead of pinning its server forever; once its
+    decayed heat falls below half a fetch it counts as cold again.
+    ``None`` (the default) disables decay — cumulative counters are used
+    as-is, the pre-decay behaviour.
+
     Greedy longest-processing-time packing is within 4/3 of the optimal
     makespan, which is far better than what ``mod`` does to a Zipf
     workload where hot lists happen to collide.
@@ -149,12 +162,60 @@ class HeatWeightedPlacement(PlacementPolicy):
 
     name = "heat-weighted"
 
+    _COLD_THRESHOLD = 0.5  # decayed heat below half a fetch counts as cold
+
+    def __init__(self, heat_half_life: float | None = None) -> None:
+        if heat_half_life is not None and heat_half_life <= 0:
+            raise ConfigurationError("heat_half_life must be positive")
+        self.heat_half_life = heat_half_life
+        # Decay state: EWMA of fetch activity plus the last cumulative
+        # counter seen per list (to turn cumulative heat into deltas).
+        self._decayed: dict[int, float] = {}
+        self._last_seen: dict[int, int] = {}
+
     def initial_placement(
         self, num_lists: int, num_servers: int, replication: int
     ) -> Placement:
         return RoundRobinPlacement().initial_placement(
             num_lists, num_servers, replication
         )
+
+    def _next_tick(self, heat: Mapping[int, int]) -> dict[int, float]:
+        """One decay step applied to the current state, without committing.
+
+        The previous effective heat decays by ``0.5 ** (1 / half_life)``
+        and the fetches since the last committed tick arrive at full
+        weight; entries below ``_COLD_THRESHOLD`` are dropped.
+        """
+        factor = 0.5 ** (1.0 / self.heat_half_life)  # type: ignore[operator]
+        updated: dict[int, float] = {}
+        for list_id in self._decayed.keys() | heat.keys():
+            delta = heat.get(list_id, 0) - self._last_seen.get(list_id, 0)
+            value = self._decayed.get(list_id, 0.0) * factor + delta
+            if value >= self._COLD_THRESHOLD:
+                updated[list_id] = value
+        return updated
+
+    def effective_heat(self, heat: Mapping[int, int]) -> dict[int, float]:
+        """The heat the next :meth:`propose` would rank by — pure preview.
+
+        Observing heat must not advance the decay clock (only
+        :meth:`propose` — one call per rebalance cycle — ticks it), so
+        this can be called freely by operators, benchmarks and tests.
+        """
+        if self.heat_half_life is None:
+            return {list_id: float(count) for list_id, count in heat.items()}
+        return self._next_tick(heat)
+
+    def _tick(self, heat: Mapping[int, int]) -> dict[int, float]:
+        """Advance the decay clock by one rebalance cycle."""
+        if self.heat_half_life is None:
+            return {list_id: float(count) for list_id, count in heat.items()}
+        self._decayed = self._next_tick(heat)
+        for list_id, cumulative in heat.items():
+            if cumulative:
+                self._last_seen[list_id] = cumulative
+        return dict(self._decayed)
 
     def propose(
         self,
@@ -171,16 +232,21 @@ class HeatWeightedPlacement(PlacementPolicy):
             # Not enough live servers to host a full replica set — moving
             # anything now would strand data; wait for recovery.
             return {}
+        effective = self._tick(heat)
         hot = sorted(
-            (list_id for list_id in range(len(current)) if heat.get(list_id, 0) > 0),
-            key=lambda list_id: (-heat[list_id], list_id),
+            (
+                list_id
+                for list_id in range(len(current))
+                if effective.get(list_id, 0.0) > 0
+            ),
+            key=lambda list_id: (-effective[list_id], list_id),
         )
         loads = {s: 0.0 for s in live}
         proposal: dict[int, tuple[int, ...]] = {}
         for list_id in hot:
             order = sorted(live, key=lambda s: (loads[s], s))
             replicas = tuple(order[:replication])
-            loads[replicas[0]] += heat[list_id]
+            loads[replicas[0]] += effective[list_id]
             if replicas != tuple(current[list_id]):
                 proposal[list_id] = replicas
         return proposal

@@ -18,9 +18,10 @@ Two throughput mechanisms sit on the fetch path:
 * **Incremental readable views** — the per-principal readable sub-list a
   fetch slices is maintained by a
   :class:`~repro.core.views.ReadableViewIndex`: inserts and deletes patch
-  cached views in place (bisect + positional splice) instead of forcing
-  a full membership-filtered rebuild of the merged list, and an LRU over
-  ``(list, principal)`` pairs bounds the memory.
+  cached views in place (O(log n) order-statistic skip-list updates)
+  instead of forcing a full membership-filtered rebuild of the merged
+  list, fetches extract ``(offset, count)`` slices in O(log n + count),
+  and an LRU over ``(list, principal)`` pairs bounds the memory.
 
 Everything the server can observe — stored TRS values, group tags, and the
 stream of fetch requests — is exactly what the threat-model adversary gets
@@ -292,9 +293,10 @@ class ZerberRServer:
         self, request: FetchRequest, batch_id: int | None
     ) -> FetchResponse:
         merged = self._list(request.list_id)
-        readable = self._views.get(merged, request.principal)
-        slice_ = readable[request.offset : request.offset + request.count]
-        exhausted = request.offset + request.count >= len(readable)
+        slice_, readable_length = self._views.slice(
+            merged, request.principal, request.offset, request.count
+        )
+        exhausted = request.offset + request.count >= readable_length
         self._fetch_counts[request.list_id] = (
             self._fetch_counts.get(request.list_id, 0) + 1
         )

@@ -9,13 +9,20 @@ O(list) per mutation.
 
 :class:`ReadableViewIndex` keeps the readable sub-lists *incrementally*:
 server mutators notify it of each insert/delete, and a cached view whose
-version is exactly one behind the list is patched — an O(log n) bisect
-on the view's parallel TRS-key list plus one positional insert/delete
-(an O(view) tail shift, but no re-scan, no membership checks, no key
-rederivation) — instead of rebuilt from the full merged list.  Views that fall further behind — e.g. after a bulk
-load, or when tests mutate list internals directly — fail the version
-check and rebuild lazily on next access, so correctness never depends on
-every mutation being routed through the notifications.
+version is exactly one behind the list is patched instead of rebuilt.
+Views that fall further behind — e.g. after a bulk load, or when tests
+mutate list internals directly — fail the version check and rebuild
+lazily on next access, so correctness never depends on every mutation
+being routed through the notifications.
+
+Performance model: each view is an
+:class:`~repro.core.ordstat.OrderStatList` (an indexable skip list)
+keyed by the merged list's descending-TRS sort key, so
+
+* an insert/delete patch is a true O(log n) — no O(view) tail memmove,
+  which is what the earlier bisect-and-splice representation paid;
+* the fetch path asks for ``slice(offset, count)`` directly, which costs
+  O(log n + count) — the server never materialises the whole sub-list.
 
 Freshness is two-dimensional: a cached view is served only while the
 list *version* and the principal's *membership snapshot* both match, so
@@ -33,11 +40,11 @@ rebuilds.
 
 from __future__ import annotations
 
-import bisect
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.crypto.keys import GroupKeyService
+from repro.core.ordstat import OrderStatList
 from repro.errors import ConfigurationError
 from repro.index.postings import EncryptedPostingElement, MergedPostingList
 
@@ -56,25 +63,24 @@ class ViewStats:
 
 
 class _ReadableView:
-    """One materialised readable sub-list with its parallel sort keys.
+    """One materialised readable sub-list as an order-statistic list.
 
+    ``data`` holds ``(sort_key, element)`` pairs in merged-list order.
     ``memberships`` is the principal's group set at build time: a view is
     only fresh while both the list version AND the memberships match, so
     an enroll/revoke between requests forces a rebuild instead of serving
     (or withholding) elements under stale access rights.
     """
 
-    __slots__ = ("elements", "keys", "version", "memberships")
+    __slots__ = ("data", "version", "memberships")
 
     def __init__(
         self,
-        elements: list[EncryptedPostingElement],
-        keys: list[float],
+        data: OrderStatList,
         version: int,
         memberships: frozenset[str],
     ) -> None:
-        self.elements = elements
-        self.keys = keys
+        self.data = data
         self.version = version
         self.memberships = memberships
 
@@ -102,10 +108,10 @@ class ReadableViewIndex:
 
     # -- read path -----------------------------------------------------------
 
-    def get(
+    def _fresh_view(
         self, merged: MergedPostingList, principal: str
-    ) -> list[EncryptedPostingElement]:
-        """The principal's readable sub-list of *merged*, in list order."""
+    ) -> _ReadableView:
+        """The up-to-date view of ``(merged, principal)``, building if needed."""
         cache_key = (merged.list_id, principal)
         view = self._views.get(cache_key)
         if (
@@ -115,21 +121,45 @@ class ReadableViewIndex:
         ):
             self.stats.hits += 1
             self._views.move_to_end(cache_key)
-            return view.elements
+            return view
         if view is None:
             self.stats.misses += 1
         else:
             self.stats.stale_rebuilds += 1
         view = self._build(merged, principal)
         self._store(cache_key, view)
-        return view.elements
+        return view
+
+    def slice(
+        self, merged: MergedPostingList, principal: str, offset: int, count: int
+    ) -> tuple[list[EncryptedPostingElement], int]:
+        """One fetchable slice of the principal's readable sub-list.
+
+        Returns ``(elements[offset : offset + count], readable_length)``
+        in O(log n + count) on a cached view — the fetch hot path never
+        materialises the rest of the sub-list.
+        """
+        view = self._fresh_view(merged, principal)
+        return view.data.slice(offset, count), len(view.data)
+
+    def get(
+        self, merged: MergedPostingList, principal: str
+    ) -> list[EncryptedPostingElement]:
+        """The principal's FULL readable sub-list of *merged*, in list order.
+
+        O(view) materialisation — kept for tests and diagnostics; the
+        fetch path uses :meth:`slice`.
+        """
+        return list(self._fresh_view(merged, principal).data)
 
     def _build(self, merged: MergedPostingList, principal: str) -> _ReadableView:
         self.stats.full_builds += 1
         memberships = self._keys.membership_snapshot(principal)
-        elements = [e for e in merged.elements if e.group in memberships]
-        keys = [MergedPostingList.sort_key(e) for e in elements]
-        return _ReadableView(elements, keys, merged.version, memberships)
+        sort_key = MergedPostingList.sort_key
+        data = OrderStatList.from_sorted(
+            (sort_key(e), e) for e in merged.elements if e.group in memberships
+        )
+        return _ReadableView(data, merged.version, memberships)
 
     def _store(self, cache_key: tuple[int, str], view: _ReadableView) -> None:
         self._views[cache_key] = view
@@ -164,15 +194,12 @@ class ReadableViewIndex:
                 continue
             # Patch against the view's own membership snapshot so the view
             # stays internally consistent; a concurrent enroll/revoke is
-            # caught by the snapshot comparison on the next get().
+            # caught by the snapshot comparison on the next read.
             if element.group in view.memberships:
-                key = MergedPostingList.sort_key(element)
-                # bisect_right mirrors MergedPostingList.add_sorted_by_trs:
-                # ties land after existing equals in both, so the view's
-                # relative order always matches the list's.
-                position = bisect.bisect_right(view.keys, key)
-                view.keys.insert(position, key)
-                view.elements.insert(position, element)
+                # OrderStatList.insert places ties after existing equals,
+                # mirroring MergedPostingList.add_sorted_by_trs, so the
+                # view's relative order always matches the list's.
+                view.data.insert(MergedPostingList.sort_key(element), element)
                 self.stats.incremental_updates += 1
             view.version = merged.version
 
@@ -186,12 +213,13 @@ class ReadableViewIndex:
                 continue
             if element.group in view.memberships:
                 key = MergedPostingList.sort_key(element)
-                low = bisect.bisect_left(view.keys, key)
-                high = bisect.bisect_right(view.keys, key)
-                for position in range(low, high):
-                    if view.elements[position].ciphertext == element.ciphertext:
-                        del view.elements[position]
-                        del view.keys[position]
+                low = view.data.bisect_left(key)
+                high = view.data.bisect_right(key)
+                for position, candidate in enumerate(
+                    view.data.slice(low, high - low), start=low
+                ):
+                    if candidate.ciphertext == element.ciphertext:
+                        view.data.pop(position)
                         self.stats.incremental_updates += 1
                         break
                 else:

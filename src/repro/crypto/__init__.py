@@ -8,17 +8,29 @@ installable offline, so we build a PRF-based authenticated stream cipher on
 code path the paper needs — encrypt on insert, decrypt + integrity-check on
 query, random-looking incompressible ciphertext (§6.6) — and must not be
 mistaken for an audited production cipher.
+
+The layer is tuned for the fetch hot path: precomputed hash states, a
+one-squeeze XOF keystream, batch skims and bounded caches — see
+:mod:`repro.crypto.prf` and :mod:`repro.crypto.cipher` for the perf model.
 """
 
-from repro.crypto.prf import Prf, derive_key
-from repro.crypto.cipher import NonceSequence, StreamCipher, encrypt, decrypt
+from repro.crypto.prf import Prf, XofKeystream, derive_key
+from repro.crypto.cipher import (
+    NonceSequence,
+    StreamCipher,
+    cipher_for_key,
+    encrypt,
+    decrypt,
+)
 from repro.crypto.keys import GroupKeyService, Principal
 
 __all__ = [
     "Prf",
+    "XofKeystream",
     "derive_key",
     "StreamCipher",
     "NonceSequence",
+    "cipher_for_key",
     "encrypt",
     "decrypt",
     "GroupKeyService",

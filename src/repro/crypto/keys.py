@@ -43,6 +43,13 @@ class GroupKeyService:
         self._groups: dict[str, bytes] = {}
         self._principals: dict[str, Principal] = {}
         self._nonce_sequences: dict[tuple[str, str], NonceSequence] = {}
+        # Hot-path object caches: building a StreamCipher (two subkey
+        # derivations plus hash key schedules) or an unseen-term Prf per
+        # call would dominate the skim path.  Membership is re-checked on
+        # every lookup, so a hit can never outlive a revocation; entries
+        # are additionally dropped on enroll/revoke (belt and braces).
+        self._ciphers: dict[tuple[str, str], StreamCipher] = {}
+        self._unseen_prfs: dict[tuple[str, str], Prf] = {}
 
     # -- groups --------------------------------------------------------------
 
@@ -77,11 +84,18 @@ class GroupKeyService:
         principal = self._principal(name)
         self.ensure_group(group)
         principal.groups.add(group)
+        self._invalidate(name, group)
 
     def revoke(self, name: str, group: str) -> None:
         """Remove a principal from a group."""
         principal = self._principal(name)
         principal.groups.discard(group)
+        self._invalidate(name, group)
+
+    def _invalidate(self, name: str, group: str) -> None:
+        """Drop cached crypto objects of one (principal, group) pair."""
+        self._ciphers.pop((name, group), None)
+        self._unseen_prfs.pop((name, group), None)
 
     def _principal(self, name: str) -> Principal:
         principal = self._principals.get(name)
@@ -117,8 +131,21 @@ class GroupKeyService:
         return self._groups[group]
 
     def cipher_for(self, principal: str, group: str) -> StreamCipher:
-        """A ready-to-use cipher for a member of *group*."""
-        return StreamCipher(self.group_key(principal, group))
+        """THE ready-to-use cipher of a member of *group* — cached.
+
+        Membership is checked on EVERY call, not just the cache miss, so a
+        revoked principal loses access immediately; the cached
+        :class:`StreamCipher` itself is stateless (nonces are
+        caller-supplied), so sharing it across calls is safe.
+        """
+        if not self.is_member(principal, group):
+            raise AccessDeniedError(principal, group)
+        cache_key = (principal, group)
+        cipher = self._ciphers.get(cache_key)
+        if cipher is None:
+            cipher = StreamCipher(self._groups[group])
+            self._ciphers[cache_key] = cipher
+        return cipher
 
     def nonce_sequence(self, principal: str, group: str) -> NonceSequence:
         """THE nonce sequence of a (member, group) pair — a singleton.
@@ -152,6 +179,14 @@ class GroupKeyService:
 
         Keyed per group so that adversaries cannot precompute the TRS of
         candidate terms, but shared by all members so concurrent inserts of
-        the same term agree (paper §5.1.1).
+        the same term agree (paper §5.1.1).  Cached per (principal, group)
+        with membership re-checked every call, like :meth:`cipher_for`.
         """
-        return Prf(derive_key(self.group_key(principal, group), "unseen-trs"))
+        if not self.is_member(principal, group):
+            raise AccessDeniedError(principal, group)
+        cache_key = (principal, group)
+        prf = self._unseen_prfs.get(cache_key)
+        if prf is None:
+            prf = Prf(derive_key(self._groups[group], "unseen-trs"))
+            self._unseen_prfs[cache_key] = prf
+        return prf

@@ -1,24 +1,51 @@
-"""HMAC-SHA256 pseudo-random function and key derivation."""
+"""HMAC-SHA256 pseudo-random function and key derivation.
+
+Performance model: a fresh ``hmac.new(key, ...)`` pays the HMAC key
+schedule (masking the key with ipad/opad and compressing both 64-byte
+blocks) on every call, plus the ``hmac`` module's per-object overhead.  A
+:class:`Prf` therefore precomputes the two keyed SHA-256 states once at
+construction and answers every :meth:`evaluate` from ``.copy()`` of those
+states — six C-level hashlib calls per PRF block, no re-keying, byte
+identical to ``hmac.new(key, message, sha256).digest()``.
+:meth:`keystream` additionally absorbs the nonce into a third state that
+is copied per counter block, and produces exactly the requested length
+(single-block requests — the common case for posting elements — take a
+no-join fast path).
+"""
 
 from __future__ import annotations
 
 import hashlib
-import hmac
 
 DIGEST_SIZE = hashlib.sha256().digest_size  # 32 bytes
+_BLOCK_SIZE = 64  # SHA-256 compression block, the HMAC pad width
+_IPAD = bytes(b ^ 0x36 for b in range(256))
+_OPAD = bytes(b ^ 0x5C for b in range(256))
 
 
 class Prf:
     """A keyed PRF: ``F_key(message) -> 32 bytes`` via HMAC-SHA256."""
 
+    __slots__ = ("_inner", "_outer")
+
     def __init__(self, key: bytes) -> None:
         if len(key) < 16:
             raise ValueError("PRF key must be at least 16 bytes")
-        self._key = key
+        # Standard HMAC key schedule, done exactly once: long keys are
+        # hashed down, short keys zero-padded to the compression block.
+        if len(key) > _BLOCK_SIZE:
+            key = hashlib.sha256(key).digest()
+        padded = key.ljust(_BLOCK_SIZE, b"\x00")
+        self._inner = hashlib.sha256(padded.translate(_IPAD))
+        self._outer = hashlib.sha256(padded.translate(_OPAD))
 
     def evaluate(self, message: bytes) -> bytes:
         """The PRF output block for *message*."""
-        return hmac.new(self._key, message, hashlib.sha256).digest()
+        inner = self._inner.copy()
+        inner.update(message)
+        outer = self._outer.copy()
+        outer.update(inner.digest())
+        return outer.digest()
 
     def evaluate_int(self, message: bytes, modulus: int) -> int:
         """PRF output reduced modulo *modulus* (for pseudo-random indices)."""
@@ -38,18 +65,76 @@ class Prf:
         return mantissa / float(1 << 53)
 
     def keystream(self, nonce: bytes, length: int) -> bytes:
-        """*length* pseudo-random bytes bound to *nonce* (counter mode)."""
+        """*length* pseudo-random bytes bound to *nonce* (counter mode).
+
+        Block ``i`` is ``HMAC(key, nonce || i)`` — identical bytes to the
+        straight-line loop, but generated from precomputed hash states
+        (the nonce is absorbed once, each block costs two state copies and
+        two short updates) with the trailing block trimmed before joining,
+        so exactly *length* bytes are materialised.
+        """
         if length < 0:
             raise ValueError("length must be non-negative")
-        blocks = []
-        counter = 0
-        produced = 0
-        while produced < length:
-            block = self.evaluate(nonce + counter.to_bytes(8, "big"))
-            blocks.append(block)
-            produced += len(block)
-            counter += 1
-        return b"".join(blocks)[:length]
+        if length == 0:
+            return b""
+        outer = self._outer
+        if length <= DIGEST_SIZE:
+            # Single-block fast path: no seeded-state copy, no join.
+            inner = self._inner.copy()
+            inner.update(nonce + b"\x00\x00\x00\x00\x00\x00\x00\x00")
+            out = outer.copy()
+            out.update(inner.digest())
+            block = out.digest()
+            return block if length == DIGEST_SIZE else block[:length]
+        seeded = self._inner.copy()
+        seeded.update(nonce)
+        seeded_copy = seeded.copy
+        outer_copy = outer.copy
+        num_blocks = -(-length // DIGEST_SIZE)
+        parts = []
+        append = parts.append
+        for counter in range(num_blocks):
+            inner = seeded_copy()
+            inner.update(counter.to_bytes(8, "big"))
+            out = outer_copy()
+            out.update(inner.digest())
+            append(out.digest())
+        tail = length - (num_blocks - 1) * DIGEST_SIZE
+        if tail != DIGEST_SIZE:
+            parts[-1] = parts[-1][:tail]
+        return b"".join(parts)
+
+
+class XofKeystream:
+    """Arbitrary-length keystream from a prefix-keyed SHAKE-256 sponge.
+
+    ``keystream(nonce, n)`` squeezes ``SHAKE-256(key || nonce)`` to *n*
+    bytes — the whole stream comes out of ONE extendable-output digest
+    call instead of one HMAC invocation per 32 bytes, which is what makes
+    the decrypt-skim hot path fast.  The key is absorbed once at
+    construction; each call copies the keyed state and absorbs the nonce.
+    A secret-prefix sponge is a PRF for fixed-length keys (the KMAC
+    construction minus its encoding frills); callers must pass a
+    fixed-width key such as a :func:`derive_key` output so the key/nonce
+    boundary is unambiguous.
+    """
+
+    KEY_SIZE = DIGEST_SIZE  # fixed width keeps the key || nonce split sound
+
+    __slots__ = ("_state",)
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != self.KEY_SIZE:
+            raise ValueError(f"XOF keystream key must be {self.KEY_SIZE} bytes")
+        self._state = hashlib.shake_256(key)
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """*length* pseudo-random bytes bound to *nonce*, one squeeze."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        state = self._state.copy()
+        state.update(nonce)
+        return state.digest(length)
 
 
 def derive_key(master_key: bytes, label: str) -> bytes:
@@ -60,4 +145,4 @@ def derive_key(master_key: bytes, label: str) -> bytes:
     """
     if len(master_key) < 16:
         raise ValueError("master key must be at least 16 bytes")
-    return hmac.new(master_key, b"derive:" + label.encode(), hashlib.sha256).digest()
+    return Prf(master_key).evaluate(b"derive:" + label.encode())

@@ -165,5 +165,53 @@ class SnippetClient:
         return plaintext.decode()
 
     def fetch_many(self, hits: Iterable[tuple[str, str]]) -> list[str | None]:
-        """Fetch snippets for ``(group, doc_id)`` pairs (a top-k result)."""
-        return [self.fetch(group, doc_id) for group, doc_id in hits]
+        """Fetch snippets for ``(group, doc_id)`` pairs (a top-k result).
+
+        Returns exactly what one :meth:`fetch` per pair would, but each
+        distinct pair is fetched from the store once (duplicates in a
+        result page share the response instead of re-transferring it) and
+        the ciphertexts that do arrive are decrypted in one
+        :meth:`~repro.crypto.cipher.StreamCipher.try_decrypt_many` batch
+        per group — a top-k response's snippet skim costs one cipher call
+        per group, not one per document.
+        """
+        hits = list(hits)
+        results: list[str | None] = [None] * len(hits)
+        # distinct (group, doc_id) -> result indices wanting it
+        wanted: dict[tuple[str, str], list[int]] = {}
+        for index, pair in enumerate(hits):
+            wanted.setdefault(pair, []).append(index)
+        # group -> [(result indices, snippet id, new checksum, ciphertext)]
+        pending: dict[str, list[tuple[list[int], bytes, bytes, bytes]]] = {}
+        for (group, doc_id), indices in wanted.items():
+            snippet_id = self.snippet_id(group, doc_id)
+            cached = self._cache.get(snippet_id)
+            response = self._store.fetch(
+                self.principal,
+                snippet_id,
+                cached_checksum=cached[0] if cached else None,
+            )
+            if response is None:
+                continue
+            self.bytes_transferred += response.transferred_bytes
+            if response.ciphertext is None:
+                assert cached is not None
+                for index in indices:
+                    results[index] = cached[1].decode()
+            else:
+                pending.setdefault(group, []).append(
+                    (indices, snippet_id, response.checksum, response.ciphertext)
+                )
+        for group, items in pending.items():
+            plaintexts = self._cipher(group).try_decrypt_many(
+                [ciphertext for _, _, _, ciphertext in items]
+            )
+            for (indices, snippet_id, checksum, _), plaintext in zip(
+                items, plaintexts
+            ):
+                if plaintext is None:
+                    continue
+                self._cache[snippet_id] = (checksum, plaintext)
+                for index in indices:
+                    results[index] = plaintext.decode()
+        return results

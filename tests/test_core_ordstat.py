@@ -1,0 +1,129 @@
+"""Unit and fuzz tests for the indexable skip list behind readable views."""
+
+import bisect
+import random
+
+import pytest
+
+from repro.core.ordstat import OrderStatList
+
+
+class TestBasics:
+    def test_empty(self):
+        osl = OrderStatList()
+        assert len(osl) == 0
+        assert list(osl) == []
+        assert osl.slice(0, 10) == []
+        assert osl.bisect_left(0.5) == 0
+        assert osl.bisect_right(0.5) == 0
+
+    def test_single_insert(self):
+        osl = OrderStatList()
+        assert osl.insert(0.5, "a") == 0
+        assert len(osl) == 1
+        assert osl[0] == "a"
+        assert osl.slice(0, 1) == ["a"]
+
+    def test_insert_returns_bisect_right_position(self):
+        osl = OrderStatList()
+        assert osl.insert(0.5, "first") == 0
+        assert osl.insert(0.5, "second") == 1  # ties land after equals
+        assert osl.insert(0.2, "head") == 0
+        assert osl.insert(0.9, "tail") == 3
+        assert list(osl) == ["head", "first", "second", "tail"]
+
+    def test_pop(self):
+        osl = OrderStatList()
+        for i, key in enumerate([0.1, 0.3, 0.5, 0.7]):
+            osl.insert(key, i)
+        assert osl.pop(1) == 1
+        assert list(osl) == [0, 2, 3]
+        assert osl.pop(2) == 3
+        assert list(osl) == [0, 2]
+
+    def test_pop_out_of_range(self):
+        osl = OrderStatList()
+        osl.insert(0.5, "x")
+        with pytest.raises(IndexError):
+            osl.pop(1)
+        with pytest.raises(IndexError):
+            osl.pop(-1)
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            OrderStatList()[0]
+
+    def test_slice_clamps(self):
+        osl = OrderStatList()
+        for i in range(5):
+            osl.insert(float(i), i)
+        assert osl.slice(3, 10) == [3, 4]
+        assert osl.slice(5, 3) == []
+        assert osl.slice(0, 0) == []
+
+    def test_slice_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OrderStatList().slice(-1, 2)
+        with pytest.raises(ValueError):
+            OrderStatList().slice(0, -2)
+
+    def test_from_sorted(self):
+        items = [(float(i) / 7, i) for i in range(50)]
+        osl = OrderStatList.from_sorted(items)
+        assert len(osl) == 50
+        assert list(osl) == [v for _, v in items]
+        assert list(osl.keys()) == [k for k, _ in items]
+        assert osl.slice(10, 5) == [10, 11, 12, 13, 14]
+
+    def test_from_sorted_preserves_tie_order(self):
+        items = [(0.5, "a"), (0.5, "b"), (0.5, "c")]
+        osl = OrderStatList.from_sorted(items)
+        assert list(osl) == ["a", "b", "c"]
+
+    def test_from_sorted_then_mutate(self):
+        osl = OrderStatList.from_sorted([(0.2, "a"), (0.6, "c")])
+        osl.insert(0.4, "b")
+        assert list(osl) == ["a", "b", "c"]
+        assert osl.pop(0) == "a"
+        assert list(osl) == ["b", "c"]
+
+
+class TestFuzzAgainstList:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_ops_match_bisect_list(self, seed):
+        rng = random.Random(seed)
+        osl = OrderStatList(seed=seed)
+        keys: list[float] = []
+        values: list[object] = []
+        if seed % 2:
+            pairs = sorted((rng.random(), i) for i in range(rng.randrange(80)))
+            keys = [k for k, _ in pairs]
+            values = [v for _, v in pairs]
+            osl = OrderStatList.from_sorted(zip(keys, values), seed=seed)
+        for op in range(600):
+            roll = rng.random()
+            if roll < 0.55 or not keys:
+                key = rng.choice(keys) if keys and roll < 0.1 else rng.random()
+                value = (op, key)
+                position = osl.insert(key, value)
+                expected = bisect.bisect_right(keys, key)
+                assert position == expected
+                keys.insert(expected, key)
+                values.insert(expected, value)
+            elif roll < 0.8:
+                index = rng.randrange(len(keys))
+                assert osl.pop(index) == values.pop(index)
+                del keys[index]
+            else:
+                probe = rng.choice(keys) if rng.random() < 0.5 else rng.random()
+                assert osl.bisect_left(probe) == bisect.bisect_left(keys, probe)
+                assert osl.bisect_right(probe) == bisect.bisect_right(keys, probe)
+            assert len(osl) == len(keys)
+            if op % 60 == 0:
+                assert list(osl) == values
+                start = rng.randrange(len(keys) + 2)
+                count = rng.randrange(8)
+                assert osl.slice(start, count) == values[start : start + count]
+                if keys:
+                    index = rng.randrange(len(keys))
+                    assert osl[index] == values[index]

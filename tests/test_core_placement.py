@@ -102,6 +102,80 @@ class TestHeatWeightedPlacement:
             assert len(set(replicas)) == 2
 
 
+class TestHeatDecay:
+    def test_invalid_half_life_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeatWeightedPlacement(heat_half_life=0)
+        with pytest.raises(ConfigurationError):
+            HeatWeightedPlacement(heat_half_life=-2)
+
+    def test_no_decay_by_default(self):
+        policy = HeatWeightedPlacement()
+        current = policy.initial_placement(2, 2, 1)
+        heat = {0: 100, 1: 3}
+        for _ in range(5):
+            policy.propose(heat, current, 2, 1)
+            assert policy.effective_heat(heat) == {0: 100.0, 1: 3.0}
+
+    def test_effective_heat_is_a_pure_preview(self):
+        """Observing heat must not advance the decay clock."""
+        policy = HeatWeightedPlacement(heat_half_life=1)
+        current = policy.initial_placement(2, 2, 1)
+        policy.propose({0: 64}, current, 2, 1)  # tick: state 64
+        first = policy.effective_heat({0: 64})
+        for _ in range(5):  # repeated observation changes nothing
+            assert policy.effective_heat({0: 64}) == first
+
+    def test_first_observation_arrives_at_full_weight(self):
+        decayed = HeatWeightedPlacement(heat_half_life=2)
+        plain = HeatWeightedPlacement()
+        heat = {0: 100, 4: 100, 1: 1, 2: 1, 3: 1, 5: 1, 6: 1, 7: 1}
+        current = plain.initial_placement(8, 4, 1)
+        # A fresh decaying policy proposes exactly like the plain one: all
+        # heat is new, so nothing has decayed yet.
+        assert decayed.propose(heat, current, 4, 1) == plain.propose(
+            heat, current, 4, 1
+        )
+
+    def test_idle_heat_halves_per_half_life(self):
+        policy = HeatWeightedPlacement(heat_half_life=1)
+        current = policy.initial_placement(2, 2, 1)
+        policy.propose({0: 64}, current, 2, 1)  # tick 1: all heat fresh
+        # No new fetches: each rebalance cycle is one half-life tick, and
+        # effective_heat previews what the NEXT propose would rank by.
+        assert policy.effective_heat({0: 64}) == {0: 32.0}
+        policy.propose({0: 64}, current, 2, 1)  # tick 2
+        assert policy.effective_heat({0: 64}) == {0: 16.0}
+
+    def test_briefly_hot_list_goes_cold(self):
+        policy = HeatWeightedPlacement(heat_half_life=1)
+        current = policy.initial_placement(4, 2, 1)
+        heat = {0: 8}
+        for _ in range(6):  # 8 halves past the 0.5 cold threshold
+            proposal = policy.propose(heat, current, 2, 1)
+        assert proposal == {}
+        assert policy.effective_heat(heat) == {}
+
+    def test_sustained_traffic_stays_hot(self):
+        policy = HeatWeightedPlacement(heat_half_life=2)
+        current = policy.initial_placement(2, 2, 1)
+        cumulative = 0
+        for _ in range(10):
+            cumulative += 50  # 50 new fetches between every rebalance
+            policy.propose({0: cumulative}, current, 2, 1)
+        cumulative += 50
+        assert policy.effective_heat({0: cumulative})[0] >= 50.0
+
+    def test_decay_reorders_hot_lists_over_time(self):
+        """A once-hot list is outranked by one with fresh traffic."""
+        policy = HeatWeightedPlacement(heat_half_life=1)
+        current = policy.initial_placement(2, 2, 1)
+        policy.propose({0: 1000, 1: 0}, current, 2, 1)
+        # List 0 goes idle; list 1 accumulates new fetches.
+        effective = policy.effective_heat({0: 1000, 1: 600})
+        assert effective[1] > effective[0]
+
+
 class TestClusterMigration:
     def _hot_cluster(self, keys, replication=1):
         """4 lists / 2 servers; lists 0 and 2 (both on server 0) made hot."""

@@ -1,0 +1,244 @@
+"""Hot-path crypto: the optimized implementations are byte-identical to
+straight-line references, known answers stay pinned across refactors, and
+the batch/memo/cache layers change performance only — never bytes."""
+
+import hashlib
+import hmac
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import (
+    NONCE_SIZE,
+    TAG_SIZE,
+    StreamCipher,
+    cipher_for_key,
+    decrypt,
+    encrypt,
+)
+from repro.crypto.prf import Prf, XofKeystream, derive_key
+from repro.errors import AuthenticationError
+
+KEY = b"0123456789abcdef0123456789abcdef"
+NONCE = bytes(range(NONCE_SIZE))
+
+key_strategy = st.binary(min_size=16, max_size=64)
+nonce_strategy = st.binary(min_size=NONCE_SIZE, max_size=NONCE_SIZE)
+
+
+# -- straight-line references (what the optimized code must match) ------------
+
+
+def reference_prf(key: bytes, message: bytes) -> bytes:
+    """One hmac.new per call: the definitionally-correct PRF."""
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def reference_hmac_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """The pre-PR chunked loop: HMAC(key, nonce || counter) blocks, trimmed."""
+    blocks = []
+    counter = 0
+    produced = 0
+    while produced < length:
+        block = reference_prf(key, nonce + counter.to_bytes(8, "big"))
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def reference_xof_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """One-shot SHAKE-256(key || nonce) squeeze, no precomputed state."""
+    return hashlib.shake_256(key + nonce).digest(length)
+
+
+def reference_encrypt(master_key: bytes, plaintext: bytes, nonce: bytes) -> bytes:
+    """The cipher construction, spelled out byte by byte."""
+    enc_key = reference_prf(master_key, b"derive:enc")
+    mac_key = reference_prf(master_key, b"derive:mac")
+    stream = reference_xof_keystream(enc_key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = reference_prf(mac_key, nonce + body)[:TAG_SIZE]
+    return nonce + body + tag
+
+
+# -- known-answer vectors (pin the bytes across future refactors) -------------
+
+
+class TestKnownAnswers:
+    def test_prf_evaluate(self):
+        assert Prf(KEY).evaluate(b"known-answer").hex() == (
+            "a64987137614a6766c0a68940706ccff"
+            "e9e09b8fc1e517307c72b6fbcbdee547"
+        )
+
+    def test_prf_keystream(self):
+        assert Prf(KEY).keystream(b"kat-nonce", 48).hex() == (
+            "7ba3d32fb0153c9cbbdc0b02166e10f9"
+            "1892541230d8718460ed38f01f081c83"
+            "16032578415cfccded60dbd6d76d5830"
+        )
+
+    def test_derive_key(self):
+        assert derive_key(KEY, "enc").hex() == (
+            "da1e7564d2b19f985e5bbf440318a564"
+            "f4087d70c87fb15f245049d107cc5611"
+        )
+
+    def test_xof_keystream(self):
+        assert XofKeystream(derive_key(KEY, "enc")).keystream(NONCE, 24).hex() == (
+            "8d353692a009a49c33028ffbfc7bcbb756b33e86771484eb"
+        )
+
+    def test_cipher_encrypt(self):
+        assert StreamCipher(KEY).encrypt(b"attack at dawn", NONCE).hex() == (
+            "000102030405060708090a0b0c0d0e0f"
+            "ec4142f3c36284fd4722eb9a8b1565e5"
+            "b7954e9082625c9bcd7d6f94c5bc"
+        )
+
+
+# -- optimized == reference, for all inputs -----------------------------------
+
+
+@given(key=key_strategy, message=st.binary(max_size=256))
+@settings(max_examples=150, deadline=None)
+def test_prf_matches_hmac(key, message):
+    assert Prf(key).evaluate(message) == reference_prf(key, message)
+
+
+@given(
+    key=key_strategy,
+    nonce=st.binary(min_size=1, max_size=32),
+    length=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=150, deadline=None)
+def test_prf_keystream_matches_reference(key, nonce, length):
+    assert Prf(key).keystream(nonce, length) == reference_hmac_keystream(
+        key, nonce, length
+    )
+
+
+@given(
+    key=key_strategy,
+    nonce=nonce_strategy,
+    length=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=150, deadline=None)
+def test_xof_keystream_matches_reference(key, nonce, length):
+    xof_key = derive_key(key, "enc")
+    assert XofKeystream(xof_key).keystream(nonce, length) == (
+        reference_xof_keystream(xof_key, nonce, length)
+    )
+
+
+@given(key=key_strategy, nonce=nonce_strategy, plaintext=st.binary(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_encrypt_matches_reference(key, nonce, plaintext):
+    assert StreamCipher(key).encrypt(plaintext, nonce) == reference_encrypt(
+        key, plaintext, nonce
+    )
+
+
+@given(key=key_strategy, nonce=nonce_strategy, plaintext=st.binary(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_through_reference_ciphertext(key, nonce, plaintext):
+    """A reference-built ciphertext decrypts on the optimized path."""
+    assert StreamCipher(key).decrypt(
+        reference_encrypt(key, plaintext, nonce)
+    ) == plaintext
+
+
+# -- batch skim semantics -----------------------------------------------------
+
+
+class TestTryDecryptMany:
+    def _batch(self):
+        cipher = StreamCipher(KEY)
+        good = [
+            cipher.encrypt(b"element-%d" % i, bytes([i]) * NONCE_SIZE)
+            for i in range(8)
+        ]
+        other = StreamCipher(b"x" * 32).encrypt(b"foreign", NONCE)
+        tampered = bytearray(good[0])
+        tampered[NONCE_SIZE] ^= 1
+        return cipher, good + [other, bytes(tampered), b"short"]
+
+    def test_matches_per_element_try_decrypt(self):
+        cipher, batch = self._batch()
+        expected = [StreamCipher(KEY).try_decrypt(ct) for ct in batch]
+        assert cipher.try_decrypt_many(batch) == expected
+
+    def test_order_preserved(self):
+        cipher, batch = self._batch()
+        result = cipher.try_decrypt_many(batch)
+        assert result[:8] == [b"element-%d" % i for i in range(8)]
+        assert result[8:] == [None, None, None]
+
+    def test_decrypt_many_raises_on_failure(self):
+        cipher, batch = self._batch()
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt_many(batch)
+
+    def test_decrypt_many_all_good(self):
+        cipher = StreamCipher(KEY)
+        batch = [cipher.encrypt(b"m%d" % i, bytes([i]) * 16) for i in range(5)]
+        assert cipher.decrypt_many(batch) == [b"m%d" % i for i in range(5)]
+
+    def test_empty_plaintexts(self):
+        cipher = StreamCipher(KEY)
+        batch = [cipher.encrypt(b"", NONCE)] * 3
+        assert cipher.try_decrypt_many(batch) == [b"", b"", b""]
+
+
+class TestDecryptMemo:
+    def test_repeated_skim_identical(self):
+        cipher = StreamCipher(KEY)
+        batch = [cipher.encrypt(b"hot-%d" % i, bytes([i]) * 16) for i in range(4)]
+        first = cipher.try_decrypt_many(batch)
+        second = cipher.try_decrypt_many(batch)  # served from the memo
+        assert first == second == [b"hot-%d" % i for i in range(4)]
+
+    def test_memo_is_bounded(self):
+        cipher = StreamCipher(KEY, memo_capacity=16)
+        batch = [cipher.encrypt(b"e%d" % i, bytes([i % 251, i // 251]) * 8) for i in range(100)]
+        cipher.try_decrypt_many(batch)
+        assert len(cipher._memo) <= 16
+
+    def test_tamper_after_memoisation_still_fails(self):
+        cipher = StreamCipher(KEY)
+        ciphertext = cipher.encrypt(b"secret", NONCE)
+        assert cipher.try_decrypt(ciphertext) == b"secret"
+        tampered = bytearray(ciphertext)
+        tampered[-1] ^= 1
+        assert cipher.try_decrypt(bytes(tampered)) is None
+
+    def test_memo_disabled(self):
+        cipher = StreamCipher(KEY, memo_capacity=0)
+        ciphertext = cipher.encrypt(b"m", NONCE)
+        assert cipher.try_decrypt(ciphertext) == b"m"
+        assert cipher.try_decrypt_many([ciphertext]) == [b"m"]
+        assert cipher._memo == {}
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StreamCipher(KEY, memo_capacity=-1)
+
+
+# -- one-shot helper cache ----------------------------------------------------
+
+
+class TestCachedHelpers:
+    def test_cipher_for_key_is_cached(self):
+        assert cipher_for_key(KEY) is cipher_for_key(KEY)
+
+    def test_cipher_for_key_separates_keys(self):
+        assert cipher_for_key(KEY) is not cipher_for_key(b"y" * 32)
+
+    def test_one_shot_roundtrip(self):
+        assert decrypt(KEY, encrypt(KEY, b"data", NONCE)) == b"data"
+
+    def test_one_shot_matches_instance(self):
+        assert encrypt(KEY, b"data", NONCE) == StreamCipher(KEY).encrypt(
+            b"data", NONCE
+        )

@@ -91,6 +91,42 @@ class TestKeyHandout:
         nonce = b"n" * 16
         assert cipher.decrypt(cipher.encrypt(b"x", nonce)) == b"x"
 
+    def test_cipher_for_non_member_denied(self, service):
+        with pytest.raises(AccessDeniedError):
+            service.cipher_for("alice", "g2")
+
+    def test_cipher_for_is_cached(self, service):
+        assert service.cipher_for("alice", "g1") is service.cipher_for(
+            "alice", "g1"
+        )
+
+    def test_cipher_cache_does_not_outlive_revocation(self, service):
+        service.cipher_for("bob", "g2")  # warm the cache
+        service.revoke("bob", "g2")
+        with pytest.raises(AccessDeniedError):
+            service.cipher_for("bob", "g2")
+        # Re-enrolling restores access and yields a working cipher again.
+        service.enroll("bob", "g2")
+        cipher = service.cipher_for("bob", "g2")
+        nonce = b"n" * 16
+        assert cipher.decrypt(cipher.encrypt(b"x", nonce)) == b"x"
+
+    def test_cached_ciphers_interoperate_across_members(self, service):
+        nonce = b"n" * 16
+        ciphertext = service.cipher_for("alice", "g1").encrypt(b"shared", nonce)
+        assert service.cipher_for("bob", "g1").decrypt(ciphertext) == b"shared"
+
+    def test_unseen_term_prf_is_cached(self, service):
+        assert service.unseen_term_prf("alice", "g1") is service.unseen_term_prf(
+            "alice", "g1"
+        )
+
+    def test_unseen_term_prf_cache_does_not_outlive_revocation(self, service):
+        service.unseen_term_prf("bob", "g2")
+        service.revoke("bob", "g2")
+        with pytest.raises(AccessDeniedError):
+            service.unseen_term_prf("bob", "g2")
+
     def test_nonce_sequence_is_singleton_per_member(self, service):
         """Two lookups share one counter — nonces never restart at 0."""
         a = service.nonce_sequence("alice", "g1")
