@@ -1,0 +1,293 @@
+"""Replication microbenchmark: staleness vs. consistency vs. repair traffic.
+
+Drives a Zipf-skewed write/read mix against a replicated
+:class:`~repro.core.cluster.ServerCluster` under a sweep of replication
+lags and read-consistency levels, and records:
+
+* **staleness** — the fraction of reads that landed on a diverged
+  replica (and the worst version gap any read observed);
+* **repair traffic** — catch-up ops applied by read-repair, re-served
+  slices, scheduled follower deliveries and anti-entropy ops;
+* **throughput proxy** — server calls per read (strong consistency pays
+  for divergence with re-serves; ``ONE`` never does).
+
+Claims checked (exit non-zero on failure):
+
+1. ``lag=0`` (the default) never detects a stale read — the synchronous
+   seed behaviour.
+2. With ``lag>0`` and rotated reads, ``ONE`` observes staleness and
+   read-repair catches the followers up.
+3. ``PRIMARY`` reads always return the log-head version (strong), at the
+   cost of re-serves, and ``QUORUM`` never reads staler than ``ONE``.
+4. A tighter anti-entropy period bounds the worst observed staleness.
+5. After healing, one anti-entropy sweep converges every replica.
+
+Standalone script (not collected by pytest):
+
+    PYTHONPATH=src python benchmarks/bench_replication.py [--quick]
+        [--output BENCH_replication.json]
+
+``--quick`` runs a seconds-scale configuration for CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import time
+
+from repro.core.cluster import ServerCluster
+from repro.core.protocol import FetchRequest
+from repro.crypto.keys import GroupKeyService
+from repro.index.postings import EncryptedPostingElement
+
+
+def make_cluster(config: dict, lag: int, anti_entropy_every: int | None):
+    keys = GroupKeyService(master_secret=b"bench-replication".ljust(32, b"."))
+    keys.register("u", {"g"})
+    return ServerCluster(
+        keys,
+        num_lists=config["num_lists"],
+        num_servers=config["num_servers"],
+        replication=config["replication"],
+        lag=lag,
+        read_strategy="rotate",  # reads must reach followers to observe lag
+        anti_entropy_every=anti_entropy_every,
+    )
+
+
+def zipf_choice(rng: random.Random, n: int) -> int:
+    """Zipf(1)-ish pick in [0, n): rank r with weight 1/(r+1)."""
+    weights = [1.0 / (rank + 1) for rank in range(n)]
+    return rng.choices(range(n), weights=weights, k=1)[0]
+
+
+def run_mix(
+    cluster: ServerCluster,
+    config: dict,
+    consistency: str,
+    seed: int = 7,
+) -> dict:
+    """One write/read/tick mix; returns the measured curve point."""
+    rng = random.Random(seed)
+    num_lists = config["num_lists"]
+    counter = 0
+    reads = 0
+    strong_violations = 0
+    calls_before = cluster.total_calls
+    started = time.perf_counter()
+    for _ in range(config["rounds"]):
+        for _ in range(config["writes_per_round"]):
+            counter += 1
+            list_id = zipf_choice(rng, num_lists)
+            cluster.insert(
+                "u",
+                list_id,
+                EncryptedPostingElement(
+                    ciphertext=b"w%06d" % counter,
+                    group="g",
+                    trs=rng.random(),
+                ),
+            )
+        for _ in range(config["reads_per_round"]):
+            list_id = zipf_choice(rng, num_lists)
+            response = cluster.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=5),
+                consistency=consistency,
+            )
+            reads += 1
+            if (
+                consistency == "primary"
+                and response.replica_version != cluster.primary_version(list_id)
+            ):
+                strong_violations += 1
+        cluster.replication_tick()
+    elapsed = time.perf_counter() - started
+    # Heal and prove convergence: one sweep must zero the backlog.
+    cluster.replication_manager.anti_entropy_sweep()
+    converged = cluster.replication_backlog() == {}
+    stats = cluster.replication_stats
+    return {
+        "consistency": consistency,
+        "reads": reads,
+        "writes": counter,
+        "stale_reads": stats.stale_reads_detected,
+        "stale_fraction": stats.stale_reads_detected / max(1, reads),
+        "max_staleness": stats.max_staleness_seen,
+        "read_repair_ops": stats.repair_ops,
+        "re_served_slices": stats.read_reserves,
+        "scheduled_follower_ops": stats.follower_ops_applied,
+        "anti_entropy_ops": stats.anti_entropy_ops,
+        "server_calls_per_read": (cluster.total_calls - calls_before)
+        / max(1, reads),
+        "strong_violations": strong_violations,
+        "converged_after_sweep": converged,
+        "elapsed_seconds": round(elapsed, 4),
+    }
+
+
+def sweep(config: dict) -> dict:
+    lags = config["lags"]
+    results: list[dict] = []
+    for lag in lags:
+        for consistency in ("one", "primary", "quorum"):
+            cluster = make_cluster(
+                config, lag=lag, anti_entropy_every=config["anti_entropy_every"]
+            )
+            point = run_mix(cluster, config, consistency)
+            point["lag"] = lag
+            results.append(point)
+            print(
+                f"lag={lag:<3d} {consistency:<8s} "
+                f"stale={point['stale_fraction']:.3f} "
+                f"max_gap={point['max_staleness']:<4d} "
+                f"repair_ops={point['read_repair_ops']:<6d} "
+                f"re_serves={point['re_served_slices']:<5d} "
+                f"calls/read={point['server_calls_per_read']:.2f}"
+            )
+    # Anti-entropy ablation at the largest lag: tighter sweeps, lower
+    # worst-case staleness for ONE readers.
+    ablation: list[dict] = []
+    for period in config["anti_entropy_periods"]:
+        cluster = make_cluster(config, lag=max(lags), anti_entropy_every=period)
+        point = run_mix(cluster, config, "one")
+        ablation.append(
+            {
+                "anti_entropy_every": period,
+                "max_staleness": point["max_staleness"],
+                "stale_fraction": point["stale_fraction"],
+                "anti_entropy_ops": point["anti_entropy_ops"],
+            }
+        )
+        print(
+            f"anti_entropy_every={period} max_gap={point['max_staleness']} "
+            f"stale={point['stale_fraction']:.3f} "
+            f"ae_ops={point['anti_entropy_ops']}"
+        )
+    return {"curves": results, "anti_entropy_ablation": ablation}
+
+
+def check_claims(measured: dict) -> list[str]:
+    failures: list[str] = []
+    by_key = {
+        (point["lag"], point["consistency"]): point
+        for point in measured["curves"]
+    }
+    lags = sorted({lag for lag, _ in by_key})
+    for consistency in ("one", "primary", "quorum"):
+        zero = by_key[(0, consistency)]
+        if zero["stale_reads"] != 0:
+            failures.append(
+                f"lag=0/{consistency} detected {zero['stale_reads']} stale reads"
+            )
+    positive = [lag for lag in lags if lag > 0]
+    for lag in positive:
+        one = by_key[(lag, "one")]
+        primary = by_key[(lag, "primary")]
+        quorum = by_key[(lag, "quorum")]
+        if one["stale_reads"] == 0:
+            failures.append(f"lag={lag}/one observed no divergence")
+        if one["read_repair_ops"] == 0:
+            failures.append(f"lag={lag}/one triggered no read-repair")
+        if primary["strong_violations"] != 0:
+            failures.append(
+                f"lag={lag}/primary returned "
+                f"{primary['strong_violations']} non-head reads"
+            )
+        if quorum["stale_fraction"] > one["stale_fraction"] + 1e-9:
+            failures.append(
+                f"lag={lag}: quorum read staler than ONE "
+                f"({quorum['stale_fraction']:.3f} vs {one['stale_fraction']:.3f})"
+            )
+    for point in measured["curves"]:
+        if not point["converged_after_sweep"]:
+            failures.append(
+                f"lag={point['lag']}/{point['consistency']} "
+                "did not converge after the healing sweep"
+            )
+    ablation = measured["anti_entropy_ablation"]
+    if len(ablation) >= 2:
+        loosest, tightest = ablation[0], ablation[-1]
+        if tightest["max_staleness"] > loosest["max_staleness"]:
+            failures.append(
+                "tighter anti-entropy period did not bound staleness "
+                f"({tightest['max_staleness']} vs {loosest['max_staleness']})"
+            )
+        if tightest["anti_entropy_ops"] == 0:
+            failures.append("anti-entropy sweep applied no ops at period 1")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="seconds-scale CI configuration"
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the measured JSON here"
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        config = {
+            "num_lists": 8,
+            "num_servers": 4,
+            "replication": 2,
+            "rounds": 50,
+            "writes_per_round": 3,
+            "reads_per_round": 6,
+            "lags": [0, 1, 4],
+            "anti_entropy_every": None,
+            "anti_entropy_periods": [16, 4, 1],
+        }
+    else:
+        config = {
+            "num_lists": 32,
+            "num_servers": 6,
+            "replication": 3,
+            "rounds": 300,
+            "writes_per_round": 4,
+            "reads_per_round": 8,
+            "lags": [0, 1, 2, 4, 8],
+            "anti_entropy_every": None,
+            "anti_entropy_periods": [64, 16, 4, 1],
+        }
+
+    print(
+        f"replication bench ({'quick' if args.quick else 'full'} mode): "
+        f"{config['num_lists']} lists / {config['num_servers']} servers / "
+        f"f={config['replication']}, "
+        f"{config['rounds']}x({config['writes_per_round']}w+"
+        f"{config['reads_per_round']}r) rounds\n"
+    )
+    measured = sweep(config)
+    failures = check_claims(measured)
+
+    record = {
+        "benchmark": "replication",
+        "mode": "quick" if args.quick else "full",
+        "config": config,
+        **measured,
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "OK: lag=0 byte-stable, divergence detected and repaired, PRIMARY "
+        "strong, QUORUM <= ONE staleness, anti-entropy bounds the gap"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
-"""Coordinator microbenchmark: cross-query coalescing + heat-aware shards.
+"""Coordinator microbenchmark: coalescing + heat-aware shards + read balance.
 
-Two claims, both load-bearing for the ROADMAP's concurrent-traffic goal:
+Three claims, all load-bearing for the ROADMAP's concurrent-traffic goal:
 
 1. **Cross-query coalescing** — N concurrent multi-term queries served
    through a :class:`~repro.core.router.Coordinator` cost one envelope
@@ -12,6 +12,12 @@ Two claims, both load-bearing for the ROADMAP's concurrent-traffic goal:
    yields a lower max/mean per-server load ratio than static round-robin,
    and the migration (placement epoch bump) does not change any query's
    results.
+3. **Replica read balancing** — the seed served every fetch from the
+   first live replica, so with replication f > 1 the trailing replicas
+   idled while each list's whole read load hit its primary.  Rotating
+   reads across caught-up replicas
+   (:class:`~repro.core.placement.RotatingReads`) cuts the max/mean
+   per-server load ratio without changing any result.
 
 Standalone script (not collected by pytest):
 
@@ -162,6 +168,26 @@ def measure_placement(system: ZerberRSystem, workload: list[str], k: int):
     return rr_loads, hw_loads, len(moves), epoch
 
 
+def measure_read_balancing(system: ZerberRSystem, workload: list[str], k: int):
+    """Max/mean per-server load with primary-only vs rotated replica reads."""
+    num_servers, replication = 4, 3
+    primary_cluster, _ = system.deploy_cluster(
+        num_servers=num_servers, replication=replication
+    )
+    rotated_cluster, _ = system.deploy_cluster(
+        num_servers=num_servers, replication=replication, read_strategy="rotate"
+    )
+    primary_client = system.client_for("superuser", server=primary_cluster)
+    rotated_client = system.client_for("superuser", server=rotated_cluster)
+    for term in workload:
+        expected = primary_client.query(term, k).doc_ids()
+        assert rotated_client.query(term, k).doc_ids() == expected, (
+            "rotated replica reads changed query results",
+            term,
+        )
+    return primary_cluster.per_server_load(), rotated_cluster.per_server_load()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -200,6 +226,19 @@ def main() -> int:
     print(f"heat-weighted per-server load: {hw_loads} (max/mean {hw_ratio:.2f})")
     print(f"lists migrated               : {num_moves} (placement epoch {epoch})")
 
+    primary_loads, rotated_loads = measure_read_balancing(system, workload, k)
+    primary_ratio = max_over_mean(primary_loads)
+    rotated_ratio = max_over_mean(rotated_loads)
+    print(f"\n== replica read balancing (replication=3, {len(workload)} queries) ==")
+    print(
+        f"primary-only per-server load : {primary_loads} "
+        f"(max/mean {primary_ratio:.2f})"
+    )
+    print(
+        f"rotated per-server load      : {rotated_loads} "
+        f"(max/mean {rotated_ratio:.2f})"
+    )
+
     failures = []
     if coalesced_calls * 2 > direct_calls:
         failures.append(
@@ -213,6 +252,11 @@ def main() -> int:
         )
     if num_moves == 0:
         failures.append("rebalance moved no lists despite skewed heat")
+    if rotated_ratio >= primary_ratio:
+        failures.append(
+            f"rotated replica reads did not beat primary-only routing "
+            f"(max/mean {rotated_ratio:.3f} vs {primary_ratio:.3f})"
+        )
 
     print()
     if failures:
@@ -221,7 +265,8 @@ def main() -> int:
         return 1
     print(
         "OK: coordinator >=2x fewer server calls, identical results; "
-        "heat-weighted placement balances the Zipf workload"
+        "heat-weighted placement balances the Zipf workload; rotated "
+        "replica reads cut the per-server read skew"
     )
     return 0
 

@@ -24,6 +24,7 @@ from repro.errors import (
     CryptoError,
     IndexingError,
     ProtocolError,
+    QuorumUnavailableError,
     ReproError,
     TrainingError,
     UnavailableError,
@@ -51,11 +52,18 @@ from repro.core import (
     Coordinator,
     CoordinatorStats,
     HeatWeightedPlacement,
+    LagModel,
+    LeastLoadedReads,
     MultiQueryResult,
     PlacementPolicy,
+    PrimaryReads,
     QueryResult,
     QueryTrace,
+    ReadConsistency,
+    ReadSelector,
+    ReplicationStats,
     ResponsePolicy,
+    RotatingReads,
     RoundRobinPlacement,
     Rstf,
     RstfModel,
@@ -94,6 +102,7 @@ __all__ = [
     "AccessDeniedError",
     "ProtocolError",
     "UnavailableError",
+    "QuorumUnavailableError",
     "TrainingError",
     # corpus
     "Corpus",
@@ -125,6 +134,13 @@ __all__ = [
     "PlacementPolicy",
     "RoundRobinPlacement",
     "HeatWeightedPlacement",
+    "ReadSelector",
+    "PrimaryReads",
+    "RotatingReads",
+    "LeastLoadedReads",
+    "LagModel",
+    "ReadConsistency",
+    "ReplicationStats",
     "Rstf",
     "RstfModel",
     "RstfTrainer",

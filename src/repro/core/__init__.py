@@ -37,9 +37,21 @@ from repro.core.client import (
 )
 from repro.core.placement import (
     HeatWeightedPlacement,
+    LeastLoadedReads,
     PlacementPolicy,
+    PrimaryReads,
+    ReadSelector,
+    RotatingReads,
     RoundRobinPlacement,
     load_balance_ratio,
+)
+from repro.core.replication import (
+    LagModel,
+    ReadConsistency,
+    ReplicationLog,
+    ReplicationManager,
+    ReplicationOp,
+    ReplicationStats,
 )
 from repro.core.router import Coordinator, CoordinatorStats
 from repro.core.system import ZerberRSystem, SystemConfig
@@ -81,7 +93,17 @@ __all__ = [
     "PlacementPolicy",
     "RoundRobinPlacement",
     "HeatWeightedPlacement",
+    "ReadSelector",
+    "PrimaryReads",
+    "RotatingReads",
+    "LeastLoadedReads",
     "load_balance_ratio",
+    "LagModel",
+    "ReadConsistency",
+    "ReplicationLog",
+    "ReplicationManager",
+    "ReplicationOp",
+    "ReplicationStats",
     "Coordinator",
     "CoordinatorStats",
     "ZerberRSystem",

@@ -5,9 +5,9 @@ A :class:`ServerCluster` shards the merged posting lists across N
 :class:`~repro.core.server.ZerberRServer` instances and exposes the same
 insert/fetch/batch-fetch surface, so
 :class:`~repro.core.client.ZerberRClient` works against a cluster
-unchanged.  A batched fetch splits into one sub-batch per shard server
-(first live replica of each list), so a multi-term client round costs one
-round-trip per *touched server* rather than per merged list.
+unchanged.  A batched fetch splits into one sub-batch per shard server,
+so a multi-term client round costs one round-trip per *touched server*
+rather than per merged list.
 
 Which server holds which list is decided by a pluggable
 :class:`~repro.core.placement.PlacementPolicy` (round-robin by default —
@@ -18,22 +18,47 @@ move hot head-term lists off overloaded shards); coalesced envelopes pin
 the epoch they were routed under so a stale route is rejected rather than
 silently served from a server that no longer hosts the list.
 
+Replication is a real subsystem (:mod:`repro.core.replication`), not a
+synchronous fan-out: each list has a primary replica (first in its
+placement tuple) and a versioned replication log.  Writes apply to the
+primary inside the write call and drain to followers asynchronously under
+a configurable :class:`~repro.core.replication.LagModel`; reads carry the
+serving replica's applied version, and the cluster detects divergence and
+read-repairs according to the requested
+:class:`~repro.core.replication.ReadConsistency` (``ONE`` fast/stale,
+``PRIMARY`` strong — the default, ``QUORUM`` version-max across a
+majority).  An anti-entropy sweep (``anti_entropy_every`` ticks) bounds
+worst-case staleness.  With the default zero-lag model the cluster takes
+the seed's synchronous write path verbatim, so default results are
+byte-identical to the pre-replication cluster.
+
+Read routing is pluggable too: a
+:class:`~repro.core.placement.ReadSelector` (``read_strategy``) picks
+which *eligible* replica serves each slice — ``primary`` (seed
+behaviour), ``rotate`` or ``least-loaded`` — so trailing replicas can
+absorb read load instead of idling.
+
 Sharding also *improves* confidentiality in the compromised-server model:
 an adversary owning one server sees only ``1/N`` of the merged lists and
 only that shard's query stream — quantified by :meth:`visible_fraction`.
 Replication trades that away for availability: with replication factor f,
-a fetch is served by any live replica, and :meth:`fail_server` simulates a
-server loss.
+a fetch is served by a live replica, and :meth:`fail_server` simulates a
+server loss (:meth:`pause_follower` simulates a partition that lets
+replicas *diverge* instead).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Iterable
 from dataclasses import fields as dataclass_fields
+from dataclasses import replace as dataclass_replace
 
 from repro.core.placement import (
     PlacementPolicy,
+    ReadSelector,
     RoundRobinPlacement,
+    coerce_read_selector,
     validate_placement,
 )
 from repro.core.protocol import (
@@ -44,6 +69,12 @@ from repro.core.protocol import (
     FetchRequest,
     FetchResponse,
 )
+from repro.core.replication import (
+    LagModel,
+    ReadConsistency,
+    ReplicationManager,
+    ReplicationStats,
+)
 from repro.core.server import ObservedFetch, ZerberRServer
 from repro.core.views import ViewStats
 from repro.crypto.keys import GroupKeyService
@@ -51,6 +82,7 @@ from repro.errors import (
     AccessDeniedError,
     ConfigurationError,
     ProtocolError,
+    QuorumUnavailableError,
     UnavailableError,
     UnknownListError,
 )
@@ -67,6 +99,11 @@ class ServerCluster:
         num_servers: int,
         replication: int = 1,
         placement: PlacementPolicy | None = None,
+        lag: LagModel | int | None = None,
+        read_consistency: ReadConsistency | str | None = None,
+        read_strategy: ReadSelector | str | None = None,
+        read_seed: int = 0,
+        anti_entropy_every: int | None = None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one server")
@@ -90,6 +127,16 @@ class ServerCluster:
             replication,
         )
         self._epoch = 0
+        self.read_consistency = ReadConsistency.coerce(read_consistency)
+        self._read_selector = coerce_read_selector(read_strategy, seed=read_seed)
+        self._repl = ReplicationManager(
+            self._servers,
+            replicas_of=self.replicas_of,
+            server_alive=lambda index: self._alive[index],
+            num_lists=num_lists,
+            lag=lag,
+            anti_entropy_every=anti_entropy_every,
+        )
 
     # -- topology -----------------------------------------------------------
 
@@ -121,128 +168,350 @@ class ServerCluster:
         return self._servers[index]
 
     def fail_server(self, index: int) -> None:
-        """Mark a server as down (availability simulation)."""
+        """Mark a server as down (availability simulation).
+
+        A down server neither serves reads nor receives replication
+        deliveries — a write while any server is down always takes the
+        asynchronous path, so acknowledged ops the dead server missed
+        live on in the replication log and drain after
+        :meth:`restore_server`.  The one idealisation kept from the
+        seed: a *primary's* copy models durable storage, so a write to a
+        list whose primary is down still lands there (there is no
+        failover election yet — see ROADMAP) and reads fail over to the
+        live replicas.
+        """
         self._alive[index] = False
 
     def restore_server(self, index: int) -> None:
         self._alive[index] = True
 
+    # -- replication control plane ------------------------------------------
+
+    @property
+    def replication_manager(self) -> ReplicationManager:
+        """The replication subsystem (logs, versions, lag scheduler)."""
+        return self._repl
+
+    @property
+    def replication_stats(self) -> ReplicationStats:
+        return self._repl.stats
+
+    def replication_tick(self) -> int:
+        """Advance the replication clock one tick; returns ops delivered.
+
+        Deliveries whose lag has elapsed apply to their followers, and
+        every ``anti_entropy_every``-th tick additionally force-syncs all
+        reachable stale followers.  A no-op for the default zero-lag
+        configuration.
+        """
+        return self._repl.tick()
+
+    def pause_follower(self, index: int) -> None:
+        """Partition one server from replication traffic (reads still work)."""
+        self._repl.pause(index)
+
+    def resume_follower(self, index: int) -> None:
+        self._repl.resume(index)
+
+    def primary_version(self, list_id: int) -> int:
+        """The replication-log head version of *list_id*."""
+        self.replicas_of(list_id)  # validates the id
+        return self._repl.head_version(list_id)
+
+    def applied_version(self, list_id: int, server_index: int) -> int:
+        """Ops of *list_id* applied at *server_index*."""
+        return self._repl.applied_version(list_id, server_index)
+
+    def replication_backlog(self) -> dict[tuple[int, int], int]:
+        """Staleness per (list, server) pair; empty when fully converged."""
+        return self._repl.backlog()
+
+    def run_replication_until_quiet(self, max_ticks: int = 1000) -> int:
+        """Tick until every *reachable* replica is caught up.
+
+        Returns the ticks run.  Backlog held for paused or down servers
+        does not block quiescence — heal them first if the test needs
+        full convergence.
+        """
+        ticks = 0
+        while self._repl.reachable_backlog() and ticks < max_ticks:
+            self._repl.tick()
+            ticks += 1
+        return ticks
+
     # -- data plane -----------------------------------------------------------
+
+    def _write_synchronously(self) -> bool:
+        """Whether writes may take the seed's inline all-replica path.
+
+        Requires every server up on top of the manager's conditions
+        (zero lag, nothing paused, no backlog): an inline write to a
+        down server would contradict the failure model, so any failure
+        routes writes through the log instead.
+        """
+        return all(self._alive) and self._repl.is_synchronous()
+
+    def _resolve_consistency(
+        self, consistency: ReadConsistency | str | None
+    ) -> ReadConsistency:
+        """Per-call override, or the cluster default."""
+        if consistency is None:
+            return self.read_consistency
+        return ReadConsistency.coerce(consistency)
+
+    def _ensure_primary_current(self, list_id: int) -> None:
+        """Refuse to acknowledge a write at a gapped primary.
+
+        A stale-source migration cutover can install a primary below the
+        log head; acknowledging a fresh write there would stamp the
+        primary *over* its gap and silently lose the gap ops (their
+        scheduled catch-up delivery would no-op).  Catch the primary up
+        from the log first; if it is unreachable (paused or down with a
+        gap), the write fails honestly with :class:`UnavailableError`.
+        """
+        primary = self.replicas_of(list_id)[0]
+        if (
+            self._repl.applied_version(list_id, primary)
+            < self._repl.head_version(list_id)
+        ):
+            self._repl.sync(list_id, primary, reason="write-catchup")
+            if (
+                self._repl.applied_version(list_id, primary)
+                < self._repl.head_version(list_id)
+            ):
+                raise UnavailableError(list_id, len(self.replicas_of(list_id)))
+
+    def _validate_items(
+        self,
+        principal: str,
+        items: Iterable[tuple[int, EncryptedPostingElement]],
+    ) -> list[tuple[int, EncryptedPostingElement]]:
+        """All-or-nothing preamble of the batched write paths.
+
+        List id, TRS and group membership are checked for the whole batch
+        before any server is touched, so a rejected batch cannot leave
+        replicas of a list divergent.
+        """
+        items = list(items)
+        for list_id, element in items:
+            if element.trs is None:
+                raise ProtocolError("Zerber+R elements must carry a TRS")
+            if not self._keys.is_member(principal, element.group):
+                raise AccessDeniedError(principal, element.group)
+            self.replicas_of(list_id)  # validates the list id
+        return items
+
+    def _group_by_server(
+        self,
+        items: list[tuple[int, EncryptedPostingElement]],
+        primary_only: bool = False,
+    ) -> dict[int, list[tuple[int, EncryptedPostingElement]]]:
+        """Group items by destination server, preserving caller order."""
+        per_server: dict[int, list[tuple[int, EncryptedPostingElement]]] = {}
+        for list_id, element in items:
+            replicas = self.replicas_of(list_id)
+            for server_index in replicas[:1] if primary_only else replicas:
+                per_server.setdefault(server_index, []).append((list_id, element))
+        return per_server
 
     def insert(
         self, principal: str, list_id: int, element: EncryptedPostingElement
     ) -> None:
-        """Insert into every replica of the list's shard."""
-        for server_index in self.replicas_of(list_id):
-            self._servers[server_index].insert(principal, list_id, element)
+        """Insert one element; replicas converge through the log.
+
+        On the synchronous path (zero lag, no backlog) every replica is
+        mutated inline — the seed behaviour.  Otherwise the primary is
+        mutated and acknowledged immediately and the op drains to
+        followers on later replication ticks.
+        """
+        replicas = self.replicas_of(list_id)
+        if self._write_synchronously():
+            for server_index in replicas:
+                self._servers[server_index].insert(principal, list_id, element)
+            self._repl.record_synchronous(list_id, 1)
+            return
+        self._ensure_primary_current(list_id)
+        # The primary's insert performs the TRS/membership validation; a
+        # rejected element raises before anything is logged.
+        self._servers[replicas[0]].insert(principal, list_id, element)
+        self._repl.record_insert(list_id, element)
+        self._repl.deliver_due()
 
     def insert_many(
         self,
         principal: str,
         items: Iterable[tuple[int, EncryptedPostingElement]],
     ) -> int:
-        """Replicated multi-insert, batched per server.
+        """Replicated multi-insert, batched per touched server.
 
-        Like :meth:`bulk_load`, items are grouped by destination first and
-        each touched server gets ONE ``insert_many`` call covering all of
-        its replicas' elements — O(touched servers) server calls instead
-        of O(elements × replication).  Per-server item order preserves the
-        caller's order, so view patching behaves as repeated
-        :meth:`insert`.
-
-        Every item is validated (list id, TRS, group membership) *before*
-        any server is touched: a rejected batch must not leave replicas of
-        the same list divergent, which per-server dispatch would otherwise
-        do on a mid-batch failure.
+        Items are validated up front (all-or-nothing, see
+        :meth:`_validate_items`) and grouped by destination, so a batch
+        costs O(touched servers) server calls instead of O(elements ×
+        replication).  On the asynchronous path only the *primaries* are
+        written inline; follower copies drain through the log.
         """
-        total, per_server = self._validated_per_server(principal, items)
-        for server_index in sorted(per_server):
-            self._servers[server_index].insert_many(
-                principal, per_server[server_index]
-            )
-        return total
-
-    def _validated_per_server(
-        self,
-        principal: str,
-        items: Iterable[tuple[int, EncryptedPostingElement]],
-    ) -> tuple[int, dict[int, list[tuple[int, EncryptedPostingElement]]]]:
-        """Validate every item, then group by destination server.
-
-        The shared all-or-nothing preamble of :meth:`insert_many` and
-        :meth:`bulk_load`: list id, TRS and group membership are checked
-        for the whole batch before any server is touched, so a rejected
-        batch cannot leave replicas of a list divergent.
-        """
-        items = list(items)
-        per_server: dict[int, list[tuple[int, EncryptedPostingElement]]] = {}
-        for list_id, element in items:
-            if element.trs is None:
-                raise ProtocolError("Zerber+R elements must carry a TRS")
-            if not self._keys.is_member(principal, element.group):
-                raise AccessDeniedError(principal, element.group)
-            for server_index in self.replicas_of(list_id):
-                per_server.setdefault(server_index, []).append((list_id, element))
-        return len(items), per_server
-
-    def delete_element(
-        self, principal: str, list_id: int, ciphertext: bytes
-    ) -> bool:
-        """Delete a receipt's element from every replica."""
-        removed_any = False
-        for server_index in self.replicas_of(list_id):
-            if self._servers[server_index].delete_element(
-                principal, list_id, ciphertext
-            ):
-                removed_any = True
-        return removed_any
+        return self._replicated_write_batch(principal, items, bulk=False)
 
     def bulk_load(
         self,
         principal: str,
         items: Iterable[tuple[int, EncryptedPostingElement]],
     ) -> int:
-        """Bulk-load each element into all of its replicas.
+        """Bulk-load with the same all-or-nothing validation as
+        :meth:`insert_many`; each touched server sorts once."""
+        return self._replicated_write_batch(principal, items, bulk=True)
 
-        Like :meth:`insert_many`, every item is validated before any
-        server is touched, so a rejected batch cannot leave replicas of
-        the same list divergent.
-        """
-        total, per_server = self._validated_per_server(principal, items)
+    def _replicated_write_batch(
+        self,
+        principal: str,
+        items: Iterable[tuple[int, EncryptedPostingElement]],
+        bulk: bool,
+    ) -> int:
+        """Shared body of :meth:`insert_many` and :meth:`bulk_load` —
+        identical replication discipline, different server entry point."""
+        items = self._validate_items(principal, items)
+        sync = self._write_synchronously()
+        if not sync:
+            for list_id in dict.fromkeys(lid for lid, _ in items):
+                self._ensure_primary_current(list_id)
+        per_server = self._group_by_server(items, primary_only=not sync)
         for server_index in sorted(per_server):
-            self._servers[server_index].bulk_load(
-                principal, per_server[server_index]
-            )
-        return total
+            server = self._servers[server_index]
+            load = server.bulk_load if bulk else server.insert_many
+            load(principal, per_server[server_index])
+        if sync:
+            for list_id, count in Counter(lid for lid, _ in items).items():
+                self._repl.record_synchronous(list_id, count)
+        else:
+            for list_id, element in items:
+                self._repl.record_insert(list_id, element)
+            self._repl.deliver_due()
+        return len(items)
 
-    def fetch(self, request: FetchRequest) -> FetchResponse:
-        """Serve from the first live replica of the requested list."""
-        return self._servers[self.route(request.list_id)].fetch(request)
-
-    def route(self, list_id: int) -> int:
-        """First live replica holding *list_id* (replica failover).
-
-        Raises :class:`UnavailableError` (naming the list) when every
-        replica is down.
-        """
+    def delete_element(
+        self, principal: str, list_id: int, ciphertext: bytes
+    ) -> bool:
+        """Delete a receipt's element; followers learn through the log."""
         replicas = self.replicas_of(list_id)
-        for server_index in replicas:
-            if self._alive[server_index]:
-                return server_index
-        raise UnavailableError(list_id, len(replicas))
+        if self._write_synchronously():
+            removed_any = False
+            for server_index in replicas:
+                if self._servers[server_index].delete_element(
+                    principal, list_id, ciphertext
+                ):
+                    removed_any = True
+            if removed_any:
+                self._repl.record_synchronous(list_id, 1)
+            return removed_any
+        self._ensure_primary_current(list_id)
+        removed = self._servers[replicas[0]].delete_element(
+            principal, list_id, ciphertext
+        )
+        if removed:
+            self._repl.record_delete(list_id, ciphertext)
+            self._repl.deliver_due()
+        return removed
 
-    def batch_fetch(self, batch: BatchFetchRequest) -> BatchFetchResponse:
+    # -- read path -------------------------------------------------------------
+
+    def route(
+        self, list_id: int, consistency: ReadConsistency | str | None = None
+    ) -> int:
+        """The replica that should serve a read of *list_id*.
+
+        Eligibility depends on the consistency level (default: the
+        cluster's ``read_consistency``): ``PRIMARY`` prefers caught-up
+        live replicas, ``ONE`` accepts any live replica, ``QUORUM``
+        requires a live majority and returns the version-max member.
+        Among eligible replicas the configured
+        :class:`~repro.core.placement.ReadSelector` picks one (the
+        default always takes the first — the seed's replica-0 skew).
+
+        Raises :class:`UnavailableError` when every replica is down and
+        :class:`QuorumUnavailableError` when a quorum read lacks a live
+        majority.
+        """
+        return self._route_read(list_id, self._resolve_consistency(consistency))
+
+    def _route_read(
+        self,
+        list_id: int,
+        consistency: ReadConsistency,
+        loads: list[int] | None = None,
+    ) -> int:
+        """:meth:`route` with a resolved consistency and optional
+        precomputed per-server loads (batched reads compute them once)."""
+        replicas = self.replicas_of(list_id)
+        live = [s for s in replicas if self._alive[s]]
+        if not live:
+            raise UnavailableError(list_id, len(replicas))
+        if consistency is ReadConsistency.QUORUM:
+            needed = len(replicas) // 2 + 1
+            if len(live) < needed:
+                raise QuorumUnavailableError(
+                    list_id, len(replicas), needed, len(live)
+                )
+            self._repl.stats.version_probes += len(live)
+            return max(
+                live, key=lambda s: self._repl.applied_version(list_id, s)
+            )
+        if consistency is ReadConsistency.PRIMARY:
+            head = self._repl.head_version(list_id)
+            fresh = [
+                s
+                for s in live
+                if self._repl.applied_version(list_id, s) == head
+            ]
+            candidates = fresh if fresh else live
+        else:  # ONE
+            candidates = live
+        if len(candidates) == 1:
+            return candidates[0]
+        if loads is None:
+            loads = (
+                self.per_server_load() if self._read_selector.needs_loads else []
+            )
+        return self._read_selector.select(list_id, candidates, loads)
+
+    def fetch(
+        self,
+        request: FetchRequest,
+        consistency: ReadConsistency | str | None = None,
+    ) -> FetchResponse:
+        """Serve one slice at the requested (or default) consistency.
+
+        The response's ``replica_version`` is the serving replica's
+        applied log version; a stale replica triggers read-repair (see
+        :meth:`_finalize_read`).
+        """
+        consistency = self._resolve_consistency(consistency)
+        server_index = self._route_read(request.list_id, consistency)
+        response = self._servers[server_index].fetch(request)
+        return self._finalize_read(request, server_index, response, consistency)
+
+    def batch_fetch(
+        self,
+        batch: BatchFetchRequest,
+        consistency: ReadConsistency | str | None = None,
+    ) -> BatchFetchResponse:
         """Serve a batch with one sub-batch per shard server.
 
-        Each slice routes to the first live replica of its list; slices
-        that land on the same server travel as one
-        :class:`BatchFetchRequest` to it (one round-trip per touched
-        server, not per slice).  Responses reassemble in the original
-        slice order.  A list with no live replica fails the whole batch,
-        matching :meth:`fetch`'s error behaviour.
+        Each slice routes per the consistency level; slices that land on
+        the same server travel as one :class:`BatchFetchRequest` to it
+        (one round-trip per touched server, not per slice).  Responses
+        reassemble in the original slice order, then each is finalized
+        (version stamp + read-repair) individually — a repair re-serve
+        costs one extra single-slice fetch, which the stats expose as
+        repair traffic.  A list with no live replica fails the whole
+        batch, matching :meth:`fetch`'s error behaviour.
         """
+        consistency = self._resolve_consistency(consistency)
+        loads = (
+            self.per_server_load() if self._read_selector.needs_loads else None
+        )
         routed: list[int] = [
-            self.route(request.list_id) for request in batch.requests
+            self._route_read(request.list_id, consistency, loads)
+            for request in batch.requests
         ]
         per_server: dict[int, list[int]] = {}
         for slice_index, server_index in enumerate(routed):
@@ -255,11 +524,16 @@ class ServerCluster:
             )
             sub_response = self._servers[server_index].batch_fetch(sub_batch)
             for i, response in zip(slice_indices, sub_response.responses):
-                responses[i] = response
+                responses[i] = self._finalize_read(
+                    batch.requests[i], server_index, response, consistency
+                )
         return BatchFetchResponse(responses=tuple(responses))  # type: ignore[arg-type]
 
     def serve_envelope(
-        self, server_index: int, envelope: CoalescedBatchRequest
+        self,
+        server_index: int,
+        envelope: CoalescedBatchRequest,
+        consistency: ReadConsistency | str | None = None,
     ) -> CoalescedBatchResponse:
         """Deliver a coordinator envelope to one (live) shard server.
 
@@ -267,6 +541,9 @@ class ServerCluster:
         verifies that the target is alive and that the envelope was routed
         under the *current* placement epoch — an envelope built before a
         rebalance must be re-routed, not served from a stale shard map.
+        Every slice is then finalized like a direct fetch: versions are
+        stamped and stale slices are read-repaired per the consistency
+        level (extra single-slice fetches, visible in the stats).
         """
         if not 0 <= server_index < len(self._servers):
             raise ConfigurationError(f"unknown server index {server_index}")
@@ -277,7 +554,70 @@ class ServerCluster:
                 f"envelope routed under placement epoch {envelope.epoch}, "
                 f"cluster is at {self._epoch}"
             )
-        return self._servers[server_index].coalesced_fetch(envelope)
+        consistency = self._resolve_consistency(consistency)
+        raw = self._servers[server_index].coalesced_fetch(envelope)
+        flat_requests = [
+            request for batch in envelope.batches for request in batch.requests
+        ]
+        finalized = tuple(
+            self._finalize_read(request, server_index, response, consistency)
+            for request, response in zip(flat_requests, raw.responses)
+        )
+        return CoalescedBatchResponse(
+            responses=finalized, slice_ids=raw.slice_ids, epoch=raw.epoch
+        )
+
+    def _finalize_read(
+        self,
+        request: FetchRequest,
+        server_index: int,
+        response: FetchResponse,
+        consistency: ReadConsistency,
+    ) -> FetchResponse:
+        """Stamp the replica version; detect divergence and read-repair.
+
+        A serving replica behind the log head is caught up immediately
+        when reachable (the repair ops also patch its readable views).
+        Under ``PRIMARY``/``QUORUM`` the slice is then *re-served* from a
+        replica at the head — the repaired server itself, or the primary
+        — so the caller sees every acknowledged write; under ``ONE`` the
+        stale response is returned as-is (fast/stale).
+        """
+        list_id = request.list_id
+        version = self._repl.applied_version(list_id, server_index)
+        head = self._repl.head_version(list_id)
+        if version >= head:
+            return dataclass_replace(response, replica_version=version)
+        self._repl.observe_staleness(head - version)
+        if self._repl.sync(list_id, server_index):
+            self._repl.stats.read_repairs += 1
+        if consistency is ReadConsistency.QUORUM:
+            # Quorum reads repair every stale live replica they examined.
+            for other in self.replicas_of(list_id):
+                if (
+                    other != server_index
+                    and self._alive[other]
+                    and self._repl.applied_version(list_id, other) < head
+                    and self._repl.sync(list_id, other)
+                ):
+                    self._repl.stats.read_repairs += 1
+        if consistency is not ReadConsistency.ONE:
+            reserve_from = None
+            if self._repl.applied_version(list_id, server_index) >= head:
+                reserve_from = server_index  # repaired in place
+            else:
+                primary = self.replicas_of(list_id)[0]
+                if (
+                    self._alive[primary]
+                    and self._repl.applied_version(list_id, primary) >= head
+                ):
+                    reserve_from = primary
+            if reserve_from is not None:
+                response = self._servers[reserve_from].fetch(request)
+                self._repl.stats.read_reserves += 1
+                version = self._repl.applied_version(list_id, reserve_from)
+                return dataclass_replace(response, replica_version=version)
+        return dataclass_replace(response, replica_version=version)
 
     # -- placement control plane -------------------------------------------------
 
@@ -296,14 +636,15 @@ class ServerCluster:
     def rebalance(self) -> dict[int, tuple[int, ...]]:
         """Ask the placement policy for heat-driven moves and apply them.
 
-        Every proposed move is migrated (data copied to new replicas, then
-        dropped from old ones) and the placement epoch bumps once if
-        anything moved — including when a later migration fails midway, so
-        envelopes routed under the pre-rebalance table are always rejected
-        rather than served from a half-migrated shard map.  Moves that
-        would place a list on a dead server are refused here even if a
-        (buggy) policy proposes them.  Returns the applied moves; empty
-        for static policies such as round-robin.
+        Every proposed move is migrated (drain-then-cutover through the
+        replication log, see :meth:`_migrate_list`) and the placement
+        epoch bumps once if anything moved — including when a later
+        migration fails midway, so envelopes routed under the
+        pre-rebalance table are always rejected rather than served from a
+        half-migrated shard map.  Moves that would place a list on a dead
+        server are refused here even if a (buggy) policy proposes them.
+        Returns the applied moves; empty for static policies such as
+        round-robin.
         """
         proposal = self._policy.propose(
             self.list_heat(),
@@ -356,7 +697,17 @@ class ServerCluster:
         return applied
 
     def _migrate_list(self, list_id: int, targets: tuple[int, ...]) -> None:
-        """Move one list's replicas: copy to new servers, drop from old."""
+        """Move one list's replicas through the log: drain, then cut over.
+
+        The export source is the most-caught-up live replica; it is first
+        *drained* (caught up from the replication log) so the copy is as
+        fresh as reachability allows — the stop-the-world wholesale copy
+        of the seed became drain-then-cutover.  If the source still lags
+        the head (it was partitioned), new replicas are registered at the
+        source's version and the remaining ops are scheduled through the
+        normal lag-driven delivery, so an unlucky cut-over converges
+        instead of silently losing acknowledged writes.
+        """
         if len(targets) != self.replication or len(set(targets)) != len(targets):
             raise ConfigurationError(
                 f"migration of list {list_id} needs {self.replication} "
@@ -365,23 +716,37 @@ class ServerCluster:
         if not all(0 <= s < len(self._servers) for s in targets):
             raise ConfigurationError("migration names an unknown server")
         old = self._placement[list_id]
-        source = self.route(list_id)
+        source = self._repl.best_source(list_id)
+        if source is None:
+            raise UnavailableError(list_id, len(old))
+        self._repl.sync(list_id, source, reason="migration")
         elements = self._servers[source].export_list(list_id)
+        source_version = self._repl.applied_version(list_id, source)
         for server_index in targets:
             if server_index not in old:
                 self._servers[server_index].import_list(list_id, elements)
+        self._placement[list_id] = tuple(targets)
+        for server_index in targets:
+            if server_index not in old:
+                self._repl.register_replica(list_id, server_index, source_version)
         for server_index in old:
             if server_index not in targets:
                 self._servers[server_index].clear_list(list_id)
-        self._placement[list_id] = tuple(targets)
+                self._repl.drop_replica(list_id, server_index)
 
     # -- accounting -------------------------------------------------------------
 
     @property
     def num_elements(self) -> int:
-        """Logical element count (replicas counted once)."""
-        total_stored = sum(s.num_elements for s in self._servers)
-        return total_stored // self.replication
+        """Logical element count (replicas counted once).
+
+        Counted at the primaries, so replication lag on followers does
+        not skew the logical size.
+        """
+        return sum(
+            self._servers[replicas[0]].list_length(list_id)
+            for list_id, replicas in enumerate(self._placement)
+        )
 
     def list_length(self, list_id: int) -> int:
         primary = self.replicas_of(list_id)[0]
@@ -412,7 +777,8 @@ class ServerCluster:
         Aggregates every server's :class:`~repro.core.views.ViewStats`
         (hits, rebuilds, patches, evictions, …) so benchmarks and the
         coordinator can watch view churn — e.g. a migration-heavy
-        rebalance shows up as a spike in invalidations.
+        rebalance shows up as a spike in invalidations, and replication
+        repair traffic as ``replication_patches``.
         """
         total = ViewStats()
         for server in self._servers:

@@ -90,6 +90,111 @@ def load_balance_ratio(
     return max_over_mean(loads)
 
 
+class ReadSelector(ABC):
+    """Which of a list's live replicas serves a read.
+
+    The seed cluster always served from the first live replica, piling
+    every list's whole read load onto its primary while trailing
+    replicas idled.  A selector picks among the *eligible* replicas the
+    cluster computed for the requested consistency level (all live
+    replicas for ``ONE``; the caught-up live replicas for ``PRIMARY``),
+    so balancing never weakens consistency.  Selectors must be
+    deterministic: same construction seed, same call sequence, same
+    choices — benchmarks and the byte-identity tests rely on replay.
+    """
+
+    name = "abstract"
+    #: Whether select() reads *loads*; lets the cluster skip computing the
+    #: per-server counters for load-oblivious strategies.
+    needs_loads = False
+
+    @abstractmethod
+    def select(
+        self, list_id: int, candidates: Sequence[int], loads: Sequence[int]
+    ) -> int:
+        """Pick one server from *candidates* (non-empty, placement order).
+
+        *loads* is the cluster's per-server slices-served counter
+        (indexed by server id), for load-aware strategies.
+        """
+
+
+class PrimaryReads(ReadSelector):
+    """The seed behaviour: always the first eligible replica."""
+
+    name = "primary"
+
+    def select(
+        self, list_id: int, candidates: Sequence[int], loads: Sequence[int]
+    ) -> int:
+        return candidates[0]
+
+
+class RotatingReads(ReadSelector):
+    """Deterministic per-list round-robin over the eligible replicas.
+
+    Each list keeps its own rotation cursor, started from *seed*, so
+    consecutive reads of a hot list spread over its replicas while the
+    sequence stays exactly reproducible under the same seed.
+    """
+
+    name = "rotate"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._cursors: dict[int, int] = {}
+
+    def select(
+        self, list_id: int, candidates: Sequence[int], loads: Sequence[int]
+    ) -> int:
+        cursor = self._cursors.get(list_id, self._seed)
+        self._cursors[list_id] = cursor + 1
+        return candidates[cursor % len(candidates)]
+
+
+class LeastLoadedReads(ReadSelector):
+    """Pick the eligible replica with the lowest served-slice count.
+
+    Ties break by server index, so the choice is deterministic without
+    any per-selector state.
+    """
+
+    name = "least-loaded"
+    needs_loads = True
+
+    def select(
+        self, list_id: int, candidates: Sequence[int], loads: Sequence[int]
+    ) -> int:
+        return min(candidates, key=lambda s: (loads[s], s))
+
+
+_READ_SELECTORS = {
+    PrimaryReads.name: PrimaryReads,
+    RotatingReads.name: RotatingReads,
+    LeastLoadedReads.name: LeastLoadedReads,
+}
+
+
+def coerce_read_selector(
+    value: "ReadSelector | str | None", seed: int = 0
+) -> ReadSelector:
+    """Resolve a selector instance or name (``None`` = seed behaviour)."""
+    if value is None:
+        return PrimaryReads()
+    if isinstance(value, ReadSelector):
+        return value
+    try:
+        selector_cls = _READ_SELECTORS[str(value)]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown read strategy {value!r}; "
+            f"expected one of {sorted(_READ_SELECTORS)}"
+        ) from None
+    if selector_cls is RotatingReads:
+        return RotatingReads(seed=seed)
+    return selector_cls()
+
+
 class PlacementPolicy(ABC):
     """Strategy deciding which servers hold (and serve) each merged list."""
 

@@ -98,10 +98,20 @@ class FetchRequest:
 
 @dataclass(frozen=True)
 class FetchResponse:
-    """Server reply: an ordered slice plus an exhaustion flag."""
+    """Server reply: an ordered slice plus an exhaustion flag.
+
+    ``replica_version`` is the serving replica's applied replication-log
+    version of the fetched list (see :mod:`repro.core.replication`),
+    stamped by the cluster on its read path; ``None`` means the response
+    came from an unreplicated backend (a bare
+    :class:`~repro.core.server.ZerberRServer`).  The cluster compares it
+    against the list's log head to detect a stale replica and trigger
+    read-repair.
+    """
 
     elements: tuple[EncryptedPostingElement, ...]
     exhausted: bool
+    replica_version: int | None = None
 
     def __len__(self) -> int:
         return len(self.elements)

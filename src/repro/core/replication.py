@@ -1,0 +1,556 @@
+"""Asynchronous replica maintenance: logs, lag, read-repair, anti-entropy.
+
+The seed cluster *faked* replication: every insert/delete applied to all
+replicas synchronously inside the write call, so replicas could never
+diverge and "replication" bought availability only.  This module gives
+:class:`~repro.core.cluster.ServerCluster` a real replication data plane:
+
+* each merged list has a **primary** replica (the first server in its
+  placement tuple) and a monotonically versioned :class:`ReplicationLog`;
+* a write applies to the primary immediately (that is the acknowledged
+  durable copy — the op also lives in the log until every replica holds
+  it) and is *recorded* as a :class:`ReplicationOp` with the next log
+  sequence number;
+* followers receive recorded ops asynchronously through a tick-driven
+  scheduler embedded in :class:`ReplicationManager`: each op becomes due
+  ``LagModel.delay_for(server)`` ticks after it was recorded, and
+  :meth:`ReplicationManager.tick` applies every due op in log order;
+* a follower can be **paused** (network partition): deliveries to it are
+  held — not dropped — until :meth:`ReplicationManager.resume`;
+* an **anti-entropy sweep** (every ``anti_entropy_every`` ticks) force-
+  syncs every reachable stale follower, bounding worst-case staleness
+  even for lists that nobody reads.
+
+Version / log invariants
+------------------------
+
+1. ``head_seq(list)`` increments by exactly one per recorded op (insert
+   or delete); it is the version of the primary's state, because a write
+   applies to the primary in the same call that records the op.
+2. ``applied(list, server)`` is the number of log ops server has applied.
+   Every replica's state is always a *prefix* of the log: ops are
+   delivered strictly in sequence order, per (list, server) FIFO, and
+   nothing else mutates a replicated list (bulk loads and migrations go
+   through :meth:`record_synchronous` / :meth:`register_replica`, which
+   keep the prefix property by construction).
+3. ``base_seq(list) <= min(applied(list, s) for s in replicas(list))`` —
+   the log retains at least every op some current replica still lacks,
+   so any reachable replica can always be caught up from the log alone
+   (read-repair, anti-entropy, migration cut-over), even if the primary
+   is down.  Ops at or below the minimum applied version are truncated.
+4. Staleness of a replica is ``head_seq - applied``; it is what fetch
+   responses expose as the serving replica's
+   :attr:`~repro.core.protocol.FetchResponse.replica_version` and what
+   read-repair keys on.
+
+With a zero lag model, no paused follower and no backlog, the manager
+reports :meth:`is_synchronous` and the cluster takes the seed's
+synchronous write path verbatim (followers mutate inline, versions
+advance in lockstep via :meth:`record_synchronous`) — the default
+configuration is byte-identical to the pre-replication cluster.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.index.postings import EncryptedPostingElement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import ZerberRServer
+
+
+class ReadConsistency(Enum):
+    """Tunable read consistency of cluster fetches.
+
+    ``ONE``
+        Serve from whichever replica routing picked, as-is — fastest,
+        possibly stale.  Divergence is still *detected* (the response
+        version is compared against the log head) and triggers catch-up
+        of the stale follower, but the stale response is returned.
+    ``PRIMARY``
+        Strong reads (the default, and the seed's effective behaviour):
+        if the serving replica is behind the log head, it is caught up
+        from the log when reachable, and the slice is re-served — from
+        the repaired replica, or from the primary — so the response
+        reflects every acknowledged write whenever any reachable replica
+        can be brought to the head.
+    ``QUORUM``
+        Version-max across a majority: the read consults the applied
+        versions of a majority of live replicas, serves from the highest
+        one, and repairs the stale members it examined.  Raises
+        :class:`~repro.errors.QuorumUnavailableError` when fewer than a
+        majority of replicas are live.
+    """
+
+    ONE = "one"
+    PRIMARY = "primary"
+    QUORUM = "quorum"
+
+    @classmethod
+    def coerce(cls, value: "ReadConsistency | str | None") -> "ReadConsistency":
+        if value is None:
+            return cls.PRIMARY
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown read consistency {value!r}; "
+                f"expected one of {[c.value for c in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class LagModel:
+    """How many scheduler ticks an op takes to reach each follower.
+
+    ``fixed_ticks`` is the default delay; ``per_server`` overrides it for
+    individual servers (e.g. one straggler replica).  A delay of 0 means
+    the op is due on the tick it was recorded (and is drained inline by
+    the write call).  Pausing a follower is *not* a lag value — it is a
+    partition, modelled by :meth:`ReplicationManager.pause`.
+    """
+
+    fixed_ticks: int = 0
+    per_server: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fixed_ticks < 0:
+            raise ConfigurationError("replication lag must be >= 0 ticks")
+        if any(delay < 0 for delay in self.per_server.values()):
+            raise ConfigurationError("per-server replication lag must be >= 0")
+
+    @classmethod
+    def coerce(cls, value: "LagModel | int | None") -> "LagModel":
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(fixed_ticks=int(value))
+
+    def delay_for(self, server_index: int) -> int:
+        return self.per_server.get(server_index, self.fixed_ticks)
+
+    @property
+    def is_zero(self) -> bool:
+        return self.fixed_ticks == 0 and not any(self.per_server.values())
+
+
+@dataclass(frozen=True)
+class ReplicationOp:
+    """One recorded mutation of a merged list.
+
+    ``seq`` is the list's log sequence number after applying this op
+    (the first op of a list has ``seq == 1``).  ``kind`` is ``"insert"``
+    (payload in ``element``) or ``"delete"`` (payload in ``ciphertext``
+    — deletion is by receipt, exactly like the client protocol).
+    """
+
+    seq: int
+    kind: str
+    element: EncryptedPostingElement | None = None
+    ciphertext: bytes | None = None
+
+
+class ReplicationLog:
+    """The monotonically versioned op log of one merged list.
+
+    Retains every op above ``base_seq``; invariant 3 of the module
+    docstring governs truncation (the manager advances the base only
+    past the minimum applied version of the list's current replicas).
+    """
+
+    __slots__ = ("list_id", "head_seq", "base_seq", "_ops")
+
+    def __init__(self, list_id: int) -> None:
+        self.list_id = list_id
+        self.head_seq = 0
+        self.base_seq = 0  # ops with seq <= base_seq are truncated
+        self._ops: deque[ReplicationOp] = deque()
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def append(
+        self,
+        kind: str,
+        element: EncryptedPostingElement | None = None,
+        ciphertext: bytes | None = None,
+    ) -> ReplicationOp:
+        op = ReplicationOp(
+            seq=self.head_seq + 1, kind=kind, element=element, ciphertext=ciphertext
+        )
+        self._ops.append(op)
+        self.head_seq = op.seq
+        return op
+
+    def advance_synced(self, num_ops: int) -> None:
+        """Version a batch of ops applied to *every* replica inline.
+
+        The synchronous write path mutates all replicas before
+        returning, so nothing ever needs these ops again: the head and
+        the base advance together and no op object is retained.
+        """
+        self.head_seq += num_ops
+        self.base_seq = self.head_seq
+        self._ops.clear()
+
+    def ops_between(self, after_seq: int, upto_seq: int) -> list[ReplicationOp]:
+        """Ops with ``after_seq < seq <= upto_seq``, in order."""
+        if after_seq < self.base_seq:
+            raise ProtocolError(
+                f"list {self.list_id}: ops after seq {after_seq} were "
+                f"truncated (log base is {self.base_seq})"
+            )
+        return [op for op in self._ops if after_seq < op.seq <= upto_seq]
+
+    def truncate_to(self, min_applied: int) -> None:
+        """Drop ops every current replica has applied (invariant 3)."""
+        while self._ops and self._ops[0].seq <= min_applied:
+            self._ops.popleft()
+        self.base_seq = max(self.base_seq, min(min_applied, self.head_seq))
+
+
+@dataclass
+class ReplicationStats:
+    """Counters of the replication data plane (benchmarks assert on these).
+
+    ``ops_logged`` counts ops recorded through the async path;
+    ``follower_ops_applied`` counts scheduled (lag-driven) deliveries;
+    ``repair_ops`` and ``anti_entropy_ops`` count the same deliveries
+    when forced by read-repair or the anti-entropy sweep instead.
+    ``read_reserves`` counts slices re-served for consistency after a
+    stale first answer; ``version_probes`` counts replica version checks
+    done by quorum reads.  ``max_staleness_seen`` is the largest
+    head-minus-applied gap any read ever observed.
+    """
+
+    ticks: int = 0
+    ops_logged: int = 0
+    follower_ops_applied: int = 0
+    stale_reads_detected: int = 0
+    read_repairs: int = 0
+    repair_ops: int = 0
+    read_reserves: int = 0
+    anti_entropy_runs: int = 0
+    anti_entropy_syncs: int = 0
+    anti_entropy_ops: int = 0
+    version_probes: int = 0
+    max_staleness_seen: int = 0
+
+
+class ReplicationManager:
+    """Per-list replication logs plus the tick-driven delivery scheduler.
+
+    The manager owns no placement: the cluster passes ``replicas_of``
+    (current replica tuple per list, primary first) and ``server_alive``
+    callables so migrations and failures are always judged against the
+    cluster's authoritative state.  It owns the server *mutations* of the
+    async path: follower deliveries go through
+    :meth:`ZerberRServer.apply_replicated_insert` /
+    ``apply_replicated_delete`` (no membership re-check — the op was
+    admitted at the primary; re-checking at drain time would let a
+    concurrent revocation fork the replicas).
+    """
+
+    def __init__(
+        self,
+        servers: "Sequence[ZerberRServer]",
+        replicas_of: Callable[[int], Sequence[int]],
+        server_alive: Callable[[int], bool],
+        num_lists: int,
+        lag: LagModel | int | None = None,
+        anti_entropy_every: int | None = None,
+    ) -> None:
+        if anti_entropy_every is not None and anti_entropy_every < 1:
+            raise ConfigurationError("anti_entropy_every must be >= 1")
+        self._servers = servers
+        self._replicas_of = replicas_of
+        self._alive = server_alive
+        self.lag = LagModel.coerce(lag)
+        self.anti_entropy_every = anti_entropy_every
+        self._logs: dict[int, ReplicationLog] = {
+            list_id: ReplicationLog(list_id) for list_id in range(num_lists)
+        }
+        # (list_id, server) -> applied log seq; one entry per current replica.
+        self._applied: dict[tuple[int, int], int] = {}
+        # (list_id, server) -> FIFO of (due_tick, upto_seq) deliveries.
+        self._due: dict[tuple[int, int], deque[tuple[int, int]]] = {}
+        self._paused: set[int] = set()
+        self.tick_count = 0
+        self.stats = ReplicationStats()
+        for list_id in range(num_lists):
+            for server_index in replicas_of(list_id):
+                self._applied[(list_id, server_index)] = 0
+
+    # -- mode ------------------------------------------------------------------
+
+    def is_synchronous(self) -> bool:
+        """Whether writes may take the seed's inline all-replica path.
+
+        True only when the lag model is zero, no follower is paused and
+        no delivery is outstanding — an inline write while a follower
+        holds a backlog would apply out of log order.
+        """
+        return self.lag.is_zero and not self._paused and not self._due
+
+    def pause(self, server_index: int) -> None:
+        """Partition one server away from replication traffic.
+
+        The server still serves reads (that is the point: its answers go
+        stale), but deliveries to it are held until :meth:`resume`.
+        Pausing any server also forces the cluster off the synchronous
+        write path, so an inline write can never jump the held backlog.
+        """
+        self._check_server(server_index)
+        self._paused.add(server_index)
+
+    def resume(self, server_index: int) -> None:
+        """Heal the partition; the backlog drains on subsequent ticks."""
+        self._check_server(server_index)
+        self._paused.discard(server_index)
+
+    def is_paused(self, server_index: int) -> bool:
+        return server_index in self._paused
+
+    def _check_server(self, server_index: int) -> None:
+        if not 0 <= server_index < len(self._servers):
+            raise ConfigurationError(f"unknown server index {server_index}")
+
+    def _deliverable(self, server_index: int) -> bool:
+        return self._alive(server_index) and server_index not in self._paused
+
+    # -- versions --------------------------------------------------------------
+
+    def head_version(self, list_id: int) -> int:
+        """The primary's (log head) version of *list_id*."""
+        return self._logs[list_id].head_seq
+
+    def applied_version(self, list_id: int, server_index: int) -> int:
+        """Ops of *list_id*'s log that *server_index* has applied."""
+        try:
+            return self._applied[(list_id, server_index)]
+        except KeyError:
+            raise ProtocolError(
+                f"server {server_index} does not hold list {list_id}"
+            ) from None
+
+    def staleness(self, list_id: int, server_index: int) -> int:
+        return self.head_version(list_id) - self.applied_version(
+            list_id, server_index
+        )
+
+    def outstanding_deliveries(self) -> int:
+        """Queued (not yet applied) delivery records across all pairs."""
+        return sum(len(queue) for queue in self._due.values())
+
+    # -- write path ------------------------------------------------------------
+
+    def record_synchronous(self, list_id: int, num_ops: int) -> None:
+        """Version ops the cluster applied to every replica inline."""
+        self._logs[list_id].advance_synced(num_ops)
+        head = self._logs[list_id].head_seq
+        for server_index in self._replicas_of(list_id):
+            self._applied[(list_id, server_index)] = head
+
+    def record_insert(
+        self, list_id: int, element: EncryptedPostingElement
+    ) -> ReplicationOp:
+        """Log an insert the cluster just applied to the primary."""
+        return self._record(
+            list_id, self._logs[list_id].append("insert", element=element)
+        )
+
+    def record_delete(self, list_id: int, ciphertext: bytes) -> ReplicationOp:
+        """Log a delete the cluster just applied to the primary."""
+        return self._record(
+            list_id, self._logs[list_id].append("delete", ciphertext=ciphertext)
+        )
+
+    def _record(self, list_id: int, op: ReplicationOp) -> ReplicationOp:
+        self.stats.ops_logged += 1
+        replicas = self._replicas_of(list_id)
+        if self._applied[(list_id, replicas[0])] != op.seq - 1:
+            # The cluster guards every async write with a primary
+            # catch-up (ServerCluster._ensure_primary_current); stamping
+            # a gapped primary to op.seq here would mark its missing ops
+            # as applied and silently lose them, so fail loudly instead.
+            raise ProtocolError(
+                f"list {list_id}: primary {replicas[0]} is at version "
+                f"{self._applied[(list_id, replicas[0])]}, cannot "
+                f"acknowledge op {op.seq}"
+            )
+        self._applied[(list_id, replicas[0])] = op.seq
+        for follower in replicas[1:]:
+            due = self.tick_count + self.lag.delay_for(follower)
+            self._due.setdefault((list_id, follower), deque()).append(
+                (due, op.seq)
+            )
+        return op
+
+    # -- delivery --------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the replication clock one tick; deliver due ops.
+
+        Returns the number of ops applied to followers this tick.  Every
+        ``anti_entropy_every`` ticks the sweep additionally force-syncs
+        all reachable stale followers.
+        """
+        self.tick_count += 1
+        self.stats.ticks += 1
+        applied = self.deliver_due()
+        if (
+            self.anti_entropy_every is not None
+            and self.tick_count % self.anti_entropy_every == 0
+        ):
+            applied += self.anti_entropy_sweep()
+        return applied
+
+    def deliver_due(self) -> int:
+        """Apply every delivery that is due at the current tick."""
+        total = 0
+        for (list_id, server_index), queue in list(self._due.items()):
+            if not self._deliverable(server_index):
+                continue
+            upto = None
+            while queue and queue[0][0] <= self.tick_count:
+                upto = queue.popleft()[1]
+            if upto is not None:
+                total += self._apply_ops(list_id, server_index, upto)
+            if not queue:
+                self._due.pop((list_id, server_index), None)
+        self.stats.follower_ops_applied += total
+        return total
+
+    def sync(self, list_id: int, server_index: int, reason: str = "repair") -> int:
+        """Catch one replica up to the log head right now (if reachable).
+
+        Used by read-repair, the anti-entropy sweep and migration
+        cut-over.  Returns the number of ops applied (0 when the replica
+        is already current, paused or down).
+        """
+        if (list_id, server_index) not in self._applied:
+            raise ProtocolError(f"server {server_index} does not hold list {list_id}")
+        if not self._deliverable(server_index):
+            return 0
+        applied = self._apply_ops(
+            list_id, server_index, self._logs[list_id].head_seq
+        )
+        if applied:
+            if reason == "anti-entropy":
+                self.stats.anti_entropy_syncs += 1
+                self.stats.anti_entropy_ops += applied
+            else:
+                self.stats.repair_ops += applied
+            self._due.pop((list_id, server_index), None)
+        return applied
+
+    def anti_entropy_sweep(self) -> int:
+        """Force-sync every reachable stale follower of every list."""
+        self.stats.anti_entropy_runs += 1
+        total = 0
+        for list_id, log in self._logs.items():
+            for server_index in self._replicas_of(list_id):
+                if self._applied[(list_id, server_index)] < log.head_seq:
+                    total += self.sync(list_id, server_index, reason="anti-entropy")
+        return total
+
+    def _apply_ops(self, list_id: int, server_index: int, upto_seq: int) -> int:
+        applied = self._applied[(list_id, server_index)]
+        if upto_seq <= applied:
+            return 0
+        ops = self._logs[list_id].ops_between(applied, upto_seq)
+        server = self._servers[server_index]
+        for op in ops:
+            if op.kind == "insert":
+                assert op.element is not None
+                server.apply_replicated_insert(list_id, op.element)
+            else:
+                assert op.ciphertext is not None
+                server.apply_replicated_delete(list_id, op.ciphertext)
+        self._applied[(list_id, server_index)] = upto_seq
+        # Drop delivery records this application already satisfied.
+        queue = self._due.get((list_id, server_index))
+        if queue:
+            while queue and queue[0][1] <= upto_seq:
+                queue.popleft()
+            if not queue:
+                self._due.pop((list_id, server_index), None)
+        self._truncate(list_id)
+        return len(ops)
+
+    def _truncate(self, list_id: int) -> None:
+        replicas = self._replicas_of(list_id)
+        min_applied = min(self._applied[(list_id, s)] for s in replicas)
+        self._logs[list_id].truncate_to(min_applied)
+
+    # -- topology (migration support) ------------------------------------------
+
+    def register_replica(
+        self, list_id: int, server_index: int, at_version: int
+    ) -> None:
+        """Admit a new replica whose state was imported at *at_version*.
+
+        If the import source was behind the log head, the remaining ops
+        are scheduled for normal lag-driven delivery, so a cut-over from
+        a stale source still converges through the log.
+        """
+        self._applied[(list_id, server_index)] = at_version
+        head = self._logs[list_id].head_seq
+        if at_version < head:
+            due = self.tick_count + self.lag.delay_for(server_index)
+            self._due.setdefault((list_id, server_index), deque()).append(
+                (due, head)
+            )
+
+    def drop_replica(self, list_id: int, server_index: int) -> None:
+        """Forget a replica that no longer hosts the list."""
+        self._applied.pop((list_id, server_index), None)
+        self._due.pop((list_id, server_index), None)
+        self._truncate(list_id)
+
+    def best_source(self, list_id: int) -> int | None:
+        """The live replica with the highest applied version (ties by
+        placement order) — the migration export source."""
+        best: int | None = None
+        best_version = -1
+        for server_index in self._replicas_of(list_id):
+            if not self._alive(server_index):
+                continue
+            version = self._applied[(list_id, server_index)]
+            if version > best_version:
+                best, best_version = server_index, version
+        return best
+
+    # -- observability ---------------------------------------------------------
+
+    def observe_staleness(self, staleness: int) -> None:
+        if staleness > 0:
+            self.stats.stale_reads_detected += 1
+            if staleness > self.stats.max_staleness_seen:
+                self.stats.max_staleness_seen = staleness
+
+    def backlog(self) -> dict[tuple[int, int], int]:
+        """Current staleness per (list, server) pair, stale pairs only."""
+        return {
+            (list_id, server_index): self._logs[list_id].head_seq - applied
+            for (list_id, server_index), applied in self._applied.items()
+            if applied < self._logs[list_id].head_seq
+        }
+
+    def reachable_backlog(self) -> dict[tuple[int, int], int]:
+        """The backlog restricted to live, un-paused servers — what ticks
+        alone can still drain."""
+        return {
+            (list_id, server_index): staleness
+            for (list_id, server_index), staleness in self.backlog().items()
+            if self._deliverable(server_index)
+        }

@@ -19,13 +19,17 @@ which runs discrete *scheduling ticks*::
                                 5 (every R ticks) rebalance
 
 Per tick the coordinator (1) gathers every active session's pending fetch
-slices, (2) deduplicates identical slices — same principal, list, offset,
-count — so concurrent queries for the same hot list share one server
-slice, (3) routes unique slices through the cluster's placement table and
-packs everything bound for one server into a single
-:class:`~repro.core.protocol.CoalescedBatchRequest` (one server call per
-touched server per tick, regardless of how many sessions are in flight),
-(4) demultiplexes responses back to sessions by slice id, and (5)
+slices *in submission-age order*, spilling sessions to later ticks when
+the admission-control caps (``max_sessions_per_tick``,
+``max_slices_per_envelope``) are reached, (2) deduplicates identical
+slices — same principal, list, offset, count — so concurrent queries for
+the same hot list share one server slice, (3) routes unique slices
+through the cluster's placement table and packs everything bound for one
+server into a single :class:`~repro.core.protocol.CoalescedBatchRequest`
+(one server call per touched server per tick, regardless of how many
+sessions are in flight), (4) demultiplexes responses back to sessions by
+slice id, (5) advances the cluster's replication clock one tick (lagged
+follower deliveries land between envelopes, never mid-tick), and (6)
 optionally triggers heat-driven shard rebalancing between ticks.  Every
 envelope pins the placement epoch it was routed under, so a rebalance can
 never tear a tick: the cluster rejects stale-epoch envelopes instead of
@@ -65,7 +69,10 @@ class CoordinatorStats:
     ``slices_sent`` counts unique slices actually shipped after
     cross-session deduplication — the difference is work served from a
     shared response.  ``server_calls`` counts envelopes sent (the number a
-    latency-bound deployment cares about).
+    latency-bound deployment cares about).  ``sessions_spilled`` /
+    ``slices_spilled`` count admission-control deferrals: a session held
+    back to a later tick because this tick's envelope or session caps
+    were reached (each spilled session counts once per tick it waits).
     """
 
     ticks: int = 0
@@ -73,6 +80,8 @@ class CoordinatorStats:
     slices_requested: int = 0
     slices_sent: int = 0
     sessions_completed: int = 0
+    sessions_spilled: int = 0
+    slices_spilled: int = 0
     rebalances: int = 0
     lists_migrated: int = 0
 
@@ -84,12 +93,20 @@ class CoordinatorStats:
 
 @dataclass
 class _TickPlan:
-    """Work of one tick: per-session slice keys plus unique routed slices."""
+    """Work of one tick: per-session slice keys plus unique routed slices.
+
+    ``unique`` maps a slice key to ``(slice_id, request, server_index)``
+    — routing happens at gather time so admission control can enforce
+    per-envelope caps, and dispatch reuses the stored route (the tick is
+    atomic, so the placement cannot change in between).
+    """
 
     session_keys: list[tuple[ClientQuerySession, list[SliceKey]]] = field(
         default_factory=list
     )
-    unique: dict[SliceKey, tuple[int, FetchRequest]] = field(default_factory=dict)
+    unique: dict[SliceKey, tuple[int, FetchRequest, int]] = field(
+        default_factory=dict
+    )
 
 
 class Coordinator:
@@ -99,11 +116,28 @@ class Coordinator:
         self,
         cluster: ServerCluster,
         rebalance_every: int | None = None,
+        max_slices_per_envelope: int | None = None,
+        max_sessions_per_tick: int | None = None,
     ) -> None:
+        """``max_slices_per_envelope`` / ``max_sessions_per_tick`` are the
+        admission-control caps: a tick schedules sessions in submission
+        (age) order and defers — *spills* — any session that would push a
+        server's envelope past the slice cap or the tick past the session
+        cap.  Spilled sessions keep their age priority, so overload
+        degrades into FIFO-fair extra ticks instead of unbounded
+        envelopes.  A session whose own slices exceed the envelope cap is
+        still admitted when the envelope is empty (it cannot be split).
+        ``None`` (the default) disables a cap."""
         if rebalance_every is not None and rebalance_every < 1:
             raise ConfigurationError("rebalance_every must be >= 1")
+        if max_slices_per_envelope is not None and max_slices_per_envelope < 1:
+            raise ConfigurationError("max_slices_per_envelope must be >= 1")
+        if max_sessions_per_tick is not None and max_sessions_per_tick < 1:
+            raise ConfigurationError("max_sessions_per_tick must be >= 1")
         self._cluster = cluster
         self._rebalance_every = rebalance_every
+        self._max_slices_per_envelope = max_slices_per_envelope
+        self._max_sessions_per_tick = max_sessions_per_tick
         self._sessions: list[ClientQuerySession] = []
         self.stats = CoordinatorStats()
 
@@ -174,6 +208,9 @@ class Coordinator:
         responses = self._dispatch(plan)
         self._demultiplex(plan, responses)
         self.stats.ticks += 1
+        # One scheduling tick is one replication tick: follower deliveries
+        # whose lag has elapsed land between envelopes, never mid-tick.
+        self._cluster.replication_tick()
         self._sessions = [s for s in self._sessions if not s.done]
         if (
             self._rebalance_every is not None
@@ -183,32 +220,75 @@ class Coordinator:
         return True
 
     def _gather(self, active: list[ClientQuerySession]) -> _TickPlan:
-        """Collect pending slices, deduplicating across sessions."""
+        """Collect pending slices, deduplicating across sessions.
+
+        Sessions are considered in submission (age) order; admission
+        control spills a session to a later tick when this tick's caps
+        are already committed (see :meth:`__init__`).  Slices shared with
+        an already-admitted session are free — they ship once — so
+        dedup happens before cap accounting.
+        """
         plan = _TickPlan()
         next_slice_id = 0
+        admitted_sessions = 0
+        per_server_count: dict[int, int] = {}
         for session in active:
+            pending = session.pending_requests()
+            if (
+                self._max_sessions_per_tick is not None
+                and admitted_sessions >= self._max_sessions_per_tick
+            ):
+                self.stats.sessions_spilled += 1
+                self.stats.slices_spilled += len(pending)
+                continue
             keys: list[SliceKey] = []
-            for request in session.pending_requests():
+            new_slices: dict[SliceKey, tuple[FetchRequest, int]] = {}
+            tentative = dict(per_server_count)
+            admit = True
+            for request in pending:
                 key: SliceKey = (
                     request.principal,
                     request.list_id,
                     request.offset,
                     request.count,
                 )
-                if key not in plan.unique:
-                    plan.unique[key] = (next_slice_id, request)
-                    next_slice_id += 1
                 keys.append(key)
-                self.stats.slices_requested += 1
+                if key in plan.unique or key in new_slices:
+                    continue
+                server_index = self._cluster.route(request.list_id)
+                new_slices[key] = (request, server_index)
+                if self._max_slices_per_envelope is not None:
+                    tentative[server_index] = tentative.get(server_index, 0) + 1
+                    if (
+                        tentative[server_index] > self._max_slices_per_envelope
+                        and per_server_count.get(server_index, 0) > 0
+                    ):
+                        # The envelope already carries other sessions'
+                        # slices; this one waits its turn.  (An oversized
+                        # session alone on an empty envelope is admitted
+                        # above — it cannot be split.)
+                        admit = False
+                        break
+            if not admit:
+                self.stats.sessions_spilled += 1
+                self.stats.slices_spilled += len(pending)
+                continue
+            for key, (request, server_index) in new_slices.items():
+                plan.unique[key] = (next_slice_id, request, server_index)
+                next_slice_id += 1
+                per_server_count[server_index] = (
+                    per_server_count.get(server_index, 0) + 1
+                )
+            self.stats.slices_requested += len(keys)
             plan.session_keys.append((session, keys))
+            admitted_sessions += 1
         return plan
 
     def _dispatch(self, plan: _TickPlan) -> dict[int, FetchResponse]:
-        """Route unique slices, send one envelope per touched server."""
+        """Send one envelope per touched server (routes fixed at gather)."""
         epoch = self._cluster.placement_epoch
         per_server: dict[int, dict[str, list[tuple[int, FetchRequest]]]] = {}
-        for slice_id, request in plan.unique.values():
-            server_index = self._cluster.route(request.list_id)
+        for slice_id, request, server_index in plan.unique.values():
             per_server.setdefault(server_index, {}).setdefault(
                 request.principal, []
             ).append((slice_id, request))

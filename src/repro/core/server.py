@@ -211,6 +211,42 @@ class ZerberRServer:
         self._views.note_delete(merged, target)
         return True
 
+    # -- replication (cluster data plane; see repro.core.replication) -----------
+
+    def apply_replicated_insert(
+        self, list_id: int, element: EncryptedPostingElement
+    ) -> None:
+        """Apply an insert op delivered from a list's replication log.
+
+        No membership re-check: the op was validated and admitted at the
+        primary when it was acknowledged; re-checking at delivery time
+        would let a concurrent revocation make replicas diverge
+        permanently.  Cached readable views are patched exactly as for a
+        direct insert (attributed to replication in the view stats).
+        """
+        merged = self._list(list_id)
+        merged.add_sorted_by_trs(element)
+        self._views.note_insert(merged, element, replication=True)
+
+    def apply_replicated_delete(self, list_id: int, ciphertext: bytes) -> bool:
+        """Apply a delete op delivered from a list's replication log.
+
+        Deletion is by ciphertext receipt, like the client protocol, and
+        skips the membership check for the same reason as
+        :meth:`apply_replicated_insert`.  Returns whether an element was
+        removed (a miss is tolerated: log order guarantees the insert
+        preceded this delete, so a miss can only mean the state was
+        imported wholesale past this op during a migration).
+        """
+        merged = self._list(list_id)
+        found = merged.find_by_ciphertext(ciphertext)
+        if found is None:
+            return False
+        position, target = found
+        merged.pop_at(position)
+        self._views.note_delete(merged, target, replication=True)
+        return True
+
     # -- shard migration (cluster control plane) --------------------------------
 
     def export_list(self, list_id: int) -> list[EncryptedPostingElement]:

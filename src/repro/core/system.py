@@ -246,6 +246,12 @@ class ZerberRSystem:
         replication: int = 1,
         placement: PlacementPolicy | None = None,
         rebalance_every: int | None = None,
+        lag=None,
+        read_consistency=None,
+        read_strategy=None,
+        anti_entropy_every: int | None = None,
+        max_slices_per_envelope: int | None = None,
+        max_sessions_per_tick: int | None = None,
     ) -> tuple[ServerCluster, Coordinator]:
         """Stand up a sharded deployment of this system's index.
 
@@ -256,6 +262,13 @@ class ZerberRSystem:
         coalescing.  Query it either directly
         (``system.client_for(p, server=cluster)``) or through coordinator
         sessions — results are identical.
+
+        *lag*, *read_consistency*, *read_strategy* and
+        *anti_entropy_every* configure the replication subsystem (see
+        :mod:`repro.core.replication`); the defaults — zero lag, strong
+        ``PRIMARY`` reads, primary-only routing — reproduce the
+        synchronous seed behaviour byte-for-byte.  The ``max_*`` caps are
+        the coordinator's admission control.
         """
         cluster = ServerCluster(
             self.key_service,
@@ -263,9 +276,18 @@ class ZerberRSystem:
             num_servers=num_servers,
             replication=replication,
             placement=placement,
+            lag=lag,
+            read_consistency=read_consistency,
+            read_strategy=read_strategy,
+            anti_entropy_every=anti_entropy_every,
         )
         self._index_corpus(backend=cluster)
-        return cluster, Coordinator(cluster, rebalance_every=rebalance_every)
+        return cluster, Coordinator(
+            cluster,
+            rebalance_every=rebalance_every,
+            max_slices_per_envelope=max_slices_per_envelope,
+            max_sessions_per_tick=max_sessions_per_tick,
+        )
 
     # -- convenience -----------------------------------------------------------------
 

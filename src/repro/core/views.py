@@ -51,13 +51,20 @@ from repro.index.postings import EncryptedPostingElement, MergedPostingList
 
 @dataclass
 class ViewStats:
-    """Operation counters of a :class:`ReadableViewIndex`."""
+    """Operation counters of a :class:`ReadableViewIndex`.
+
+    ``replication_patches`` is the subset of ``incremental_updates``
+    applied on behalf of the replication subsystem (follower catch-up,
+    read-repair, anti-entropy — see :mod:`repro.core.replication`), so
+    benchmarks can attribute view churn to repair traffic.
+    """
 
     hits: int = 0
     misses: int = 0
     full_builds: int = 0
     stale_rebuilds: int = 0
     incremental_updates: int = 0
+    replication_patches: int = 0
     evictions: int = 0
     invalidations: int = 0
 
@@ -180,13 +187,18 @@ class ReadableViewIndex:
     # -- write path (called by the server AFTER the list mutated) -------------
 
     def note_insert(
-        self, merged: MergedPostingList, element: EncryptedPostingElement
+        self,
+        merged: MergedPostingList,
+        element: EncryptedPostingElement,
+        replication: bool = False,
     ) -> None:
         """Patch cached views of *merged* for a just-inserted element.
 
         Only views that were current immediately before this mutation
         (``view.version == merged.version - 1``) are patched; anything
-        further behind rebuilds lazily on next access.
+        further behind rebuilds lazily on next access.  *replication*
+        marks patches driven by replica catch-up/repair ops so
+        :class:`ViewStats` can attribute the churn.
         """
         for principal in self._by_list.get(merged.list_id, ()):
             view = self._views[(merged.list_id, principal)]
@@ -201,10 +213,15 @@ class ReadableViewIndex:
                 # view's relative order always matches the list's.
                 view.data.insert(MergedPostingList.sort_key(element), element)
                 self.stats.incremental_updates += 1
+                if replication:
+                    self.stats.replication_patches += 1
             view.version = merged.version
 
     def note_delete(
-        self, merged: MergedPostingList, element: EncryptedPostingElement
+        self,
+        merged: MergedPostingList,
+        element: EncryptedPostingElement,
+        replication: bool = False,
     ) -> None:
         """Patch cached views of *merged* for a just-removed element."""
         for principal in self._by_list.get(merged.list_id, ()):
@@ -221,6 +238,8 @@ class ReadableViewIndex:
                     if candidate.ciphertext == element.ciphertext:
                         view.data.pop(position)
                         self.stats.incremental_updates += 1
+                        if replication:
+                            self.stats.replication_patches += 1
                         break
                 else:
                     # The element should have been in the view; treat the

@@ -87,5 +87,27 @@ class UnavailableError(ProtocolError):
         self.num_replicas = num_replicas
 
 
+class QuorumUnavailableError(UnavailableError):
+    """A quorum read could not consult a majority of a list's replicas.
+
+    Unlike the base :class:`UnavailableError` (no replica live at all),
+    *some* replicas may be up — just fewer than the ``needed`` majority,
+    so a version-max-across-majority read cannot be answered honestly.
+    """
+
+    def __init__(
+        self, list_id: int, num_replicas: int, needed: int, live: int
+    ) -> None:
+        ProtocolError.__init__(
+            self,
+            f"quorum read of list {list_id} needs {needed} of "
+            f"{num_replicas} replicas live, only {live} up",
+        )
+        self.list_id = list_id
+        self.num_replicas = num_replicas
+        self.needed = needed
+        self.live = live
+
+
 class TrainingError(ReproError):
     """RSTF training failed (e.g. empty training set for a term)."""

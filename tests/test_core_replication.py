@@ -1,0 +1,511 @@
+"""Unit tests for the replication subsystem (logs, lag, consistency)."""
+
+import pytest
+
+from repro.core.cluster import ServerCluster
+from repro.core.placement import (
+    LeastLoadedReads,
+    PlacementPolicy,
+    PrimaryReads,
+    RotatingReads,
+    coerce_read_selector,
+)
+from repro.core.protocol import FetchRequest
+from repro.core.replication import LagModel, ReadConsistency
+from repro.crypto.keys import GroupKeyService
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    QuorumUnavailableError,
+    UnavailableError,
+)
+from repro.index.postings import EncryptedPostingElement
+
+
+@pytest.fixture()
+def keys():
+    svc = GroupKeyService(master_secret=b"r" * 32)
+    svc.register("u", {"g"})
+    return svc
+
+
+def _element(trs, payload=b"cipher"):
+    return EncryptedPostingElement(ciphertext=payload, group="g", trs=trs)
+
+
+def _fetch(cluster, list_id, count=8, consistency=None):
+    return cluster.fetch(
+        FetchRequest(principal="u", list_id=list_id, offset=0, count=count),
+        consistency=consistency,
+    )
+
+
+class TestConfig:
+    def test_lag_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            LagModel(fixed_ticks=-1)
+        with pytest.raises(ConfigurationError):
+            LagModel(per_server={0: -2})
+        assert LagModel.coerce(None).is_zero
+        assert LagModel.coerce(3).fixed_ticks == 3
+        assert not LagModel(per_server={1: 2}).is_zero
+
+    def test_consistency_coercion(self):
+        assert ReadConsistency.coerce(None) is ReadConsistency.PRIMARY
+        assert ReadConsistency.coerce("one") is ReadConsistency.ONE
+        assert ReadConsistency.coerce("QUORUM") is ReadConsistency.QUORUM
+        with pytest.raises(ConfigurationError):
+            ReadConsistency.coerce("eventual")
+
+    def test_read_strategy_coercion(self):
+        assert isinstance(coerce_read_selector(None), PrimaryReads)
+        assert isinstance(coerce_read_selector("rotate", seed=7), RotatingReads)
+        assert isinstance(coerce_read_selector("least-loaded"), LeastLoadedReads)
+        with pytest.raises(ConfigurationError):
+            coerce_read_selector("random")
+
+    def test_anti_entropy_validation(self, keys):
+        with pytest.raises(ConfigurationError):
+            ServerCluster(
+                keys, num_lists=2, num_servers=2, anti_entropy_every=0
+            )
+
+
+class TestSynchronousDefault:
+    def test_default_config_is_synchronous(self, keys):
+        cluster = ServerCluster(keys, num_lists=2, num_servers=2, replication=2)
+        assert cluster.replication_manager.is_synchronous()
+        cluster.insert("u", 0, _element(0.5))
+        # Versions advanced in lockstep; no backlog, no stale reads ever.
+        assert cluster.primary_version(0) == 1
+        for server_index in cluster.replicas_of(0):
+            assert cluster.applied_version(0, server_index) == 1
+        assert cluster.replication_backlog() == {}
+        response = _fetch(cluster, 0)
+        assert response.replica_version == 1
+        assert cluster.replication_stats.stale_reads_detected == 0
+        assert cluster.replication_stats.ops_logged == 0
+
+    def test_sync_delete_versions_only_on_removal(self, keys):
+        cluster = ServerCluster(keys, num_lists=2, num_servers=2, replication=2)
+        cluster.insert("u", 0, _element(0.5))
+        assert not cluster.delete_element("u", 0, b"no-such-receipt")
+        assert cluster.primary_version(0) == 1
+        assert cluster.delete_element("u", 0, b"cipher")
+        assert cluster.primary_version(0) == 2
+
+
+class TestLagAndConvergence:
+    def _lagged(self, keys, lag=2, **kwargs):
+        return ServerCluster(
+            keys, num_lists=2, num_servers=2, replication=2, lag=lag, **kwargs
+        )
+
+    def test_write_acks_at_primary_and_drains_by_ticks(self, keys):
+        cluster = self._lagged(keys, lag=2)
+        cluster.insert("u", 0, _element(0.9, b"a"))
+        primary, follower = cluster.replicas_of(0)
+        assert cluster.server(primary).list_length(0) == 1
+        assert cluster.server(follower).list_length(0) == 0
+        assert cluster.replication_backlog() == {(0, follower): 1}
+        cluster.replication_tick()
+        assert cluster.server(follower).list_length(0) == 0  # 1 of 2 ticks
+        cluster.replication_tick()
+        assert cluster.server(follower).list_length(0) == 1
+        assert cluster.replication_backlog() == {}
+        assert cluster.replication_stats.follower_ops_applied == 1
+
+    def test_ops_apply_in_log_order(self, keys):
+        cluster = self._lagged(keys, lag=1)
+        cluster.insert("u", 0, _element(0.9, b"a"))
+        cluster.insert("u", 0, _element(0.8, b"b"))
+        assert cluster.delete_element("u", 0, b"a")
+        cluster.insert("u", 0, _element(0.7, b"c"))
+        cluster.run_replication_until_quiet()
+        primary, follower = cluster.replicas_of(0)
+        assert [e.ciphertext for e in cluster.server(follower).export_list(0)] == [
+            e.ciphertext for e in cluster.server(primary).export_list(0)
+        ] == [b"b", b"c"]
+
+    def test_per_server_lag(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=3,
+            replication=3,
+            lag=LagModel(fixed_ticks=1, per_server={2: 3}),
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.replication_tick()
+        assert cluster.applied_version(0, 1) == 1
+        assert cluster.applied_version(0, 2) == 0
+        cluster.replication_tick()
+        cluster.replication_tick()
+        assert cluster.applied_version(0, 2) == 1
+
+    def test_paused_follower_holds_then_drains(self, keys):
+        cluster = self._lagged(keys, lag=0)
+        follower = cluster.replicas_of(0)[1]
+        cluster.pause_follower(follower)
+        assert not cluster.replication_manager.is_synchronous()
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        for _ in range(5):
+            cluster.replication_tick()
+        assert cluster.applied_version(0, follower) == 0
+        cluster.resume_follower(follower)
+        cluster.replication_tick()
+        assert cluster.applied_version(0, follower) == 1
+        # Backlog drained: the cluster returns to the synchronous path.
+        assert cluster.replication_manager.is_synchronous()
+
+    def test_failed_server_receives_nothing_until_restore(self, keys):
+        cluster = self._lagged(keys, lag=1)
+        follower = cluster.replicas_of(0)[1]
+        cluster.fail_server(follower)
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        for _ in range(3):
+            cluster.replication_tick()
+        assert cluster.applied_version(0, follower) == 0
+        cluster.restore_server(follower)
+        cluster.replication_tick()
+        assert cluster.applied_version(0, follower) == 1
+
+    def test_zero_lag_write_with_dead_follower_drains_after_restore(self, keys):
+        """Any failure forces the async path even at zero lag: the dead
+        follower's copy arrives through the log, not an inline write."""
+        cluster = self._lagged(keys, lag=0)
+        primary, follower = cluster.replicas_of(0)
+        cluster.fail_server(follower)
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        assert cluster.server(primary).list_length(0) == 1
+        assert cluster.server(follower).list_length(0) == 0
+        assert cluster.replication_backlog() == {(0, follower): 1}
+        cluster.restore_server(follower)
+        cluster.replication_tick()
+        assert cluster.server(follower).list_length(0) == 1
+        assert cluster.replication_manager.is_synchronous()
+
+    def test_bulk_load_replicates_through_log(self, keys):
+        cluster = self._lagged(keys, lag=1)
+        items = [(0, _element(0.1 * i, b"b%d" % i)) for i in range(1, 6)]
+        assert cluster.bulk_load("u", items) == 5
+        primary, follower = cluster.replicas_of(0)
+        assert cluster.server(primary).list_length(0) == 5
+        assert cluster.server(follower).list_length(0) == 0
+        cluster.run_replication_until_quiet()
+        assert [e.ciphertext for e in cluster.server(follower).export_list(0)] == [
+            e.ciphertext for e in cluster.server(primary).export_list(0)
+        ]
+
+
+class TestReadConsistency:
+    def _stale_follower_cluster(self, keys):
+        """Primary down, follower one insert behind."""
+        cluster = ServerCluster(
+            keys, num_lists=1, num_servers=2, replication=2, lag=8
+        )
+        cluster.insert("u", 0, _element(0.5, b"old"))
+        cluster.run_replication_until_quiet(max_ticks=10)
+        cluster.insert("u", 0, _element(0.9, b"new"))
+        primary = cluster.replicas_of(0)[0]
+        cluster.fail_server(primary)
+        return cluster
+
+    def test_one_returns_stale_fast(self, keys):
+        cluster = self._stale_follower_cluster(keys)
+        response = _fetch(cluster, 0, consistency="one")
+        assert [e.ciphertext for e in response.elements] == [b"old"]
+        assert response.replica_version == 1
+        assert cluster.primary_version(0) == 2
+        stats = cluster.replication_stats
+        assert stats.stale_reads_detected == 1
+        assert stats.max_staleness_seen == 1
+        # ... but the divergence was repaired behind the response.
+        follower = cluster.replicas_of(0)[1]
+        assert cluster.applied_version(0, follower) == 2
+        assert stats.repair_ops == 1
+
+    def test_primary_re_serves_after_repair(self, keys):
+        cluster = self._stale_follower_cluster(keys)
+        response = _fetch(cluster, 0, consistency="primary")
+        # Strong even though the primary is down: the follower was caught
+        # up from the log and the slice re-served.
+        assert [e.ciphertext for e in response.elements] == [b"new", b"old"]
+        assert response.replica_version == 2
+        assert cluster.replication_stats.read_reserves == 1
+
+    def test_primary_serves_stale_when_unrepairable(self, keys):
+        cluster = self._stale_follower_cluster(keys)
+        follower = cluster.replicas_of(0)[1]
+        cluster.pause_follower(follower)  # partitioned AND primary down
+        response = _fetch(cluster, 0, consistency="primary")
+        assert [e.ciphertext for e in response.elements] == [b"old"]
+        assert response.replica_version == 1
+
+    def test_quorum_serves_version_max(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=3,
+            replication=3,
+            lag=LagModel(per_server={1: 1, 2: 10}),
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.replication_tick()  # server 1 catches up; server 2 lags
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        response = _fetch(cluster, 0, consistency="quorum")
+        assert response.replica_version == 1
+        assert [e.ciphertext for e in response.elements] == [b"x"]
+        assert cluster.replication_stats.version_probes >= 2
+
+    def test_quorum_needs_live_majority(self, keys):
+        cluster = ServerCluster(
+            keys, num_lists=1, num_servers=3, replication=3
+        )
+        cluster.insert("u", 0, _element(0.5))
+        cluster.fail_server(0)
+        cluster.fail_server(1)
+        with pytest.raises(QuorumUnavailableError) as excinfo:
+            _fetch(cluster, 0, consistency="quorum")
+        assert excinfo.value.needed == 2
+        assert excinfo.value.live == 1
+        # Still an UnavailableError subtype for legacy handlers.
+        assert isinstance(excinfo.value, UnavailableError)
+        # ONE-consistency reads survive on the last live replica.
+        assert _fetch(cluster, 0, consistency="one").elements
+
+    def test_bare_server_responses_carry_no_version(self, keys):
+        from repro.core.server import ZerberRServer
+
+        server = ZerberRServer(keys, num_lists=1)
+        server.insert("u", 0, _element(0.5))
+        response = server.fetch(
+            FetchRequest(principal="u", list_id=0, offset=0, count=1)
+        )
+        assert response.replica_version is None
+
+
+class TestAntiEntropy:
+    def test_sweep_bounds_staleness_of_unread_lists(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=2,
+            num_servers=2,
+            replication=2,
+            lag=100,
+            anti_entropy_every=3,
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.insert("u", 1, _element(0.6, b"y"))
+        for _ in range(2):
+            cluster.replication_tick()
+        assert cluster.replication_backlog()  # lag far from elapsed
+        cluster.replication_tick()  # third tick: sweep fires
+        assert cluster.replication_backlog() == {}
+        stats = cluster.replication_stats
+        assert stats.anti_entropy_runs == 1
+        assert stats.anti_entropy_ops == 2
+
+    def test_sweep_skips_partitioned_followers(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=2,
+            replication=2,
+            lag=100,
+            anti_entropy_every=1,
+        )
+        follower = cluster.replicas_of(0)[1]
+        cluster.pause_follower(follower)
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.replication_tick()
+        assert cluster.applied_version(0, follower) == 0
+        cluster.resume_follower(follower)
+        cluster.replication_tick()
+        assert cluster.applied_version(0, follower) == 1
+
+
+class _MoveList(PlacementPolicy):
+    """Test policy: move list 0 to a fixed replica set on first propose."""
+
+    name = "move-list"
+
+    def __init__(self, targets):
+        self.targets = targets
+
+    def initial_placement(self, num_lists, num_servers, replication):
+        from repro.core.placement import RoundRobinPlacement
+
+        return RoundRobinPlacement().initial_placement(
+            num_lists, num_servers, replication
+        )
+
+    def propose(self, heat, current, num_servers, replication, alive=None):
+        if tuple(current[0]) != self.targets:
+            return {0: self.targets}
+        return {}
+
+
+class TestMigrationThroughLog:
+    def test_drain_then_cutover_carries_pending_writes(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=4,
+            replication=2,
+            lag=5,
+            placement=_MoveList(targets=(2, 3)),
+        )
+        cluster.insert("u", 0, _element(0.9, b"a"))
+        cluster.insert("u", 0, _element(0.8, b"b"))
+        # Follower (server 1) never caught up; migrate 0 -> servers 2, 3.
+        moves = cluster.rebalance()
+        assert moves == {0: (2, 3)}
+        # New primary was cut over from the drained source: fully caught up.
+        assert cluster.applied_version(0, 2) == cluster.primary_version(0) == 2
+        assert [e.ciphertext for e in cluster.server(2).export_list(0)] == [
+            b"a",
+            b"b",
+        ]
+        # Old replicas no longer hold the list.
+        assert cluster.server(0).list_length(0) == 0
+        assert cluster.server(1).list_length(0) == 0
+        # The new follower converges through the log like any other.
+        cluster.run_replication_until_quiet()
+        assert cluster.applied_version(0, 3) == 2
+
+    def test_stale_source_cutover_then_write_keeps_gap_ops(self, keys):
+        """Regression: a cut-over from a partitioned stale source installs
+        a below-head primary; the next write must first catch it up from
+        the log — not stamp over the gap and lose the acknowledged op."""
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=4,
+            replication=2,
+            lag=100,
+            placement=_MoveList(targets=(2, 3)),
+        )
+        cluster.insert("u", 0, _element(0.9, b"acked"))  # head=1, on server 0
+        cluster.pause_follower(1)  # stale source-to-be
+        cluster.fail_server(0)  # the only head-version replica goes down
+        assert cluster.rebalance() == {0: (2, 3)}
+        # New primary was registered below the head (empty import).
+        assert cluster.primary_version(0) == 1
+        cluster.insert("u", 0, _element(0.5, b"later"))
+        # The acknowledged pre-cutover op survived on the new primary.
+        assert [e.ciphertext for e in cluster.server(2).export_list(0)] == [
+            b"acked",
+            b"later",
+        ]
+        assert cluster.applied_version(0, 2) == cluster.primary_version(0) == 2
+
+    def test_write_refused_at_unreachable_gapped_primary(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=4,
+            replication=2,
+            lag=100,
+            placement=_MoveList(targets=(2, 3)),
+        )
+        cluster.insert("u", 0, _element(0.9, b"acked"))
+        cluster.pause_follower(1)
+        cluster.fail_server(0)
+        cluster.rebalance()
+        cluster.pause_follower(2)  # gapped new primary, now unreachable
+        with pytest.raises(UnavailableError):
+            cluster.insert("u", 0, _element(0.5, b"later"))
+        # Nothing was logged or applied for the refused write.
+        assert cluster.primary_version(0) == 1
+        assert cluster.server(2).list_length(0) == 0
+
+    def test_writes_after_migration_replicate_to_new_followers(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=4,
+            replication=2,
+            lag=1,
+            placement=_MoveList(targets=(2, 3)),
+        )
+        cluster.insert("u", 0, _element(0.9, b"a"))
+        cluster.rebalance()
+        cluster.insert("u", 0, _element(0.5, b"z"))
+        assert cluster.server(2).list_length(0) == 2  # new primary, inline
+        cluster.run_replication_until_quiet()
+        assert [e.ciphertext for e in cluster.server(3).export_list(0)] == [
+            b"a",
+            b"z",
+        ]
+        # The dropped replicas received nothing.
+        assert cluster.server(0).list_length(0) == 0
+        assert cluster.server(1).list_length(0) == 0
+
+
+class TestReadBalancing:
+    def _cluster(self, keys, strategy, **kwargs):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=3,
+            replication=3,
+            read_strategy=strategy,
+            **kwargs,
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        return cluster
+
+    def test_rotation_spreads_reads_deterministically(self, keys):
+        cluster = self._cluster(keys, "rotate")
+        for _ in range(6):
+            _fetch(cluster, 0, count=1)
+        assert cluster.per_server_load() == [2, 2, 2]
+        # Deterministic under the same seed: a fresh cluster replays the
+        # same choices.
+        svc = GroupKeyService(master_secret=b"r" * 32)
+        svc.register("u", {"g"})
+        replay = self._cluster(svc, RotatingReads(seed=0))
+        for _ in range(6):
+            _fetch(replay, 0, count=1)
+        assert replay.per_server_load() == cluster.per_server_load()
+
+    def test_least_loaded_balances(self, keys):
+        cluster = self._cluster(keys, "least-loaded")
+        for _ in range(9):
+            _fetch(cluster, 0, count=1)
+        assert max(cluster.per_server_load()) - min(cluster.per_server_load()) <= 1
+
+    def test_balanced_reads_never_serve_stale_under_primary(self, keys):
+        cluster = self._cluster(keys, "rotate", lag=10)
+        cluster.insert("u", 0, _element(0.9, b"new"))
+        # Followers lag by one op; PRIMARY-consistency rotation must only
+        # pick caught-up replicas (here: the primary alone).
+        for _ in range(4):
+            response = _fetch(cluster, 0, consistency="primary")
+            assert response.replica_version == cluster.primary_version(0)
+            assert [e.ciphertext for e in response.elements] == [b"new", b"x"]
+        assert cluster.replication_stats.read_reserves == 0
+
+    def test_primary_strategy_is_seed_behaviour(self, keys):
+        cluster = self._cluster(keys, None)
+        for _ in range(4):
+            _fetch(cluster, 0, count=1)
+        primary = cluster.replicas_of(0)[0]
+        loads = cluster.per_server_load()
+        assert loads[primary] == 4
+        assert sum(loads) == 4
+
+
+class TestRouteValidation:
+    def test_route_unknown_consistency_rejected(self, keys):
+        cluster = ServerCluster(keys, num_lists=1, num_servers=1)
+        with pytest.raises(ConfigurationError):
+            cluster.route(0, consistency="gossip")
+
+    def test_applied_version_unknown_holder_rejected(self, keys):
+        cluster = ServerCluster(keys, num_lists=2, num_servers=2, replication=1)
+        holder = cluster.replicas_of(0)[0]
+        other = (holder + 1) % 2
+        with pytest.raises(ProtocolError):
+            cluster.applied_version(0, other)
