@@ -76,7 +76,7 @@ from repro.core import (
 from repro.core.rstf import TrainerConfig
 from repro.core.cluster import ServerCluster
 from repro.core.idf import BucketedIdf, aggregate_with_idf
-from repro.persist import load_index, save_index
+from repro.persist import load_cluster, load_index, save_cluster, save_index
 from repro.snippets import SnippetClient, SnippetStore
 from repro.index import (
     MergePlan,
@@ -150,6 +150,8 @@ __all__ = [
     "aggregate_with_idf",
     "save_index",
     "load_index",
+    "save_cluster",
+    "load_cluster",
     "SnippetStore",
     "SnippetClient",
     # index

@@ -25,7 +25,7 @@ from repro.core.system import SystemConfig, ZerberRSystem
 from repro.corpus.documents import Corpus, Document
 from repro.crypto.keys import GroupKeyService
 from repro.errors import ReproError
-from repro.persist import load_index, save_index
+from repro.persist import load_cluster, load_index, save_index
 
 DEFAULT_SECRET = "0f" * 32
 
@@ -93,6 +93,43 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_query(
+    service: GroupKeyService,
+    backend,
+    plan,
+    model,
+    groups: set[str],
+    args: argparse.Namespace,
+    with_trace: bool = True,
+) -> int:
+    """Register the querying principal, run one query, print the hits.
+
+    Shared by ``query`` (single-server index) and ``restore`` (recovered
+    cluster) — *backend* is anything with the fetch surface.
+    """
+    service.register(args.principal, set(args.groups) if args.groups else groups)
+    client = ZerberRClient(
+        principal=args.principal,
+        key_service=service,
+        server=backend,
+        rstf_model=model,
+        merge_plan=plan,
+    )
+    result = client.query(args.term, k=args.k)
+    for rank, hit in enumerate(result.hits, start=1):
+        print(f"{rank:2d}. {hit.doc_id}  rscore={hit.rscore:.4f}  group={hit.group}")
+    if not result.hits:
+        print("(no readable results)")
+    if with_trace:
+        trace = result.trace
+        print(
+            f"-- {trace.num_requests} request(s), {trace.elements_transferred} "
+            f"elements, {trace.bits_transferred / 8 / 1024:.2f} KB",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     service = GroupKeyService(master_secret=bytes.fromhex(args.secret))
     server, plan, model = load_index(args.index, service)
@@ -103,26 +140,74 @@ def cmd_query(args: argparse.Namespace) -> int:
     }
     for group in sorted(groups):
         service.ensure_group(group)
-    service.register(args.principal, set(args.groups) if args.groups else groups)
-    client = ZerberRClient(
-        principal=args.principal,
-        key_service=service,
-        server=server,
-        rstf_model=model,
-        merge_plan=plan,
-    )
-    result = client.query(args.term, k=args.k)
-    for rank, hit in enumerate(result.hits, start=1):
-        print(f"{rank:2d}. {hit.doc_id}  rscore={hit.rscore:.4f}  group={hit.group}")
-    if not result.hits:
-        print("(no readable results)")
-    trace = result.trace
+    return _run_query(service, server, plan, model, groups, args)
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Build a sharded deployment and write a whole-cluster snapshot."""
+    corpus = _corpus_from_directory(Path(args.input))
     print(
-        f"-- {trace.num_requests} request(s), {trace.elements_transferred} "
-        f"elements, {trace.bits_transferred / 8 / 1024:.2f} KB",
+        f"indexing {len(corpus)} documents into {args.servers} server(s) "
+        f"(replication={args.replication}, lag={args.lag})...",
         file=sys.stderr,
     )
+    service = _key_service(args.secret, corpus.groups())
+    system = ZerberRSystem.build(
+        corpus,
+        SystemConfig(r=args.r, training_fraction=args.training_fraction),
+        key_service=service,
+    )
+    cluster, _ = system.deploy_cluster(
+        num_servers=args.servers,
+        replication=args.replication,
+        lag=args.lag,
+        anti_entropy_every=args.anti_entropy_every,
+    )
+    system.snapshot_cluster(args.output, cluster)
+    backlog = cluster.replication_backlog()
+    print(
+        f"wrote {args.output}: {cluster.num_elements} elements over "
+        f"{cluster.num_servers} servers, {cluster.num_lists} merged lists, "
+        f"epoch {cluster.placement_epoch}, "
+        f"{len(backlog)} replica(s) still catching up (preserved in snapshot)"
+    )
     return 0
+
+
+def _cluster_groups(cluster) -> set[str]:
+    """Group tags visible in the cluster (read from each list's primary)."""
+    return {
+        tag
+        for list_id in range(cluster.num_lists)
+        for tag in cluster.server(cluster.replicas_of(list_id)[0]).visible_group_tags(
+            list_id
+        )
+    }
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    """Recover a cluster snapshot; show its state and optionally query it."""
+    service = GroupKeyService(master_secret=bytes.fromhex(args.secret))
+    cluster, plan, model = load_cluster(args.snapshot, service)
+    groups = _cluster_groups(cluster)
+    for group in sorted(groups):
+        service.ensure_group(group)
+    backlog = cluster.replication_backlog()
+    print(f"snapshot: {args.snapshot}")
+    print(f"  posting elements : {cluster.num_elements}")
+    print(f"  merged lists     : {plan.num_lists} (r={plan.r})")
+    print(f"  servers          : {cluster.num_servers} "
+          f"(replication={cluster.replication}, epoch={cluster.placement_epoch})")
+    print(f"  trained RSTFs    : {model.num_terms}")
+    print(f"  groups           : {', '.join(sorted(groups))}")
+    print(f"  catch-up backlog : {len(backlog)} replica(s) behind")
+    if args.converge:
+        ticks = cluster.run_replication_until_quiet()
+        print(f"  converged        : {ticks} replication tick(s), "
+              f"{len(cluster.replication_backlog())} pair(s) still held")
+    if args.term is None:
+        return 0
+    return _run_query(service, cluster, plan, model, groups, args, with_trace=False)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,6 +244,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--groups", nargs="*", help="restrict the principal's group memberships"
     )
     p_query.set_defaults(func=cmd_query)
+
+    p_snapshot = sub.add_parser(
+        "snapshot", help="index a directory into a cluster and snapshot it"
+    )
+    p_snapshot.add_argument("--input", required=True, help="directory of documents")
+    p_snapshot.add_argument("--output", required=True, help="snapshot file to write")
+    p_snapshot.add_argument("--servers", type=int, default=3)
+    p_snapshot.add_argument("--replication", type=int, default=2)
+    p_snapshot.add_argument(
+        "--lag", type=int, default=0, help="replication lag in scheduler ticks"
+    )
+    p_snapshot.add_argument(
+        "--anti-entropy-every", type=int, default=None, dest="anti_entropy_every"
+    )
+    p_snapshot.add_argument("--r", type=float, default=4.0, help="confidentiality bound")
+    p_snapshot.add_argument(
+        "--training-fraction", type=float, default=0.9, dest="training_fraction"
+    )
+    p_snapshot.set_defaults(func=cmd_snapshot)
+
+    p_restore = sub.add_parser(
+        "restore", help="recover a cluster snapshot and optionally query it"
+    )
+    p_restore.add_argument("--snapshot", required=True)
+    p_restore.add_argument(
+        "--converge",
+        action="store_true",
+        help="run replication ticks until reachable followers are caught up",
+    )
+    p_restore.add_argument("--term", default=None, help="optional query term")
+    p_restore.add_argument("--k", type=int, default=10)
+    p_restore.add_argument("--principal", default="reader")
+    p_restore.add_argument(
+        "--groups", nargs="*", help="restrict the principal's group memberships"
+    )
+    p_restore.set_defaults(func=cmd_restore)
     return parser
 
 

@@ -185,6 +185,10 @@ class ServerCluster:
     def restore_server(self, index: int) -> None:
         self._alive[index] = True
 
+    def is_alive(self, index: int) -> bool:
+        """Whether one server is currently up."""
+        return self._alive[index]
+
     # -- replication control plane ------------------------------------------
 
     @property
@@ -695,6 +699,45 @@ class ServerCluster:
             if applied:
                 self._epoch += 1
         return applied
+
+    # -- crash recovery (persistence support; see repro.persist) -----------------
+
+    def placement_table(self) -> list[tuple[int, ...]]:
+        """A copy of the authoritative placement table (persisted in v2)."""
+        return [tuple(replicas) for replicas in self._placement]
+
+    def restore_topology(
+        self, placement: Iterable[Iterable[int]], epoch: int
+    ) -> None:
+        """Install a persisted placement table and epoch (recovery path).
+
+        Replaces the replication manager with a fresh one built over the
+        restored placement (same lag model and anti-entropy cadence);
+        the persistence layer then reinstalls each list's log and
+        per-replica applied versions through
+        :meth:`~repro.core.replication.ReplicationManager.restore_clock`
+        and ``restore_list_state``.  Must run before the servers' list
+        contents are restored only in the sense that nothing here reads
+        them — the order the persist module uses is topology, clock,
+        lists, logs, views.
+        """
+        if epoch < 0:
+            raise ConfigurationError("placement epoch must be >= 0")
+        self._placement = validate_placement(
+            [tuple(replicas) for replicas in placement],
+            self._num_lists,
+            len(self._servers),
+            self.replication,
+        )
+        self._epoch = int(epoch)
+        self._repl = ReplicationManager(
+            self._servers,
+            replicas_of=self.replicas_of,
+            server_alive=lambda index: self._alive[index],
+            num_lists=self._num_lists,
+            lag=self._repl.lag,
+            anti_entropy_every=self._repl.anti_entropy_every,
+        )
 
     def _migrate_list(self, list_id: int, targets: tuple[int, ...]) -> None:
         """Move one list's replicas through the log: drain, then cut over.

@@ -53,7 +53,7 @@ configuration is byte-identical to the pre-replication cluster.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING
@@ -216,6 +216,39 @@ class ReplicationLog:
         while self._ops and self._ops[0].seq <= min_applied:
             self._ops.popleft()
         self.base_seq = max(self.base_seq, min(min_applied, self.head_seq))
+
+    def iter_ops(self) -> list[ReplicationOp]:
+        """Every retained op (``base_seq < seq <= head_seq``), in order.
+
+        The persistence layer serialises exactly this: the retained tail
+        is what some replica may still need after a restart.
+        """
+        return list(self._ops)
+
+    def restore(
+        self, head_seq: int, base_seq: int, ops: Sequence[ReplicationOp]
+    ) -> None:
+        """Reinstall persisted log state (recovery path; see ``repro.persist``).
+
+        The restored state must satisfy the module invariants: the base
+        never exceeds the head, and the retained ops are exactly a
+        strictly increasing run ending at the head (or empty when base ==
+        head — everything truncated before the snapshot).
+        """
+        if not 0 <= base_seq <= head_seq:
+            raise ProtocolError(
+                f"list {self.list_id}: invalid restored log bounds "
+                f"base={base_seq} head={head_seq}"
+            )
+        expected = range(base_seq + 1, head_seq + 1)
+        if [op.seq for op in ops] != list(expected):
+            raise ProtocolError(
+                f"list {self.list_id}: restored ops do not form the "
+                f"contiguous run ({base_seq}, {head_seq}]"
+            )
+        self.head_seq = head_seq
+        self.base_seq = base_seq
+        self._ops = deque(ops)
 
 
 @dataclass
@@ -516,6 +549,80 @@ class ReplicationManager:
         self._applied.pop((list_id, server_index), None)
         self._due.pop((list_id, server_index), None)
         self._truncate(list_id)
+
+    # -- recovery (persistence support; see repro.persist) ----------------------
+
+    def log_snapshot(self, list_id: int) -> tuple[int, int, list[ReplicationOp]]:
+        """One list's durable log state: ``(head_seq, base_seq, retained ops)``."""
+        log = self._logs[list_id]
+        return log.head_seq, log.base_seq, log.iter_ops()
+
+    def applied_snapshot(self, list_id: int) -> dict[int, int]:
+        """Applied version per current replica of *list_id*."""
+        return {
+            server_index: self._applied[(list_id, server_index)]
+            for server_index in self._replicas_of(list_id)
+        }
+
+    def paused_servers(self) -> set[int]:
+        """Servers currently partitioned away from replication traffic."""
+        return set(self._paused)
+
+    def restore_clock(self, tick_count: int, paused: Iterable[int] = ()) -> None:
+        """Reinstall the persisted replication clock and partition set.
+
+        Called before :meth:`restore_list_state` so catch-up deliveries
+        scheduled during the restore are due relative to the restored
+        clock, exactly as the pre-restart schedule was.
+        """
+        if tick_count < 0:
+            raise ConfigurationError("tick_count must be >= 0")
+        paused = set(paused)
+        for server_index in paused:
+            self._check_server(server_index)
+        self.tick_count = tick_count
+        self._paused = paused
+
+    def restore_list_state(
+        self,
+        list_id: int,
+        head_seq: int,
+        base_seq: int,
+        ops: Sequence[ReplicationOp],
+        applied: Mapping[int, int],
+    ) -> None:
+        """Reinstall one list's persisted log and per-replica versions.
+
+        *applied* must name exactly the list's current replicas (the
+        cluster restores its placement table first), each at a version
+        within ``[base_seq, head_seq]`` — invariant 3 guarantees a
+        snapshot taken through :meth:`log_snapshot` satisfies this.
+        Replicas behind the restored head are re-registered through
+        :meth:`register_replica`, which schedules their remaining log ops
+        for normal lag-driven delivery: a restarted follower converges
+        through the existing catch-up machinery instead of starting
+        blank, so no acknowledged-but-undelivered op is lost.
+        """
+        replicas = list(self._replicas_of(list_id))
+        if set(applied) != set(replicas):
+            raise ProtocolError(
+                f"list {list_id}: restored applied versions name servers "
+                f"{sorted(applied)}, placement says {sorted(replicas)}"
+            )
+        for server_index, version in applied.items():
+            if not base_seq <= version <= head_seq:
+                raise ProtocolError(
+                    f"list {list_id}: restored applied version {version} of "
+                    f"server {server_index} outside log bounds "
+                    f"[{base_seq}, {head_seq}]"
+                )
+        self._logs[list_id].restore(head_seq, base_seq, ops)
+        for key in [k for k in self._applied if k[0] == list_id]:
+            del self._applied[key]
+        for key in [k for k in self._due if k[0] == list_id]:
+            del self._due[key]
+        for server_index in replicas:
+            self.register_replica(list_id, server_index, applied[server_index])
 
     def best_source(self, list_id: int) -> int | None:
         """The live replica with the highest applied version (ties by

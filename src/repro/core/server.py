@@ -272,6 +272,97 @@ class ZerberRServer:
         self._list(list_id).clear()
         self._views.invalidate_list(list_id)
 
+    # -- crash recovery (persistence support; see repro.persist) ----------------
+
+    def list_version(self, list_id: int) -> int:
+        """The mutation counter of one merged list (persisted in format v2)."""
+        return self._list(list_id).version
+
+    def restore_list(
+        self,
+        list_id: int,
+        elements: Iterable[EncryptedPostingElement],
+        version: int,
+    ) -> None:
+        """Reinstall one list's persisted content *and* version counter.
+
+        Unlike :meth:`import_list` (migration — the counter keeps
+        advancing), a restored list resumes at its pre-restart version,
+        so version-stamped fetch responses and the replication manager's
+        applied versions stay comparable across the restart.
+        """
+        if version < 0:
+            raise ProtocolError(f"list {list_id}: version must be >= 0")
+        merged = self._list(list_id)
+        merged.clear()
+        merged.bulk_load_sorted_by_trs(elements)
+        merged.version = version
+        self._views.invalidate_list(list_id)
+
+    def spill_views(self, limit: int) -> list[dict]:
+        """Spill records of the hottest *fresh* readable views.
+
+        Each record stores the view as merged-list *positions*, not
+        element copies — the elements are already in the persisted list,
+        so a spilled view costs O(view) small ints.  Stale views (list
+        version moved on) are skipped: they would rebuild on first read
+        anyway.  Records come coldest-first so adopting them in order
+        reproduces the pre-restart LRU.
+        """
+        spilled = []
+        for list_id, principal, version, memberships in self._views.spillable(
+            limit
+        ):
+            merged = self._lists[list_id]
+            if version != merged.version:
+                continue
+            spilled.append(
+                {
+                    "list": list_id,
+                    "principal": principal,
+                    "version": version,
+                    "groups": sorted(memberships),
+                    "positions": [
+                        position
+                        for position, element in enumerate(merged.elements)
+                        if element.group in memberships
+                    ],
+                }
+            )
+        return spilled
+
+    def adopt_view(
+        self,
+        list_id: int,
+        principal: str,
+        memberships: Iterable[str],
+        positions: Iterable[int],
+        version: int,
+    ) -> None:
+        """Warm one readable view from spilled positions (best effort).
+
+        Positions must be a strictly increasing run inside the restored
+        list — that is what :meth:`spill_views` emits, and it is what
+        guarantees the adopted view is ordered like the merged list.
+        Anything else (out of range, duplicated, reordered) means the
+        spill is stale or damaged; the view is skipped (it would rebuild
+        on first read anyway) rather than installing a mis-ordered view
+        or failing the whole restore.
+        """
+        merged = self._list(list_id)
+        positions = list(positions)
+        if any(not 0 <= p < len(merged.elements) for p in positions):
+            return
+        if any(b <= a for a, b in zip(positions, positions[1:])):
+            return
+        self._views.adopt_view(
+            merged,
+            principal,
+            memberships,
+            (merged.elements[p] for p in positions),
+            version,
+        )
+
     # -- queries (paper §5.2) --------------------------------------------------
 
     def fetch(self, request: FetchRequest) -> FetchResponse:

@@ -289,6 +289,72 @@ class ZerberRSystem:
             max_sessions_per_tick=max_sessions_per_tick,
         )
 
+    # -- durability (see repro.persist) ------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the single-server index plus public setup artifacts."""
+        from repro.persist import save_index
+
+        save_index(path, self.server, self.merge_plan, self.rstf_model)
+
+    def snapshot_cluster(
+        self, path, cluster: ServerCluster, spill_views: int | None = None
+    ) -> None:
+        """Snapshot a deployed cluster (lists, logs, placement, hot views).
+
+        The snapshot is crash-consistent with whatever the cluster has
+        *acknowledged* at call time: in-flight follower backlogs are
+        captured in the replication logs and survive a restart.
+        *spill_views* defaults to :data:`repro.persist.DEFAULT_VIEW_SPILL`.
+        """
+        from repro.persist import DEFAULT_VIEW_SPILL, save_cluster
+
+        save_cluster(
+            path,
+            cluster,
+            self.merge_plan,
+            self.rstf_model,
+            spill_views=DEFAULT_VIEW_SPILL if spill_views is None else spill_views,
+        )
+
+    def restore_cluster(
+        self,
+        path,
+        placement: PlacementPolicy | None = None,
+        read_strategy=None,
+        rebalance_every: int | None = None,
+        max_slices_per_envelope: int | None = None,
+        max_sessions_per_tick: int | None = None,
+    ) -> tuple[ServerCluster, Coordinator]:
+        """Recover a snapshotted cluster deployment of *this* system.
+
+        Unlike :meth:`deploy_cluster`, nothing is re-indexed: servers,
+        replication logs, applied versions and placement come back from
+        the snapshot, and lagged/paused followers resume converging
+        through the normal catch-up machinery.  The snapshot must have
+        been taken from a deployment of the same merge plan (the trusted
+        setup artifacts are the compatibility contract).
+        """
+        from repro.persist import load_cluster
+
+        cluster, merge_plan, _ = load_cluster(
+            path,
+            self.key_service,
+            placement=placement,
+            read_strategy=read_strategy,
+        )
+        if merge_plan != self.merge_plan:
+            raise ConfigurationError(
+                f"{path}: snapshot was taken under a different merge plan; "
+                "restore it through repro.persist.load_cluster instead"
+            )
+        return cluster, Coordinator(
+            cluster,
+            rebalance_every=rebalance_every,
+            max_slices_per_envelope=max_slices_per_envelope,
+            max_sessions_per_tick=max_sessions_per_tick,
+        )
+
     # -- convenience -----------------------------------------------------------------
 
     def query(

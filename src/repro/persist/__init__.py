@@ -1,0 +1,164 @@
+"""On-disk persistence for a Zerber+R deployment.
+
+What is persisted is exactly what an untrusted host durably stores: the
+merged lists (ciphertext, group tag, TRS) — no keys, no plaintext —
+plus the *public* setup artifacts a joining client needs (the merge plan
+and the published RSTF model).  Group keys are deliberately **not**
+serialised; they live in the trusted
+:class:`~repro.crypto.keys.GroupKeyService`, which a deployment
+reconstructs from its own secret.
+
+Two dump kinds share one version-tagged JSON container:
+
+* ``kind: "server"`` — a single :class:`~repro.core.server.ZerberRServer`
+  (:func:`save_index` / :func:`load_index`).  Format v1 (the legacy,
+  pre-replication dump without version counters or a ``kind`` tag) still
+  loads byte-identically.
+* ``kind: "cluster"`` — a whole
+  :class:`~repro.core.cluster.ServerCluster` (:func:`save_cluster` /
+  :func:`load_cluster`), including its replication logs; see
+  :mod:`repro.persist.clusterstate`.
+
+Format / recovery invariants (v2)
+---------------------------------
+
+1. **Atomicity.**  Every save writes a temp file in the target's
+   directory and ``os.replace``\\ s it into place: an interrupted save
+   leaves the previous dump intact, never a torn file
+   (:mod:`repro.persist.atomic`).
+2. **Versions restart nowhere.**  Each merged list's mutation counter
+   and each replication log's ``(base_seq, head_seq]`` tail are part of
+   the dump, so post-restart version stamps remain comparable with
+   pre-restart state: ``head_seq`` continues from where the crashed
+   process stopped, and invariant 3 of
+   :mod:`repro.core.replication` (``base_seq <= min(applied)``) holds in
+   the dump because it held in memory when the snapshot was taken.
+3. **Acknowledged ops survive restarts.**  Recovery re-registers every
+   replica at its *persisted* applied version; a replica behind the
+   restored head gets its remaining log ops scheduled through the normal
+   catch-up machinery, so a restarted lagged/paused/dead follower
+   converges exactly as a live one would (one anti-entropy sweep bounds
+   the wait) — it never silently restarts blank.
+4. **Warm views are hints, not truth.**  Spilled readable views restore
+   with the membership snapshot and list version they were built under;
+   the first read re-checks both against the live key service and list,
+   so a stale spill costs one rebuild and can never serve under revoked
+   access rights.
+5. **Corruption fails loudly.**  Decoders validate ids, shapes, log
+   bounds and op payloads against the dump's own declarations and raise
+   :class:`~repro.errors.ConfigurationError` naming the file and the
+   offending value — nothing escapes as a raw ``KeyError`` or
+   ``IndexError``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.rstf import RstfModel
+from repro.core.server import ZerberRServer
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError
+from repro.index.merge import MergePlan
+from repro.persist.atomic import atomic_write_text
+from repro.persist.clusterstate import (
+    DEFAULT_VIEW_SPILL,
+    cluster_from_dict,
+    cluster_to_dict,
+    load_cluster,
+    replication_op_from_dict,
+    replication_op_to_dict,
+    save_cluster,
+)
+from repro.persist.encoders import (
+    FORMAT_VERSION,
+    V1_FORMAT_VERSION,
+    element_from_dict,
+    element_to_dict,
+    merge_plan_from_dict,
+    merge_plan_to_dict,
+    read_payload,
+    rstf_model_from_dict,
+    rstf_model_to_dict,
+    server_from_dict,
+    server_to_dict,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "V1_FORMAT_VERSION",
+    "DEFAULT_VIEW_SPILL",
+    "save_index",
+    "load_index",
+    "save_cluster",
+    "load_cluster",
+    "cluster_to_dict",
+    "cluster_from_dict",
+    "element_to_dict",
+    "element_from_dict",
+    "merge_plan_to_dict",
+    "merge_plan_from_dict",
+    "replication_op_to_dict",
+    "replication_op_from_dict",
+    "rstf_model_to_dict",
+    "rstf_model_from_dict",
+    "server_to_dict",
+    "server_from_dict",
+    "read_payload",
+    "atomic_write_text",
+]
+
+
+def save_index(
+    path: str | Path,
+    server: ZerberRServer,
+    merge_plan: MergePlan,
+    rstf_model: RstfModel,
+) -> None:
+    """Atomically write the untrusted-host state plus public setup artifacts."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "server",
+        "merge_plan": merge_plan_to_dict(merge_plan),
+        "rstf_model": rstf_model_to_dict(rstf_model),
+        "server": server_to_dict(server),
+    }
+    atomic_write_text(path, json.dumps(payload))
+
+
+def load_index(
+    path: str | Path, key_service: GroupKeyService
+) -> tuple[ZerberRServer, MergePlan, RstfModel]:
+    """Reload a saved single-server index against a (trusted) key service.
+
+    The key service must already know the groups/principals the
+    deployment uses; this function restores only the untrusted state.
+    Reads the current v2 ``kind: "server"`` dumps and legacy v1 dumps
+    alike (v1 carries no version counters — reloaded lists restart at
+    version 1, exactly as every pre-v2 build behaved).
+    """
+    payload = read_payload(path)
+    version = payload.get("format_version")
+    if version not in (V1_FORMAT_VERSION, FORMAT_VERSION):
+        raise ConfigurationError(
+            f"unsupported index format version: {version!r} "
+            f"(this build reads {V1_FORMAT_VERSION} and {FORMAT_VERSION})"
+        )
+    kind = payload.get("kind", "server")
+    if kind != "server":
+        raise ConfigurationError(
+            f"{path}: not a single-server dump (kind={kind!r}); "
+            "use repro.persist.load_cluster"
+        )
+    try:
+        merge_plan = merge_plan_from_dict(payload["merge_plan"])
+        rstf_model = rstf_model_from_dict(payload["rstf_model"])
+        server = server_from_dict(payload["server"], key_service, source=path)
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"{path}: corrupt index dump: {error!r}"
+        ) from error
+    return server, merge_plan, rstf_model

@@ -1,0 +1,71 @@
+"""Crash-safe file replacement for index dumps.
+
+``Path.write_text`` truncates the target before writing, so a crash
+mid-dump destroys the only copy — the exact restart-amnesia failure the
+persistence layer exists to prevent.  :func:`atomic_write_text` writes to
+a temporary file *in the same directory* (``os.replace`` is only atomic
+within one filesystem), flushes and fsyncs it, and renames it into place,
+so an interrupted save always leaves either the previous file or the new
+one — never a torn hybrid.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Replace *path*'s content with *text* atomically.
+
+    The previous file (if any) survives any failure up to and including
+    the final rename; the temporary file is removed on every error path.
+    """
+    path = Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600; carry over the destination's mode (or the
+        # umask default for a first save) so saving never tightens a
+        # dump's permissions behind the operator's back.
+        try:
+            mode = os.stat(path).st_mode & 0o777
+        except OSError:
+            current_umask = os.umask(0)
+            os.umask(current_umask)
+            mode = 0o666 & ~current_umask
+        os.fchmod(fd, mode)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+        _fsync_directory(path.parent)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry so the rename survives power loss.
+
+    Without this the data is durable but the *name* may not be: a crash
+    after :func:`os.replace` could roll the directory back to the old
+    dump.  Best effort — some platforms/filesystems cannot fsync a
+    directory handle, and the rename is already atomic there.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)

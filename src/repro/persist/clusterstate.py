@@ -1,0 +1,360 @@
+"""Format-v2 cluster snapshots: encode, decode, and crash-safe recovery.
+
+A cluster snapshot captures everything the untrusted host tier must not
+forget across a restart (the ``cluster`` section of a v2 dump):
+
+* every server's merged lists **with their mutation counters** — so
+  version-stamped fetch responses stay comparable across the restart;
+* the placement table and its epoch — so pre-restart envelopes are
+  correctly rejected, not silently served from a reshuffled shard map;
+* the replication manager's durable state: each list's log tail above
+  ``base_seq``, every replica's applied version, the lag model, the
+  anti-entropy cadence, the tick clock, and the paused/down server sets;
+* optionally, the hottest per-server readable views, spilled as
+  merged-list positions so a warm restart skips their full rebuilds.
+
+Recovery (:func:`cluster_from_dict`) rebuilds a live
+:class:`~repro.core.cluster.ServerCluster` in dependency order —
+topology, clock, list contents, logs + applied versions, then views —
+re-registering each replica at its persisted applied version.  Replicas
+behind the restored log head get their remaining ops *scheduled* through
+the normal catch-up machinery, so a restarted lagged or paused follower
+converges exactly as a live one would: no acknowledged op is lost, and
+one anti-entropy sweep bounds how long convergence takes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+
+from repro.core.cluster import ServerCluster
+from repro.core.placement import PlacementPolicy, ReadSelector
+from repro.core.replication import LagModel, ReplicationOp
+from repro.core.rstf import RstfModel
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError, ProtocolError, ReproError
+from repro.index.merge import MergePlan
+from repro.persist.atomic import atomic_write_text
+from repro.persist.encoders import (
+    FORMAT_VERSION,
+    decode_list_id,
+    element_from_dict,
+    element_to_dict,
+    load_server_state,
+    merge_plan_from_dict,
+    merge_plan_to_dict,
+    read_payload,
+    rstf_model_from_dict,
+    rstf_model_to_dict,
+    server_to_dict,
+)
+
+DEFAULT_VIEW_SPILL = 64
+
+
+# -- replication ops ----------------------------------------------------------
+
+
+def replication_op_to_dict(op: ReplicationOp) -> dict:
+    entry: dict = {"s": op.seq, "k": op.kind}
+    if op.element is not None:
+        entry["e"] = element_to_dict(op.element)
+    if op.ciphertext is not None:
+        entry["c"] = base64.b64encode(op.ciphertext).decode()
+    return entry
+
+
+def replication_op_from_dict(entry: dict, source: str | Path) -> ReplicationOp:
+    kind = entry.get("k")
+    if kind == "insert":
+        if "e" not in entry:
+            raise ConfigurationError(
+                f"{source}: corrupt cluster dump: insert op {entry.get('s')} "
+                "has no element payload"
+            )
+        return ReplicationOp(
+            seq=int(entry["s"]), kind="insert", element=element_from_dict(entry["e"])
+        )
+    if kind == "delete":
+        if "c" not in entry:
+            raise ConfigurationError(
+                f"{source}: corrupt cluster dump: delete op {entry.get('s')} "
+                "has no ciphertext receipt"
+            )
+        return ReplicationOp(
+            seq=int(entry["s"]),
+            kind="delete",
+            ciphertext=base64.b64decode(entry["c"]),
+        )
+    raise ConfigurationError(
+        f"{source}: corrupt cluster dump: unknown replication op kind {kind!r}"
+    )
+
+
+# -- whole-cluster encode -----------------------------------------------------
+
+
+def cluster_to_dict(
+    cluster: ServerCluster, spill_views: int = DEFAULT_VIEW_SPILL
+) -> dict:
+    """The durable state of a cluster as one JSON-ready dict.
+
+    *spill_views* caps how many hot readable views each server spills
+    (0 disables the spill; views then rebuild lazily after recovery).
+    """
+    repl = cluster.replication_manager
+    logs: dict[str, dict] = {}
+    applied: dict[str, dict] = {}
+    for list_id in range(cluster.num_lists):
+        head, base, ops = repl.log_snapshot(list_id)
+        if head == 0:
+            continue  # never written: every replica is trivially at 0
+        logs[str(list_id)] = {
+            "head": head,
+            "base": base,
+            "ops": [replication_op_to_dict(op) for op in ops],
+        }
+        applied[str(list_id)] = {
+            str(server_index): version
+            for server_index, version in repl.applied_snapshot(list_id).items()
+        }
+    lag = repl.lag
+    return {
+        "num_lists": cluster.num_lists,
+        "num_servers": cluster.num_servers,
+        "replication": cluster.replication,
+        "placement": [list(replicas) for replicas in cluster.placement_table()],
+        "epoch": cluster.placement_epoch,
+        "read_consistency": cluster.read_consistency.value,
+        "lag": {
+            "fixed_ticks": lag.fixed_ticks,
+            "per_server": {
+                str(server_index): delay
+                for server_index, delay in sorted(lag.per_server.items())
+            },
+        },
+        "anti_entropy_every": repl.anti_entropy_every,
+        "down": [
+            server_index
+            for server_index in range(cluster.num_servers)
+            if not cluster.is_alive(server_index)
+        ],
+        "replication_state": {
+            "tick_count": repl.tick_count,
+            "paused": sorted(repl.paused_servers()),
+            "logs": logs,
+            "applied": applied,
+        },
+        "servers": [
+            {
+                **server_to_dict(cluster.server(server_index)),
+                "views": cluster.server(server_index).spill_views(spill_views),
+            }
+            for server_index in range(cluster.num_servers)
+        ],
+    }
+
+
+# -- whole-cluster decode / recovery ------------------------------------------
+
+
+def cluster_from_dict(
+    data: dict,
+    key_service: GroupKeyService,
+    source: str | Path = "<dump>",
+    placement: PlacementPolicy | None = None,
+    read_strategy: ReadSelector | str | None = None,
+    read_seed: int = 0,
+) -> ServerCluster:
+    """Recover a live cluster from a dumped ``cluster`` section.
+
+    *placement* and *read_strategy* are runtime policy — code, not data —
+    so they are supplied by the caller (defaults match the cluster
+    defaults); the authoritative placement *table* and epoch come from
+    the dump regardless of the policy object.
+    """
+    try:
+        num_lists = int(data["num_lists"])
+        num_servers = int(data["num_servers"])
+        replication = int(data["replication"])
+        lag_data = data.get("lag", {})
+        lag = LagModel(
+            fixed_ticks=int(lag_data.get("fixed_ticks", 0)),
+            per_server={
+                int(server_index): int(delay)
+                for server_index, delay in lag_data.get("per_server", {}).items()
+            },
+        )
+        cluster = ServerCluster(
+            key_service,
+            num_lists=num_lists,
+            num_servers=num_servers,
+            replication=replication,
+            placement=placement,
+            lag=lag,
+            read_consistency=data.get("read_consistency"),
+            read_strategy=read_strategy,
+            read_seed=read_seed,
+            anti_entropy_every=data.get("anti_entropy_every"),
+        )
+        cluster.restore_topology(
+            [tuple(replicas) for replicas in data["placement"]],
+            int(data.get("epoch", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"{source}: corrupt cluster dump: {error!r}"
+        ) from error
+    except ReproError as error:
+        raise ConfigurationError(
+            f"{source}: corrupt cluster dump: {error}"
+        ) from error
+
+    servers_data = data.get("servers", [])
+    if len(servers_data) != num_servers:
+        raise ConfigurationError(
+            f"{source}: corrupt cluster dump: {len(servers_data)} server "
+            f"sections for {num_servers} declared servers"
+        )
+    for server_index, server_data in enumerate(servers_data):
+        load_server_state(cluster.server(server_index), server_data, source)
+
+    repl = cluster.replication_manager
+    state = data.get("replication_state", {})
+    try:
+        repl.restore_clock(
+            int(state.get("tick_count", 0)),
+            (int(server_index) for server_index in state.get("paused", ())),
+        )
+    except (ReproError, TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"{source}: corrupt cluster dump: {error}"
+        ) from error
+    applied_sections = state.get("applied", {})
+    for list_id_str, log_data in state.get("logs", {}).items():
+        list_id = decode_list_id(list_id_str, num_lists, source)
+        applied_data = applied_sections.get(list_id_str)
+        if applied_data is None:
+            raise ConfigurationError(
+                f"{source}: corrupt cluster dump: list {list_id} has a log "
+                "but no applied versions"
+            )
+        try:
+            repl.restore_list_state(
+                list_id,
+                int(log_data["head"]),
+                int(log_data["base"]),
+                [
+                    replication_op_from_dict(entry, source)
+                    for entry in log_data.get("ops", ())
+                ],
+                {
+                    int(server_index): int(version)
+                    for server_index, version in applied_data.items()
+                },
+            )
+        except (ProtocolError, KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"{source}: corrupt cluster dump: {error}"
+            ) from error
+
+    for server_index in data.get("down", ()):
+        server_index = int(server_index)
+        if not 0 <= server_index < num_servers:
+            raise ConfigurationError(
+                f"{source}: corrupt cluster dump: down-server index "
+                f"{server_index} out of range"
+            )
+        cluster.fail_server(server_index)
+
+    for server_index, server_data in enumerate(servers_data):
+        for view in server_data.get("views", ()):
+            try:
+                list_id = decode_list_id(str(view["list"]), num_lists, source)
+                cluster.server(server_index).adopt_view(
+                    list_id,
+                    view["principal"],
+                    view["groups"],
+                    view["positions"],
+                    int(view["version"]),
+                )
+            except ConfigurationError:
+                raise
+            except (KeyError, TypeError, ValueError) as error:
+                raise ConfigurationError(
+                    f"{source}: corrupt cluster dump: spilled view "
+                    f"{view!r}: {error!r}"
+                ) from error
+    return cluster
+
+
+# -- top-level save/load ------------------------------------------------------
+
+
+def save_cluster(
+    path: str | Path,
+    cluster: ServerCluster,
+    merge_plan: MergePlan,
+    rstf_model: RstfModel,
+    spill_views: int = DEFAULT_VIEW_SPILL,
+) -> None:
+    """Atomically write a whole-cluster snapshot plus setup artifacts.
+
+    Like :func:`~repro.persist.save_index`, the dump holds only what the
+    untrusted host tier stores (ciphertexts, TRS, group tags, logs) plus
+    the public setup artifacts — never keys.
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "cluster",
+        "merge_plan": merge_plan_to_dict(merge_plan),
+        "rstf_model": rstf_model_to_dict(rstf_model),
+        "cluster": cluster_to_dict(cluster, spill_views=spill_views),
+    }
+    atomic_write_text(path, json.dumps(payload))
+
+
+def load_cluster(
+    path: str | Path,
+    key_service: GroupKeyService,
+    placement: PlacementPolicy | None = None,
+    read_strategy: ReadSelector | str | None = None,
+    read_seed: int = 0,
+) -> tuple[ServerCluster, MergePlan, RstfModel]:
+    """Recover a cluster snapshot against a (trusted) key service.
+
+    The key service must already know the deployment's groups and
+    principals — like :func:`~repro.persist.load_index`, only the
+    untrusted state is restored.
+    """
+    payload = read_payload(path)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported cluster snapshot version: {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    kind = payload.get("kind")
+    if kind != "cluster":
+        raise ConfigurationError(
+            f"{path}: not a cluster snapshot (kind={kind!r}); "
+            "use repro.persist.load_index for single-server dumps"
+        )
+    try:
+        merge_plan = merge_plan_from_dict(payload["merge_plan"])
+        rstf_model = rstf_model_from_dict(payload["rstf_model"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"{path}: corrupt cluster dump: {error!r}"
+        ) from error
+    cluster = cluster_from_dict(
+        payload["cluster"],
+        key_service,
+        source=path,
+        placement=placement,
+        read_strategy=read_strategy,
+        read_seed=read_seed,
+    )
+    return cluster, merge_plan, rstf_model

@@ -1,0 +1,193 @@
+"""JSON encoders/decoders shared by the v1 and v2 dump formats.
+
+Everything here is symmetric pairs (``*_to_dict`` / ``*_from_dict``) over
+plain JSON types; ciphertexts travel base64.  Decoders validate against
+the dump's own declared shape and raise
+:class:`~repro.errors.ConfigurationError` naming the *source* (the file
+path) and the offending value, so a corrupt or hand-edited dump fails
+with a diagnosis instead of escaping as a raw ``KeyError``/``IndexError``
+deep inside the server.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+
+from repro.core.rstf import Rstf, RstfModel
+from repro.core.server import ZerberRServer
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError
+from repro.index.merge import MergePlan
+from repro.index.postings import EncryptedPostingElement
+
+#: Current dump format.  v2 adds per-list version counters, the dump
+#: ``kind`` tag ("server" | "cluster") and the whole-cluster sections.
+FORMAT_VERSION = 2
+
+#: The legacy single-server format (pre-replication deployments); still
+#: loaded byte-identically by :func:`repro.persist.load_index`.
+V1_FORMAT_VERSION = 1
+
+
+def read_payload(path: str | Path) -> dict:
+    """Parse a dump file, wrapping corruption into a named error."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ConfigurationError(f"{path}: corrupt index dump: {error}") from error
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"{path}: corrupt index dump: not a JSON object")
+    return payload
+
+
+# -- posting elements ---------------------------------------------------------
+
+
+def element_to_dict(element: EncryptedPostingElement) -> dict:
+    return {
+        "c": base64.b64encode(element.ciphertext).decode(),
+        "g": element.group,
+        "t": element.trs,
+    }
+
+
+def element_from_dict(entry: dict) -> EncryptedPostingElement:
+    return EncryptedPostingElement(
+        ciphertext=base64.b64decode(entry["c"]),
+        group=entry["g"],
+        trs=entry["t"],
+    )
+
+
+# -- setup artifacts ----------------------------------------------------------
+
+
+def merge_plan_to_dict(plan: MergePlan) -> dict:
+    return {"r": plan.r, "groups": [list(group) for group in plan.groups]}
+
+
+def merge_plan_from_dict(data: dict) -> MergePlan:
+    return MergePlan(
+        groups=tuple(tuple(group) for group in data["groups"]), r=float(data["r"])
+    )
+
+
+def rstf_model_to_dict(model: RstfModel) -> dict:
+    encoded = {}
+    for term in sorted(model.terms()):
+        rstf = model.get(term)
+        encoded[term] = {
+            "mus": list(rstf.mus),
+            "sigma": rstf.sigma,
+            "kind": rstf.kind,
+        }
+    return encoded
+
+
+def rstf_model_from_dict(data: dict) -> RstfModel:
+    return RstfModel(
+        {
+            term: Rstf(
+                mus=tuple(entry["mus"]),
+                sigma=float(entry["sigma"]),
+                kind=entry["kind"],
+            )
+            for term, entry in data.items()
+        }
+    )
+
+
+# -- server state -------------------------------------------------------------
+
+
+def server_to_dict(server: ZerberRServer, include_versions: bool = True) -> dict:
+    """One server's merged lists; empty lists are omitted.
+
+    ``include_versions=True`` (format v2) additionally records each
+    list's mutation counter, so a reload resumes exactly where the
+    pre-restart process stopped instead of restarting every counter from
+    scratch — without it, post-restart version-stamped fetch responses
+    and replication applied-versions cannot be compared against any
+    pre-restart log state.  ``include_versions=False`` reproduces the v1
+    wire shape byte-for-byte.
+    """
+    lists = {}
+    versions = {}
+    for list_id in range(server.num_lists):
+        merged = server._lists[list_id]
+        if merged.elements:
+            lists[str(list_id)] = [element_to_dict(e) for e in merged.elements]
+        if merged.version:
+            versions[str(list_id)] = merged.version
+    data = {"num_lists": server.num_lists, "lists": lists}
+    if include_versions:
+        data["versions"] = versions
+    return data
+
+
+def decode_list_id(list_id_str: str, num_lists: int, source: str | Path) -> int:
+    """Validate one dumped list id against the dump's declared width."""
+    try:
+        list_id = int(list_id_str)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{source}: corrupt dump: list id {list_id_str!r} is not an integer"
+        ) from None
+    if not 0 <= list_id < num_lists:
+        raise ConfigurationError(
+            f"{source}: corrupt dump: list id {list_id} out of range "
+            f"(dump declares {num_lists} lists)"
+        )
+    return list_id
+
+
+def load_server_state(
+    server: ZerberRServer, data: dict, source: str | Path
+) -> None:
+    """Restore merged lists (and, for v2 dumps, their version counters)
+    into an existing, empty server.
+
+    v1 dumps carry no counters; their lists restore at version 1 —
+    exactly where every pre-v2 build's reload left them.
+    """
+    num_lists = server.num_lists
+    try:
+        lists = data["lists"]
+        versions = data.get("versions", {})
+        decoded: list[tuple[str, list, int]] = []
+        for list_id_str in sorted(set(lists) | set(versions), key=str):
+            elements = [
+                element_from_dict(entry) for entry in lists.get(list_id_str, ())
+            ]
+            if list_id_str in versions:
+                version = int(versions[list_id_str])
+                if version < 1:
+                    raise ConfigurationError(
+                        f"{source}: corrupt dump: list {list_id_str} has "
+                        f"non-positive version {version}"
+                    )
+            else:
+                version = 1 if elements else 0
+            decoded.append((list_id_str, elements, version))
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"{source}: corrupt dump: {error!r}"
+        ) from error
+    for list_id_str, elements, version in decoded:
+        list_id = decode_list_id(list_id_str, num_lists, source)
+        if version == 0 and not elements:
+            continue
+        server.restore_list(list_id, elements, version)
+
+
+def server_from_dict(
+    data: dict, key_service: GroupKeyService, source: str | Path = "<dump>"
+) -> ZerberRServer:
+    """Reconstruct a standalone server from a dumped ``server`` section."""
+    server = ZerberRServer(key_service, num_lists=int(data["num_lists"]))
+    load_server_state(server, data, source)
+    return server

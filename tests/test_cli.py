@@ -107,3 +107,81 @@ class TestQuery:
 
     def test_default_secret_is_documented_constant(self):
         assert len(bytes.fromhex(DEFAULT_SECRET)) >= 32
+
+
+@pytest.fixture(scope="module")
+def snapshot_file(docs_dir, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snap") / "cluster.json"
+    code = main(
+        [
+            "snapshot",
+            "--input",
+            str(docs_dir),
+            "--output",
+            str(path),
+            "--servers",
+            "3",
+            "--replication",
+            "2",
+            "--lag",
+            "2",
+            "--r",
+            "1.5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSnapshotRestore:
+    def test_snapshot_written(self, snapshot_file):
+        assert snapshot_file.exists()
+        assert snapshot_file.stat().st_size > 0
+
+    def test_restore_prints_state(self, snapshot_file, capsys):
+        assert main(["restore", "--snapshot", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "posting elements" in out
+        assert "catch-up backlog" in out
+
+    def test_restore_converge_and_query(self, snapshot_file, capsys):
+        code = main(
+            [
+                "restore",
+                "--snapshot",
+                str(snapshot_file),
+                "--converge",
+                "--term",
+                "reactor",
+                "--k",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "a1.txt" in out
+
+    def test_restore_group_restriction(self, snapshot_file, capsys):
+        code = main(
+            [
+                "restore",
+                "--snapshot",
+                str(snapshot_file),
+                "--term",
+                "calibration",
+                "--k",
+                "5",
+                "--groups",
+                "beta",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "b1.txt" in out
+        assert "a1.txt" not in out and "a2.txt" not in out
+
+    def test_restore_of_server_dump_errors(self, index_file, capsys):
+        code = main(["restore", "--snapshot", str(index_file)])
+        assert code == 2
+        assert "load_index" in capsys.readouterr().err

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import SystemConfig, ZerberRSystem
+from repro.crypto.keys import GroupKeyService
 from repro.errors import ConfigurationError
 from repro.index.merge import MergePlan
 
@@ -98,6 +99,52 @@ class TestQuerying:
         term = sorted(corpus.stats(corpus.documents_in_group(group)[0].doc_id).counts)[0]
         result = client.query(term, k=3)
         assert all(hit.group == group for hit in result.hits)
+
+
+class TestClusterDurability:
+    def test_snapshot_restore_roundtrip_results(self, micro_corpus, tmp_path):
+        system = ZerberRSystem.build(micro_corpus, SystemConfig(r=3.0, seed=8))
+        cluster, _ = system.deploy_cluster(
+            num_servers=3, replication=2, lag=2, anti_entropy_every=4
+        )
+        path = tmp_path / "cluster.json"
+        system.snapshot_cluster(path, cluster)
+        restored, coordinator = system.restore_cluster(path)
+        assert restored.replication_backlog() == cluster.replication_backlog()
+        term = system.vocabulary.terms_by_frequency()[0]
+        before = system.client_for("superuser", server=cluster).query(term, k=5)
+        after = system.client_for("superuser", server=restored).query(term, k=5)
+        assert after.doc_ids() == before.doc_ids()
+        # The restored cluster keeps converging through normal operation.
+        restored.run_replication_until_quiet()
+        assert restored.replication_backlog() == {}
+        assert coordinator.cluster is restored
+
+    def test_restore_rejects_foreign_merge_plan(self, micro_corpus, tmp_path):
+        system = ZerberRSystem.build(micro_corpus, SystemConfig(r=3.0, seed=8))
+        other = ZerberRSystem.build(micro_corpus, SystemConfig(r=2.0, seed=9))
+        cluster, _ = other.deploy_cluster(num_servers=2)
+        path = tmp_path / "cluster.json"
+        other.snapshot_cluster(path, cluster)
+        if other.merge_plan == system.merge_plan:
+            pytest.skip("configs produced identical plans")
+        with pytest.raises(ConfigurationError, match="merge plan"):
+            system.restore_cluster(path)
+
+    def test_system_save_is_load_index_compatible(self, micro_corpus, tmp_path):
+        from repro.persist import load_index
+
+        service = GroupKeyService(master_secret=b"s" * 32)
+        system = ZerberRSystem.build(
+            micro_corpus, SystemConfig(r=3.0, seed=8), key_service=service
+        )
+        path = tmp_path / "index.json"
+        system.save(path)
+        server2, plan2, _ = load_index(
+            path, GroupKeyService(master_secret=b"s" * 32)
+        )
+        assert plan2 == system.merge_plan
+        assert server2.num_elements == system.server.num_elements
 
 
 class TestMergeSchemes:

@@ -10,12 +10,14 @@ from repro.crypto.keys import GroupKeyService
 from repro.errors import ConfigurationError
 from repro.persist import (
     FORMAT_VERSION,
+    V1_FORMAT_VERSION,
     load_index,
     merge_plan_from_dict,
     merge_plan_to_dict,
     rstf_model_from_dict,
     rstf_model_to_dict,
     save_index,
+    server_to_dict,
 )
 
 
@@ -101,6 +103,18 @@ class TestSaveLoad:
         with pytest.raises(ConfigurationError):
             load_index(path, GroupKeyService(master_secret=b"p" * 32))
 
+    def test_list_versions_survive_reload(self, built, tmp_path):
+        """v2 dumps carry per-list mutation counters, so version-stamped
+        responses stay comparable across a restart."""
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        server2, _, _ = load_index(path, GroupKeyService(master_secret=b"p" * 32))
+        for list_id in range(server2.num_lists):
+            assert server2.list_version(list_id) == system.server.list_version(
+                list_id
+            )
+
     def test_wrong_secret_cannot_decrypt(self, built, tmp_path):
         system, _ = built
         path = tmp_path / "index.json"
@@ -121,3 +135,178 @@ class TestSaveLoad:
         # All decryptions fail authentication -> zero hits, no crash.
         result = client.query(term, k=5)
         assert result.hits == ()
+
+
+class TestV1Compat:
+    """Legacy (pre-replication) dumps must keep loading unchanged."""
+
+    def _v1_payload(self, system):
+        return {
+            "format_version": V1_FORMAT_VERSION,
+            "merge_plan": merge_plan_to_dict(system.merge_plan),
+            "rstf_model": rstf_model_to_dict(system.rstf_model),
+            "server": server_to_dict(system.server, include_versions=False),
+        }
+
+    def test_v1_dump_loads_and_queries(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._v1_payload(system)))
+        service = GroupKeyService(master_secret=b"p" * 32)
+        server2, plan2, model2 = load_index(path, service)
+        assert server2.num_elements == system.server.num_elements
+        assert plan2 == system.merge_plan
+        for group in system.corpus.groups():
+            service.ensure_group(group)
+        service.register("superuser", set(system.corpus.groups()))
+        client = ZerberRClient(
+            principal="superuser",
+            key_service=service,
+            server=server2,
+            rstf_model=model2,
+            merge_plan=plan2,
+        )
+        term = system.vocabulary.terms_by_frequency()[1]
+        assert client.query(term, k=5).doc_ids() == system.query(
+            term, k=5
+        ).doc_ids()
+
+    def test_v1_wire_shape_is_versionless(self, built):
+        system, _ = built
+        payload = self._v1_payload(system)
+        assert "versions" not in payload["server"]
+        assert "kind" not in payload
+
+
+class TestCorruptDumps:
+    def test_unknown_list_id_names_path_and_id(self, built, tmp_path):
+        """A hand-edited dump with an out-of-range list id must fail as a
+        named configuration error, not a raw KeyError/IndexError."""
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        payload = json.loads(path.read_text())
+        lists = payload["server"]["lists"]
+        bad_id = str(payload["server"]["num_lists"] + 7)
+        lists[bad_id] = lists.pop(next(iter(lists)))
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_index(path, GroupKeyService(master_secret=b"p" * 32))
+        assert bad_id in str(excinfo.value)
+        assert str(path) in str(excinfo.value)
+
+    def test_non_integer_list_id(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        payload = json.loads(path.read_text())
+        lists = payload["server"]["lists"]
+        lists["banana"] = lists.pop(next(iter(lists)))
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="banana"):
+            load_index(path, GroupKeyService(master_secret=b"p" * 32))
+
+    def test_truncated_json_names_path(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        path.write_text(path.read_text()[:100])
+        with pytest.raises(ConfigurationError, match=str(path)):
+            load_index(path, GroupKeyService(master_secret=b"p" * 32))
+
+    def test_missing_lists_section(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        payload = json.loads(path.read_text())
+        del payload["server"]["lists"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match=str(path)):
+            load_index(path, GroupKeyService(master_secret=b"p" * 32))
+
+    def test_element_missing_ciphertext(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        payload = json.loads(path.read_text())
+        lists = payload["server"]["lists"]
+        next(iter(lists.values()))[0].pop("c")
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match=str(path)):
+            load_index(path, GroupKeyService(master_secret=b"p" * 32))
+
+    def test_cluster_dump_rejected_by_load_index(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        payload = json.loads(path.read_text())
+        payload["kind"] = "cluster"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="load_cluster"):
+            load_index(path, GroupKeyService(master_secret=b"p" * 32))
+
+
+class TestAtomicWrites:
+    def test_interrupted_save_keeps_previous_dump(
+        self, built, tmp_path, monkeypatch
+    ):
+        """A crash during the final rename (the last moment a save can
+        die) must leave the previous file byte-identical."""
+        import repro.persist.atomic as atomic
+
+        system, _ = built
+        path = tmp_path / "index.json"
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(atomic.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_index(
+                path, system.server, system.merge_plan, system.rstf_model
+            )
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == [
+            "index.json"
+        ], "temp file leaked"
+
+    def test_interrupted_first_save_leaves_no_partial_file(
+        self, built, tmp_path, monkeypatch
+    ):
+        import repro.persist.atomic as atomic
+
+        system, _ = built
+        path = tmp_path / "index.json"
+        monkeypatch.setattr(
+            atomic.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            save_index(
+                path, system.server, system.merge_plan, system.rstf_model
+            )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_replaces_existing_dump(self, built, tmp_path):
+        system, _ = built
+        path = tmp_path / "index.json"
+        path.write_text("previous generation")
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert [p.name for p in tmp_path.iterdir()] == ["index.json"]
+
+    def test_save_preserves_existing_file_mode(self, built, tmp_path):
+        """Re-saving must not tighten a dump's permissions to the temp
+        file's 0600 (e.g. break a group-readable backup job)."""
+        import os
+
+        system, _ = built
+        path = tmp_path / "index.json"
+        path.write_text("previous generation")
+        os.chmod(path, 0o664)
+        save_index(path, system.server, system.merge_plan, system.rstf_model)
+        assert os.stat(path).st_mode & 0o777 == 0o664

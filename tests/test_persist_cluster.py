@@ -1,0 +1,495 @@
+"""Crash-recovery tests for whole-cluster persistence (format v2).
+
+The restart-amnesia contract: a cluster snapshotted mid-replication —
+nonzero lag, paused followers, down servers, whatever — and reloaded
+must (a) serve byte-identical PRIMARY-consistency results immediately,
+and (b) converge every replica to the acknowledged (list-backed
+reference) state through the *existing* catch-up machinery: resumed
+followers drain their persisted backlog; one anti-entropy sweep bounds
+the wait.  No acknowledged op may be lost across the restart.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cluster import ServerCluster
+from repro.core.protocol import FetchRequest
+from repro.crypto.keys import GroupKeyService
+from repro.errors import ConfigurationError, UnavailableError
+from repro.index.postings import EncryptedPostingElement
+from repro.persist import load_cluster, save_cluster
+
+NUM_LISTS = 3
+NUM_SERVERS = 4
+REPLICATION = 2
+
+OPCODES = (
+    "insert",
+    "insert",
+    "insert",
+    "delete",
+    "tick",
+    "fail",
+    "restore",
+    "pause",
+    "resume",
+    "fetch",
+)
+
+
+def _keys():
+    svc = GroupKeyService(master_secret=b"f" * 32)
+    svc.register("u", {"g"})
+    return svc
+
+
+def _cluster(lag=2, **kwargs):
+    return ServerCluster(
+        _keys(),
+        num_lists=NUM_LISTS,
+        num_servers=NUM_SERVERS,
+        replication=REPLICATION,
+        lag=lag,
+        **kwargs,
+    )
+
+
+class _Reference:
+    """List-backed reference: the acknowledged state of every list."""
+
+    def __init__(self):
+        self.lists: dict[int, list[EncryptedPostingElement]] = {
+            lid: [] for lid in range(NUM_LISTS)
+        }
+
+    def insert(self, list_id, element):
+        self.lists[list_id].append(element)
+
+    def delete(self, list_id, ciphertext):
+        self.lists[list_id] = [
+            e for e in self.lists[list_id] if e.ciphertext != ciphertext
+        ]
+
+    def expected_order(self, list_id):
+        return [
+            e.ciphertext
+            for e in sorted(self.lists[list_id], key=lambda e: -e.trs)
+        ]
+
+
+def _run_ops(cluster, ops, ref=None, counter_start=0):
+    """Drive the cluster; mirror acknowledged writes into the reference."""
+    ref = ref if ref is not None else _Reference()
+    receipts: list[tuple[int, bytes]] = []
+    counter = counter_start
+    for opcode, r in ops:
+        if opcode == "insert":
+            list_id = r % NUM_LISTS
+            counter += 1
+            element = EncryptedPostingElement(
+                ciphertext=b"el-%05d" % counter,
+                group="g",
+                trs=(counter % 997) / 1000.0,
+            )
+            try:
+                cluster.insert("u", list_id, element)
+            except UnavailableError:
+                continue
+            ref.insert(list_id, element)
+            receipts.append((list_id, element.ciphertext))
+        elif opcode == "delete":
+            if not receipts:
+                continue
+            list_id, ciphertext = receipts[r % len(receipts)]
+            try:
+                if cluster.delete_element("u", list_id, ciphertext):
+                    ref.delete(list_id, ciphertext)
+            except UnavailableError:
+                continue
+        elif opcode == "tick":
+            cluster.replication_tick()
+        elif opcode == "fail":
+            cluster.fail_server(r % NUM_SERVERS)
+        elif opcode == "restore":
+            cluster.restore_server(r % NUM_SERVERS)
+        elif opcode == "pause":
+            cluster.pause_follower(r % NUM_SERVERS)
+        elif opcode == "resume":
+            cluster.resume_follower(r % NUM_SERVERS)
+        elif opcode == "fetch":
+            try:
+                cluster.fetch(
+                    FetchRequest(principal="u", list_id=r % NUM_LISTS, offset=0, count=5),
+                    consistency="one",
+                )
+            except UnavailableError:
+                continue
+    return ref, counter
+
+
+def _reload(cluster, tmp_path, name="cluster.json"):
+    """Snapshot the cluster and recover it into a fresh key service."""
+    path = tmp_path / name
+    from repro.index.merge import MergePlan
+    from repro.core.rstf import RstfModel
+
+    plan = MergePlan(groups=tuple((f"t{i}",) for i in range(NUM_LISTS)), r=2.0)
+    save_cluster(path, cluster, plan, RstfModel({}))
+    restored, plan2, _ = load_cluster(path, _keys())
+    assert plan2 == plan
+    return restored, path
+
+
+def _assert_converged(cluster, ref):
+    """Heal everything, one anti-entropy sweep, compare every replica."""
+    for server_index in range(NUM_SERVERS):
+        cluster.restore_server(server_index)
+        cluster.resume_follower(server_index)
+    cluster.replication_manager.anti_entropy_sweep()
+    assert cluster.replication_backlog() == {}, "sweep left stale replicas"
+    for list_id in range(NUM_LISTS):
+        expected = ref.expected_order(list_id)
+        head = cluster.primary_version(list_id)
+        for server_index in cluster.replicas_of(list_id):
+            assert cluster.applied_version(list_id, server_index) == head
+            got = [
+                e.ciphertext
+                for e in cluster.server(server_index).export_list(list_id)
+            ]
+            assert got == expected, (
+                f"replica {server_index} of list {list_id} diverged"
+            )
+
+
+def _lagged_snapshot_cluster():
+    """A deterministic mid-replication cluster: backlog + paused follower."""
+    cluster = _cluster(lag=3, anti_entropy_every=50)
+    ref = _Reference()
+    paused = cluster.replicas_of(0)[1]
+    cluster.pause_follower(paused)
+    counter = 0
+    for round_ in range(4):
+        for list_id in range(NUM_LISTS):
+            counter += 1
+            element = EncryptedPostingElement(
+                ciphertext=b"seed-%03d" % counter, group="g", trs=counter / 100.0
+            )
+            cluster.insert("u", list_id, element)
+            ref.insert(list_id, element)
+        cluster.replication_tick()
+    return cluster, ref, paused
+
+
+class TestLaggedSnapshotRecovery:
+    def test_backlog_and_versions_survive_restart(self, tmp_path):
+        cluster, ref, paused = _lagged_snapshot_cluster()
+        before = cluster.replication_backlog()
+        assert before, "scenario must snapshot mid-replication"
+        versions_before = {
+            lid: cluster.primary_version(lid) for lid in range(NUM_LISTS)
+        }
+        restored, _ = _reload(cluster, tmp_path)
+        assert restored.replication_backlog() == before
+        assert {
+            lid: restored.primary_version(lid) for lid in range(NUM_LISTS)
+        } == versions_before
+        assert restored.replication_manager.is_paused(paused)
+        assert restored.placement_table() == cluster.placement_table()
+        assert restored.placement_epoch == cluster.placement_epoch
+        for list_id in range(NUM_LISTS):
+            for server_index in restored.replicas_of(list_id):
+                assert restored.applied_version(
+                    list_id, server_index
+                ) == cluster.applied_version(list_id, server_index)
+                assert restored.server(server_index).list_version(
+                    list_id
+                ) == cluster.server(server_index).list_version(list_id)
+
+    def test_primary_reads_identical_after_restart(self, tmp_path):
+        cluster, ref, _ = _lagged_snapshot_cluster()
+        restored, _ = _reload(cluster, tmp_path)
+        for list_id in range(NUM_LISTS):
+            request = FetchRequest(
+                principal="u", list_id=list_id, offset=0, count=10
+            )
+            original = cluster.fetch(request, consistency="primary")
+            recovered = restored.fetch(request, consistency="primary")
+            assert [e.ciphertext for e in recovered.elements] == [
+                e.ciphertext for e in original.elements
+            ]
+            assert recovered.replica_version == original.replica_version
+            assert [
+                e.ciphertext for e in recovered.elements
+            ] == ref.expected_order(list_id)[:10]
+
+    def test_one_anti_entropy_sweep_converges_after_restart(self, tmp_path):
+        cluster, ref, _ = _lagged_snapshot_cluster()
+        restored, _ = _reload(cluster, tmp_path)
+        _assert_converged(restored, ref)
+
+    def test_paused_follower_backlog_drains_through_normal_ticks(self, tmp_path):
+        """The persisted backlog converges through lag-driven delivery
+        alone — recovery schedules it, ticks drain it."""
+        cluster, ref, paused = _lagged_snapshot_cluster()
+        restored, _ = _reload(cluster, tmp_path)
+        restored.resume_follower(paused)
+        ticks = restored.run_replication_until_quiet()
+        assert restored.replication_backlog() == {}
+        assert ticks > 0
+        for list_id in range(NUM_LISTS):
+            for server_index in restored.replicas_of(list_id):
+                got = [
+                    e.ciphertext
+                    for e in restored.server(server_index).export_list(list_id)
+                ]
+                assert got == ref.expected_order(list_id)
+
+    def test_writes_continue_past_restored_versions(self, tmp_path):
+        cluster, ref, paused = _lagged_snapshot_cluster()
+        restored, _ = _reload(cluster, tmp_path)
+        head_before = restored.primary_version(0)
+        element = EncryptedPostingElement(
+            ciphertext=b"post-restart", group="g", trs=0.999
+        )
+        restored.insert("u", 0, element)
+        ref.insert(0, element)
+        assert restored.primary_version(0) == head_before + 1
+        _assert_converged(restored, ref)
+
+    def test_down_server_stays_down_after_restart(self, tmp_path):
+        cluster, ref, _ = _lagged_snapshot_cluster()
+        victim = cluster.replicas_of(1)[1]
+        cluster.fail_server(victim)
+        restored, _ = _reload(cluster, tmp_path)
+        assert not restored.is_alive(victim)
+        restored.restore_server(victim)
+        _assert_converged(restored, ref)
+
+
+class TestFuzzedCrashRecovery:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(OPCODES), st.integers(0, 10**6)),
+            max_size=80,
+        ),
+        lag=st.integers(0, 4),
+        split=st.integers(0, 80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_mid_soup_loses_no_acknowledged_op(self, ops, lag, split):
+        """Crash at an arbitrary point of a fault soup: snapshot, reload,
+        run the *rest* of the soup against the recovered cluster, heal,
+        sweep once, and require exact convergence to the reference."""
+        cluster = _cluster(lag=lag)
+        ref, counter = _run_ops(cluster, ops[:split])
+        with tempfile.TemporaryDirectory() as tmp:
+            restored, _ = _reload(cluster, Path(tmp))
+        ref, _ = _run_ops(restored, ops[split:], ref=ref, counter_start=counter)
+        _assert_converged(restored, ref)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(OPCODES), st.integers(0, 10**6)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_double_restart_is_stable(self, ops):
+        """Snapshot → reload → snapshot → reload reproduces the same
+        durable state (recovery is idempotent)."""
+        cluster = _cluster(lag=3)
+        ref, _ = _run_ops(cluster, ops)
+        with tempfile.TemporaryDirectory() as tmp:
+            once, path_a = _reload(cluster, Path(tmp), "a.json")
+            twice, path_b = _reload(once, Path(tmp), "b.json")
+            assert json.loads(path_a.read_text()) == json.loads(
+                path_b.read_text()
+            )
+        assert twice.replication_backlog() == once.replication_backlog()
+        _assert_converged(twice, ref)
+
+
+class TestViewSpill:
+    def _warmed(self):
+        cluster, ref, _ = _lagged_snapshot_cluster()
+        # Converge first so the served views are fresh at snapshot time.
+        for s in range(NUM_SERVERS):
+            cluster.resume_follower(s)
+        cluster.run_replication_until_quiet()
+        for list_id in range(NUM_LISTS):
+            cluster.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=5)
+            )
+        return cluster, ref
+
+    def test_restored_views_serve_without_rebuild(self, tmp_path):
+        cluster, ref = self._warmed()
+        restored, _ = _reload(cluster, tmp_path)
+        stats = restored.view_stats()
+        assert stats.warm_restores >= NUM_LISTS
+        for list_id in range(NUM_LISTS):
+            response = restored.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=5)
+            )
+            assert [e.ciphertext for e in response.elements] == (
+                ref.expected_order(list_id)[:5]
+            )
+        stats = restored.view_stats()
+        assert stats.full_builds == 0, "warm restart paid a rebuild"
+        assert stats.hits >= NUM_LISTS
+
+    def test_spill_disabled_still_correct(self, tmp_path):
+        cluster, ref = self._warmed()
+        path = tmp_path / "cold.json"
+        from repro.index.merge import MergePlan
+        from repro.core.rstf import RstfModel
+
+        plan = MergePlan(groups=tuple((f"t{i}",) for i in range(NUM_LISTS)), r=2.0)
+        save_cluster(path, cluster, plan, RstfModel({}), spill_views=0)
+        restored, _, _ = load_cluster(path, _keys())
+        assert restored.view_stats().warm_restores == 0
+        response = restored.fetch(
+            FetchRequest(principal="u", list_id=0, offset=0, count=5)
+        )
+        assert [e.ciphertext for e in response.elements] == (
+            ref.expected_order(0)[:5]
+        )
+        assert restored.view_stats().full_builds >= 1
+
+    def test_misordered_spill_positions_are_skipped(self, tmp_path):
+        """Reordered/duplicated positions mean a damaged spill: the view
+        must be rebuilt from the list, never installed mis-ordered."""
+        cluster, ref = self._warmed()
+        path = tmp_path / "misordered.json"
+        from repro.index.merge import MergePlan
+        from repro.core.rstf import RstfModel
+
+        plan = MergePlan(groups=tuple((f"t{i}",) for i in range(NUM_LISTS)), r=2.0)
+        save_cluster(path, cluster, plan, RstfModel({}))
+        payload = json.loads(path.read_text())
+        for server_data in payload["cluster"]["servers"]:
+            for view in server_data["views"]:
+                view["positions"] = list(reversed(view["positions"]))
+        path.write_text(json.dumps(payload))
+        restored, _, _ = load_cluster(path, _keys())
+        for list_id in range(NUM_LISTS):
+            response = restored.fetch(
+                FetchRequest(principal="u", list_id=list_id, offset=0, count=5)
+            )
+            assert [e.ciphertext for e in response.elements] == (
+                ref.expected_order(list_id)[:5]
+            ), "mis-ordered spill leaked into a served slice"
+
+    def test_revocation_beats_warm_view(self, tmp_path):
+        """A membership change between snapshot and restore must win:
+        the spilled view may not serve under stale access rights."""
+        cluster, _ = self._warmed()
+        path = tmp_path / "revoked.json"
+        from repro.index.merge import MergePlan
+        from repro.core.rstf import RstfModel
+
+        plan = MergePlan(groups=tuple((f"t{i}",) for i in range(NUM_LISTS)), r=2.0)
+        save_cluster(path, cluster, plan, RstfModel({}))
+        service = GroupKeyService(master_secret=b"f" * 32)
+        service.register("u", set())  # same principal, no memberships
+        restored, _, _ = load_cluster(path, service)
+        response = restored.fetch(
+            FetchRequest(principal="u", list_id=0, offset=0, count=5)
+        )
+        assert response.elements == ()
+
+
+class TestCorruptClusterDumps:
+    def _dump(self, tmp_path):
+        cluster, _, _ = _lagged_snapshot_cluster()
+        restored, path = _reload(cluster, tmp_path)
+        return path
+
+    def test_unknown_log_list_id_is_named(self, tmp_path):
+        path = self._dump(tmp_path)
+        payload = json.loads(path.read_text())
+        logs = payload["cluster"]["replication_state"]["logs"]
+        logs["99"] = logs.pop(next(iter(logs)))
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match=r"99"):
+            load_cluster(path, _keys())
+
+    def test_log_without_applied_versions(self, tmp_path):
+        path = self._dump(tmp_path)
+        payload = json.loads(path.read_text())
+        state = payload["cluster"]["replication_state"]
+        state["applied"].pop(next(iter(state["applied"])))
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="applied"):
+            load_cluster(path, _keys())
+
+    def test_op_missing_payload(self, tmp_path):
+        path = self._dump(tmp_path)
+        payload = json.loads(path.read_text())
+        logs = payload["cluster"]["replication_state"]["logs"]
+        entry = next(iter(logs.values()))
+        assert entry["ops"], "scenario must retain log ops"
+        entry["ops"][0].pop("e", None)
+        entry["ops"][0].pop("c", None)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match=str(path)):
+            load_cluster(path, _keys())
+
+    def test_gapped_log_run_rejected(self, tmp_path):
+        path = self._dump(tmp_path)
+        payload = json.loads(path.read_text())
+        logs = payload["cluster"]["replication_state"]["logs"]
+        entry = next(iter(logs.values()))
+        assert entry["ops"], "scenario must retain log ops"
+        del entry["ops"][0]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="contiguous"):
+            load_cluster(path, _keys())
+
+    def test_view_record_missing_principal(self, tmp_path):
+        cluster, _ = TestViewSpill()._warmed()
+        restored, path = _reload(cluster, tmp_path)
+        payload = json.loads(path.read_text())
+        views = next(
+            s["views"] for s in payload["cluster"]["servers"] if s["views"]
+        )
+        views[0].pop("principal")
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match=str(path)):
+            load_cluster(path, _keys())
+
+    def test_non_integer_paused_entry(self, tmp_path):
+        path = self._dump(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["cluster"]["replication_state"]["paused"] = ["two"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match=str(path)):
+            load_cluster(path, _keys())
+
+    def test_truncated_file_names_path(self, tmp_path):
+        path = self._dump(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(ConfigurationError, match=str(path)):
+            load_cluster(path, _keys())
+
+    def test_server_dump_rejected_by_load_cluster(self, tmp_path):
+        from repro.persist import save_index
+        from repro.core.server import ZerberRServer
+        from repro.index.merge import MergePlan
+        from repro.core.rstf import RstfModel
+
+        path = tmp_path / "server.json"
+        save_index(
+            path,
+            ZerberRServer(_keys(), num_lists=2),
+            MergePlan(groups=(("a",), ("b",)), r=2.0),
+            RstfModel({}),
+        )
+        with pytest.raises(ConfigurationError, match="load_index"):
+            load_cluster(path, _keys())

@@ -76,6 +76,9 @@ def _df_corpus(draw):
             max_size=15,
         )
     )
+    # The padding term below appears in EVERY document; a drawn term with
+    # the same name would make the declared dfs lie about it.
+    terms.pop("base", None)
     docs = []
     for i in range(n):
         counts = {"base": 1}
