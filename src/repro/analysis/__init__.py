@@ -1,0 +1,35 @@
+"""Static analysis for the Zerber+R reproduction (the ``zlint`` tool).
+
+Run it as ``python -m repro.analysis src/``, through the CLI as
+``repro-index lint``, or via the ``zlint`` console script.  The framework
+(finding model, checker registry, suppressions, output formats) lives in
+:mod:`repro.analysis.framework`; the repo-specific rules in
+:mod:`repro.analysis.checkers`; the invariant catalog in
+``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    all_checkers,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    main,
+    module_name_for_path,
+    register,
+)
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "all_checkers",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "main",
+    "module_name_for_path",
+    "register",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run zlint."""
+
+from repro.analysis.framework import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Consistency-exhaustiveness rule: dispatch covers every ReadConsistency.
+
+The cluster's read path branches on
+:class:`~repro.core.replication.ReadConsistency` (ONE / PRIMARY /
+QUORUM).  A new member added to the enum would silently fall through any
+``if``/``elif`` chain or ``match`` that neither covers all members nor
+carries an explicit default — and a fallen-through read level degrades to
+whatever the last branch did, which is a *consistency* bug, not a crash.
+This rule flags multi-branch dispatches over ``ReadConsistency`` members
+that lack an ``else``/``case _`` and do not test every member.
+
+The member list is mirrored here (not imported) so zlint stays
+dependency-free; ``tests/test_analysis_checkers.py`` asserts the mirror
+matches the live enum, so drift fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import Checker, FileContext, Finding, register
+
+#: Mirror of repro.core.replication.ReadConsistency member names.
+READ_CONSISTENCY_MEMBERS = frozenset({"ONE", "PRIMARY", "QUORUM"})
+
+
+def _member_of(expr: ast.expr) -> str | None:
+    """``X`` if *expr* is ``ReadConsistency.X`` (possibly dotted), else None."""
+    if not isinstance(expr, ast.Attribute):
+        return None
+    base = expr.value
+    base_name = base.attr if isinstance(base, ast.Attribute) else (
+        base.id if isinstance(base, ast.Name) else None
+    )
+    if base_name == "ReadConsistency":
+        return expr.attr
+    return None
+
+
+def _test_members(test: ast.expr) -> set[str] | None:
+    """Members tested by one branch condition, or None if it is not a
+    pure ReadConsistency test (``x is ReadConsistency.M``, ``==``, or an
+    ``or`` of those)."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        members: set[str] = set()
+        for value in test.values:
+            sub = _test_members(value)
+            if sub is None:
+                return None
+            members |= sub
+        return members
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.Eq))
+    ):
+        for side in (test.left, test.comparators[0]):
+            member = _member_of(side)
+            if member is not None:
+                return {member}
+    return None
+
+
+@register
+class ConsistencyExhaustivenessChecker(Checker):
+    rule = "consistency-exhaustiveness"
+    description = (
+        "every if/match dispatch over ReadConsistency covers all members "
+        "or has an explicit default"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        elif_nodes: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.If)
+                and len(node.orelse) == 1
+                and isinstance(node.orelse[0], ast.If)
+            ):
+                elif_nodes.add(id(node.orelse[0]))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.If) and id(node) not in elif_nodes:
+                yield from self._check_chain(ctx, node)
+            elif isinstance(node, ast.Match):
+                yield from self._check_match(ctx, node)
+
+    def _check_chain(self, ctx: FileContext, node: ast.If) -> Iterator[Finding]:
+        tested: set[str] = set()
+        branches = 0
+        current: ast.If = node
+        while True:
+            members = _test_members(current.test)
+            if members is None:
+                # A non-consistency branch acts as a fallback path.
+                return
+            tested |= members
+            branches += 1
+            orelse = current.orelse
+            if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+                current = orelse[0]
+                continue
+            has_else = bool(orelse)
+            break
+        if branches < 2 or has_else:
+            return  # single guards and defaulted chains are fine
+        missing = READ_CONSISTENCY_MEMBERS - tested
+        if missing:
+            yield ctx.finding(
+                self.rule,
+                node,
+                "if/elif over ReadConsistency has no else and does not "
+                f"handle {', '.join(sorted(missing))} — a new or unhandled "
+                "consistency level silently falls through",
+            )
+
+    def _check_match(self, ctx: FileContext, node: ast.Match) -> Iterator[Finding]:
+        tested: set[str] = set()
+        saw_member = False
+        for case in node.cases:
+            patterns = (
+                case.pattern.patterns
+                if isinstance(case.pattern, ast.MatchOr)
+                else [case.pattern]
+            )
+            for pattern in patterns:
+                if isinstance(pattern, ast.MatchValue):
+                    member = _member_of(pattern.value)
+                    if member is not None:
+                        saw_member = True
+                        tested.add(member)
+                elif isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+                    return  # wildcard / capture default: exhaustive
+        if not saw_member:
+            return
+        missing = READ_CONSISTENCY_MEMBERS - tested
+        if missing:
+            yield ctx.finding(
+                self.rule,
+                node,
+                "match over ReadConsistency has no wildcard case and does "
+                f"not handle {', '.join(sorted(missing))} — add the missing "
+                "members or a `case _`",
+            )

@@ -1,0 +1,87 @@
+"""Epoch-discipline rule: envelopes and placement reads thread an epoch.
+
+PR 2/4's contract: a
+:class:`~repro.core.protocol.CoalescedBatchRequest` is routed against one
+placement epoch and must carry it, so
+:meth:`~repro.core.cluster.ServerCluster.serve_envelope` can reject an
+envelope built before a rebalance instead of serving it from a reshuffled
+shard map.  The dataclass field defaults to ``None`` ("unrouted") for
+protocol-level tests, which makes it easy to *forget* — this rule flags
+any construction outside ``repro.core.protocol`` that omits ``epoch=`` or
+pins the literal ``None``, and any read of a cluster's private
+``._placement`` table outside the cluster/persist layers (the public
+``placement_table()``/``replicas_of()`` accessors are epoch-consistent).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    call_name,
+    module_matches,
+    register,
+)
+
+_ENVELOPE_TYPES = frozenset({"CoalescedBatchRequest", "CoalescedBatchResponse"})
+
+_PROTOCOL_MODULE = ("repro.core.protocol",)
+_PLACEMENT_MODULES = ("repro.core.cluster", "repro.persist")
+
+
+@register
+class EpochDisciplineChecker(Checker):
+    rule = "epoch-discipline"
+    description = (
+        "coalesced envelopes must thread epoch=; no direct placement-table "
+        "reads outside the cluster/persist layers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        envelope_scope = not module_matches(ctx.module, _PROTOCOL_MODULE)
+        placement_scope = not module_matches(ctx.module, _PLACEMENT_MODULES)
+        for node in ast.walk(ctx.tree):
+            if envelope_scope and isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                terminal = name.rsplit(".", 1)[-1]
+                if terminal not in _ENVELOPE_TYPES:
+                    continue
+                keywords = {kw.arg: kw.value for kw in node.keywords}
+                has_splat = any(kw.arg is None for kw in node.keywords)
+                if "epoch" not in keywords and not has_splat:
+                    yield ctx.finding(
+                        self.rule,
+                        node,
+                        f"{terminal}(...) constructed without epoch= — an "
+                        "unpinned envelope can be served across a rebalance "
+                        "from a stale shard map; thread the routing epoch "
+                        "(cluster.placement_epoch)",
+                    )
+                else:
+                    epoch = keywords.get("epoch")
+                    if isinstance(epoch, ast.Constant) and epoch.value is None:
+                        yield ctx.finding(
+                            self.rule,
+                            node,
+                            f"{terminal}(...) pins epoch=None — pass the "
+                            "placement epoch the envelope was routed under",
+                        )
+            elif (
+                placement_scope
+                and isinstance(node, ast.Attribute)
+                and node.attr == "_placement"
+                and not (isinstance(node.value, ast.Name) and node.value.id == "self")
+            ):
+                yield ctx.finding(
+                    self.rule,
+                    node,
+                    "direct read of a cluster's private placement table — use "
+                    "placement_table()/replicas_of(), which are consistent "
+                    "with placement_epoch",
+                )

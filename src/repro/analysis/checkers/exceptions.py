@@ -1,0 +1,177 @@
+"""Exception-discipline rule for the persist/cli public surfaces.
+
+PR 5's contract ("corruption fails loudly"): ``repro.persist`` and
+``repro.cli`` never let a raw ``KeyError``/``IndexError``/``TypeError``/
+``ValueError``/``json.JSONDecodeError``/``UnicodeDecodeError`` escape to
+a caller — corrupt or hand-edited dumps must surface as a
+:class:`~repro.errors.ConfigurationError` naming the source file and the
+offending value.  Three statically checkable obligations:
+
+* ``json.loads``/``json.load`` calls must sit inside a ``try`` whose
+  handlers catch ``JSONDecodeError`` (or ``ValueError``);
+* an ``except`` handler that catches one of the raw types must raise
+  ``ConfigurationError`` in its body (not swallow, not re-raise raw);
+* inside the public ``load_*``/``read_*`` module-level functions, a bare
+  subscript (``payload["section"]``) must be protected by an enclosing
+  ``try`` that catches a raw type — an unguarded subscript is exactly the
+  raw-``KeyError`` escape the contract forbids.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    call_name,
+    dotted_name,
+    module_matches,
+    register,
+)
+
+_SCOPE_PREFIXES = ("repro.persist",)
+_SCOPE_EXACT = frozenset({"repro.cli"})
+
+_RAW_TYPES = frozenset(
+    {
+        "KeyError",
+        "IndexError",
+        "TypeError",
+        "ValueError",
+        "JSONDecodeError",
+        "UnicodeDecodeError",
+    }
+)
+
+#: Handler types that also protect a json.loads call (ValueError is the
+#: base class of JSONDecodeError) or an unguarded subscript.
+_JSON_GUARDS = frozenset({"JSONDecodeError", "ValueError", "Exception"})
+_SUBSCRIPT_GUARDS = _RAW_TYPES | {"Exception"}
+
+_JSON_PARSERS = frozenset({"json.loads", "json.load"})
+
+_PUBLIC_FUNC_PREFIXES = ("load_", "read_")
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> set[str]:
+    """Terminal names of the exception types one handler catches."""
+    node = handler.type
+    if node is None:
+        return {"Exception"}  # bare except catches everything
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for expr in exprs:
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            names.add(dotted.rsplit(".", 1)[-1])
+    return names
+
+
+def _try_catches(try_node: ast.Try, wanted: frozenset[str]) -> bool:
+    return any(_handler_type_names(h) & wanted for h in try_node.handlers)
+
+
+def _raises_configuration_error(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call):
+            name = call_name(node.exc)
+            if name is not None and name.rsplit(".", 1)[-1] == "ConfigurationError":
+                return True
+    return False
+
+
+@register
+class ExceptionDisciplineChecker(Checker):
+    rule = "exception-discipline"
+    description = (
+        "repro.persist/repro.cli wrap raw KeyError/IndexError/JSONDecodeError "
+        "into ConfigurationError (corruption fails loudly)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not (
+            ctx.module in _SCOPE_EXACT
+            or module_matches(ctx.module, _SCOPE_PREFIXES)
+        ):
+            return
+        # Subscripts inside annotations (``tuple[Server, ...]``) are type
+        # expressions, not data accesses — exempt them up front.
+        self._annotation_nodes: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            annotations: list[ast.expr | None] = []
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                annotations.append(node.returns)
+            elif isinstance(node, ast.arg):
+                annotations.append(node.annotation)
+            elif isinstance(node, ast.AnnAssign):
+                annotations.append(node.annotation)
+            for annotation in annotations:
+                if annotation is not None:
+                    self._annotation_nodes.update(
+                        id(sub) for sub in ast.walk(annotation)
+                    )
+        yield from self._walk(ctx, ctx.tree, try_stack=(), func_stack=())
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        try_stack: tuple[ast.Try, ...],
+        func_stack: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_try_stack = try_stack
+            child_func_stack = func_stack
+            if isinstance(child, ast.Try):
+                child_try_stack = try_stack + (child,)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_func_stack = func_stack + (child.name,)
+
+            if isinstance(child, ast.ExceptHandler):
+                caught_raw = _handler_type_names(child) & _RAW_TYPES
+                if caught_raw and not _raises_configuration_error(child):
+                    yield ctx.finding(
+                        self.rule,
+                        child,
+                        f"handler catches raw {'/'.join(sorted(caught_raw))} "
+                        "but does not raise ConfigurationError — the persist/"
+                        "cli contract wraps corruption into a named error",
+                    )
+                # The handler body runs OUTSIDE its own try's protection:
+                # drop the owning try (the innermost stack entry).
+                yield from self._walk(
+                    ctx, child, try_stack[:-1], child_func_stack
+                )
+                continue
+            if isinstance(child, ast.Call):
+                name = call_name(child)
+                if name in _JSON_PARSERS and not any(
+                    _try_catches(t, _JSON_GUARDS) for t in try_stack
+                ):
+                    yield ctx.finding(
+                        self.rule,
+                        child,
+                        f"{name}() outside a try/except catching "
+                        "JSONDecodeError — a corrupt dump would escape as a "
+                        "raw parse error instead of ConfigurationError",
+                    )
+            elif isinstance(child, ast.Subscript):
+                in_public_loader = (
+                    id(child) not in self._annotation_nodes
+                    and len(func_stack) == 1
+                    and func_stack[0].startswith(_PUBLIC_FUNC_PREFIXES)
+                )
+                if in_public_loader and not any(
+                    _try_catches(t, frozenset(_SUBSCRIPT_GUARDS)) for t in try_stack
+                ):
+                    yield ctx.finding(
+                        self.rule,
+                        child,
+                        f"unguarded subscript in public {func_stack[0]}() — a "
+                        "missing key/index escapes as a raw error; wrap in "
+                        "try/except raising ConfigurationError",
+                    )
+            yield from self._walk(ctx, child, child_try_stack, child_func_stack)

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.client import QueryResult, RankedHit, skim_plaintexts
 from repro.core.protocol import QueryTrace
 from repro.corpus.documents import Corpus
-from repro.crypto.cipher import NonceSequence, StreamCipher
+from repro.crypto.cipher import StreamCipher
 from repro.crypto.keys import GroupKeyService
 from repro.errors import (
     AccessDeniedError,
@@ -192,7 +192,9 @@ class ZerberSystem:
             owner = f"owner:{group}"
             self.key_service.register(owner, {group})
             cipher = self.key_service.cipher_for(owner, group)
-            nonces = NonceSequence(self.key_service.group_key(owner, group))
+            # The key service owns THE nonce sequence per (owner, group) —
+            # a private sequence here would restart the counter stream.
+            nonces = self.key_service.nonce_sequence(owner, group)
             for doc in self.corpus.documents_in_group(group):
                 doc_stats = self.corpus.stats(doc.doc_id)
                 for term in sorted(doc_stats.counts):

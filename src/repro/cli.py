@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     repro-index build  --input docs/ --output index.json --r 4.0
     repro-index info   --index index.json
     repro-index query  --index index.json --term budget --k 10
+    repro-index lint   src/
 
 ``build`` indexes every ``*.txt`` file under ``--input``; the file's
 immediate parent directory is its collaboration group.  The key service
@@ -77,14 +78,19 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _server_groups(server) -> set[str]:
+    """Group tags visible in a single-server index (public accessor)."""
+    return {
+        tag
+        for list_id in range(server.num_lists)
+        for tag in server.visible_group_tags(list_id)
+    }
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     service = GroupKeyService(master_secret=bytes.fromhex(args.secret))
     server, plan, model = load_index(args.index, service)
-    groups = {
-        element.group
-        for list_id in range(server.num_lists)
-        for element in server._lists[list_id].elements
-    }
+    groups = _server_groups(server)
     print(f"index: {args.index}")
     print(f"  posting elements : {server.num_elements}")
     print(f"  merged lists     : {plan.num_lists} (r={plan.r})")
@@ -133,11 +139,7 @@ def _run_query(
 def cmd_query(args: argparse.Namespace) -> int:
     service = GroupKeyService(master_secret=bytes.fromhex(args.secret))
     server, plan, model = load_index(args.index, service)
-    groups = {
-        element.group
-        for list_id in range(server.num_lists)
-        for element in server._lists[list_id].elements
-    }
+    groups = _server_groups(server)
     for group in sorted(groups):
         service.ensure_group(group)
     return _run_query(service, server, plan, model, groups, args)
@@ -210,6 +212,19 @@ def cmd_restore(args: argparse.Namespace) -> int:
     return _run_query(service, cluster, plan, model, groups, args, with_trace=False)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the zlint invariant checks (see repro.analysis)."""
+    from repro.analysis.framework import main as zlint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.report is not None:
+        argv += ["--output", args.report]
+    if args.rules is not None:
+        argv += ["--rules", args.rules]
+    return zlint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-index",
@@ -280,6 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--groups", nargs="*", help="restrict the principal's group memberships"
     )
     p_restore.set_defaults(func=cmd_restore)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the zlint invariant checks over source paths"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    p_lint.add_argument("--format", choices=("human", "json"), default="human")
+    p_lint.add_argument(
+        "--report", default=None, help="also write a JSON report to this file"
+    )
+    p_lint.add_argument(
+        "--rules", default=None, help="comma-separated rule ids (default: all)"
+    )
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -31,7 +31,7 @@ so their results are identical by construction.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.core.protocol import (
@@ -64,7 +64,7 @@ class RankedHit:
 
 def skim_plaintexts(
     elements: Sequence[EncryptedPostingElement],
-    cipher_for,
+    cipher_for: Callable[[str], StreamCipher],
     readable: set[str] | frozenset[str] | None = None,
 ) -> list[bytes | None]:
     """Batch-decrypt a fetched slice, one entry per element in order.
@@ -203,7 +203,7 @@ class ClientQuerySession:
         )
 
     @property
-    def backend(self):
+    def backend(self) -> ZerberRServer:
         """The server/cluster the owning client is bound to.
 
         A coordinator checks this at submit time: scheduling a session
@@ -293,7 +293,7 @@ class ZerberRClient:
         # reuses nonces on different plaintexts.
         return self._keys.nonce_sequence(self.principal, group)
 
-    def _unseen_trs(self, group: str, doc_id: str):
+    def _unseen_trs(self, group: str, doc_id: str) -> Callable[[str], float]:
         """The paper's rule for training-unseen terms: a random TRS.
 
         Realised as PRF(term || doc id) under the group key: deterministic
@@ -386,7 +386,9 @@ class ZerberRClient:
             max_requests=max_requests,
         )
 
-    def _absorb_response(self, session: "_TermSession", response) -> None:
+    def _absorb_response(
+        self, session: "_TermSession", response: FetchResponse
+    ) -> None:
         """Feed one fetch response into a term session (shared step logic)."""
         session.trace.record_response(response)
         session.offset += len(response.elements)

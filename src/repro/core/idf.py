@@ -81,7 +81,9 @@ class BucketedIdf:
         vocabulary = Vocabulary.from_documents(documents)
         if vocabulary.num_terms == 0:
             raise TrainingError("no terms in the IDF training sample")
-        rng = rng if rng is not None else np.random.default_rng()
+        # A fixed default seed keeps repro.core replayable (determinism
+        # contract); callers wanting varied noise pass their own rng.
+        rng = rng if rng is not None else np.random.default_rng(0)
         n = vocabulary.num_documents
 
         idfs: dict[str, float] = {}

@@ -39,6 +39,7 @@ under so a concurrent shard migration cannot serve it from a stale route.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
@@ -166,7 +167,7 @@ class BatchFetchResponse:
     def __len__(self) -> int:
         return len(self.responses)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FetchResponse]:
         return iter(self.responses)
 
     @property

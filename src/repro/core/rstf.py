@@ -23,7 +23,7 @@ assign the *same* pseudo-random TRS to the same term.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -78,7 +78,7 @@ class Rstf:
     def num_training_points(self) -> int:
         return len(self.mus)
 
-    def transform(self, x):
+    def transform(self, x: float | np.ndarray) -> float | np.ndarray:
         """TRS for score(s) *x*; accepts a scalar or an array.
 
         Output lies in (0, 1) and is strictly increasing in *x* (property 3
@@ -93,7 +93,7 @@ class Rstf:
             return float(result)
         return np.asarray(result)
 
-    def __call__(self, x):
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
         return self.transform(x)
 
 
@@ -133,7 +133,12 @@ class RstfModel:
     def __contains__(self, term: object) -> bool:
         return term in self._functions
 
-    def transform(self, term: str, score: float, unseen_trs=None) -> float:
+    def transform(
+        self,
+        term: str,
+        score: float,
+        unseen_trs: Callable[[str], float] | None = None,
+    ) -> float:
         """TRS of *score* for *term*.
 
         ``unseen_trs(term) -> float in [0,1]`` handles training-unseen terms;

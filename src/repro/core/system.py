@@ -16,13 +16,16 @@ examples, tests and benchmarks share a single, correct assembly.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from repro.core.client import QueryResult, ZerberRClient
 from repro.core.cluster import ServerCluster
 from repro.core.confidentiality import ConfidentialityAudit, audit_merge_plan
-from repro.core.placement import PlacementPolicy
+from repro.core.placement import PlacementPolicy, ReadSelector
+from repro.core.replication import LagModel, ReadConsistency
 from repro.core.protocol import ResponsePolicy
 from repro.core.router import Coordinator
 from repro.core.rstf import RstfModel, RstfTrainer, TrainerConfig
@@ -182,7 +185,7 @@ class ZerberRSystem:
             return random_merge(probabilities, config.r, rng=rng)
         return greedy_pairing_merge(probabilities, config.r)
 
-    def _index_corpus(self, backend=None) -> None:
+    def _index_corpus(self, backend: ZerberRServer | ServerCluster | None = None) -> None:
         """Online insertion phase: per-group owners encrypt and upload.
 
         *backend* is any object with the server bulk-load surface; it
@@ -214,7 +217,9 @@ class ZerberRSystem:
         self.key_service.register(name, groups)
         return self.client_for(name)
 
-    def client_for(self, principal: str, server=None) -> ZerberRClient:
+    def client_for(
+        self, principal: str, server: ZerberRServer | ServerCluster | None = None
+    ) -> ZerberRClient:
         """A (cached) client bound to *principal*.
 
         Without *server*, the client talks to this system's own server;
@@ -246,9 +251,9 @@ class ZerberRSystem:
         replication: int = 1,
         placement: PlacementPolicy | None = None,
         rebalance_every: int | None = None,
-        lag=None,
-        read_consistency=None,
-        read_strategy=None,
+        lag: LagModel | int | None = None,
+        read_consistency: ReadConsistency | str | None = None,
+        read_strategy: ReadSelector | str | None = None,
         anti_entropy_every: int | None = None,
         max_slices_per_envelope: int | None = None,
         max_sessions_per_tick: int | None = None,
@@ -291,14 +296,14 @@ class ZerberRSystem:
 
     # -- durability (see repro.persist) ------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Persist the single-server index plus public setup artifacts."""
         from repro.persist import save_index
 
         save_index(path, self.server, self.merge_plan, self.rstf_model)
 
     def snapshot_cluster(
-        self, path, cluster: ServerCluster, spill_views: int | None = None
+        self, path: str | Path, cluster: ServerCluster, spill_views: int | None = None
     ) -> None:
         """Snapshot a deployed cluster (lists, logs, placement, hot views).
 
@@ -319,9 +324,9 @@ class ZerberRSystem:
 
     def restore_cluster(
         self,
-        path,
+        path: str | Path,
         placement: PlacementPolicy | None = None,
-        read_strategy=None,
+        read_strategy: ReadSelector | str | None = None,
         rebalance_every: int | None = None,
         max_slices_per_envelope: int | None = None,
         max_sessions_per_tick: int | None = None,
@@ -374,6 +379,6 @@ class ZerberRSystem:
         }
         return audit_merge_plan(self.merge_plan, probabilities)
 
-    def with_config(self, **overrides) -> "ZerberRSystem":
+    def with_config(self, **overrides: Any) -> "ZerberRSystem":
         """Rebuild the system over the same corpus with config overrides."""
         return type(self).build(self.corpus, replace(self.config, **overrides))

@@ -349,8 +349,14 @@ def load_cluster(
         raise ConfigurationError(
             f"{path}: corrupt cluster dump: {error!r}"
         ) from error
+    try:
+        cluster_section = payload["cluster"]
+    except KeyError:
+        raise ConfigurationError(
+            f"{path}: corrupt cluster dump: missing 'cluster' section"
+        ) from None
     cluster = cluster_from_dict(
-        payload["cluster"],
+        cluster_section,
         key_service,
         source=path,
         placement=placement,

@@ -41,7 +41,10 @@ def _snippet_id(group_key: bytes, doc_id: str) -> bytes:
 
 
 def _checksum(ciphertext: bytes) -> bytes:
-    return hashlib.sha256(ciphertext).digest()[:CHECKSUM_SIZE]
+    # Unkeyed public checksum over ciphertext only (the HTTP-1.0-style
+    # revalidation tag §6.6) — no key material involved, so the raw hash
+    # is deliberate, not a key-separation hazard.
+    return hashlib.sha256(ciphertext).digest()[:CHECKSUM_SIZE]  # zlint: disable=crypto-construct
 
 
 @dataclass(frozen=True)
@@ -106,7 +109,6 @@ class SnippetClient:
         self._keys = key_service
         self._store = store
         self._ciphers: dict[str, StreamCipher] = {}
-        self._nonces: dict[str, NonceSequence] = {}
         # snippet id -> (checksum, plaintext) — the HTTP-1.0-style cache.
         self._cache: dict[bytes, tuple[bytes, bytes]] = {}
         self.bytes_transferred = 0
@@ -119,12 +121,11 @@ class SnippetClient:
         return cipher
 
     def _nonce_sequence(self, group: str) -> NonceSequence:
-        seq = self._nonces.get(group)
-        if seq is None:
-            key = self._keys.group_key(self.principal, group)
-            seq = NonceSequence(key, label=f"snippet:{self.principal}")
-            self._nonces[group] = seq
-        return seq
+        # The key service owns THE sequence per (principal, group): a
+        # second SnippetClient for the same principal must continue one
+        # counter stream, never restart it — a restart reuses nonces on
+        # different plaintexts (XOR-keystream break).
+        return self._keys.nonce_sequence(self.principal, group)
 
     def snippet_id(self, group: str, doc_id: str) -> bytes:
         """The opaque id both publisher and readers derive for a document."""

@@ -1,0 +1,10 @@
+"""Bad: the dispatch forgets QUORUM and has no else fallback."""
+
+from repro.core.replication import ReadConsistency
+
+
+def pick_replica(consistency, primary, replicas):
+    if consistency is ReadConsistency.ONE:
+        return replicas[0]
+    elif consistency is ReadConsistency.PRIMARY:
+        return primary

@@ -1,0 +1,22 @@
+"""Good: every ReadConsistency member is handled (or a fallback exists)."""
+
+from repro.core.replication import ReadConsistency
+
+
+def pick_replica(consistency, primary, replicas):
+    if consistency is ReadConsistency.ONE:
+        return replicas[0]
+    elif consistency is ReadConsistency.PRIMARY:
+        return primary
+    elif consistency is ReadConsistency.QUORUM:
+        return replicas
+    raise ValueError(f"unknown consistency: {consistency!r}")
+
+
+def pick_with_fallback(consistency, primary, replicas):
+    if consistency is ReadConsistency.ONE:
+        return replicas[0]
+    elif consistency is ReadConsistency.PRIMARY:
+        return primary
+    else:
+        return replicas

@@ -1,0 +1,11 @@
+"""Bad: key material reaching f-strings, print and logger calls."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def debug_dump(group_key: bytes, session_key: bytes, master_secret: bytes) -> str:
+    print("derived", group_key)
+    logger.info("session key is %r", session_key)
+    return f"master secret: {master_secret.hex()}"

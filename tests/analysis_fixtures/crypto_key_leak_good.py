@@ -1,0 +1,7 @@
+"""Good: logging names and counts, never key bytes; benign _key suffixes."""
+
+
+def describe(principal: str, group: str, num_keys: int) -> str:
+    cache_key = (principal, group)
+    print(f"principal {principal} holds {num_keys} group keys under {cache_key!r}")
+    return f"group: {group}"

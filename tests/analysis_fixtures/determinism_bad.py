@@ -1,0 +1,13 @@
+"""Bad (linted as a repro.core module): wall clock and unseeded entropy."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    started = time.time()
+    rng = np.random.default_rng()
+    pick = random.random()
+    return started + rng.random() + pick

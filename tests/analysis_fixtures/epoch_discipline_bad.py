@@ -1,0 +1,15 @@
+"""Bad: unpinned envelopes and direct placement-table reads."""
+
+from repro.core.protocol import CoalescedBatchRequest
+
+
+def route_without_epoch(batches, slice_ids):
+    return CoalescedBatchRequest(batches=batches, slice_ids=slice_ids)
+
+
+def route_with_none(batches, slice_ids):
+    return CoalescedBatchRequest(batches=batches, slice_ids=slice_ids, epoch=None)
+
+
+def peek_placement(cluster, list_id: int):
+    return cluster._placement[list_id]

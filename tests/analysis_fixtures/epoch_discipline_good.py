@@ -1,0 +1,13 @@
+"""Good: the envelope pins the epoch it was routed under."""
+
+from repro.core.protocol import CoalescedBatchRequest
+
+
+def route(cluster, batches, slice_ids):
+    return CoalescedBatchRequest(
+        batches=batches, slice_ids=slice_ids, epoch=cluster.placement_epoch
+    )
+
+
+def replicas(cluster, list_id: int):
+    return cluster.replicas_of(list_id)

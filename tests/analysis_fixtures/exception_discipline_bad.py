@@ -1,0 +1,20 @@
+"""Bad (linted as repro.persist): raw parse errors and subscripts escape."""
+
+import json
+from pathlib import Path
+
+
+def read_settings(path: str) -> dict:
+    return json.loads(Path(path).read_text())  # JSONDecodeError escapes raw
+
+
+def load_section(path: str) -> dict:
+    payload = read_settings(path)
+    return payload["section"]  # KeyError escapes raw
+
+
+def load_lenient(path: str) -> dict | None:
+    try:
+        return read_settings(path)["section"]
+    except KeyError:
+        return None  # swallows instead of raising ConfigurationError

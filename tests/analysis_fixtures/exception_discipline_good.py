@@ -1,0 +1,24 @@
+"""Good (linted as repro.persist): corruption wrapped into ConfigurationError."""
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+def read_settings(path: str) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ConfigurationError(f"{path}: corrupt settings: {error}") from error
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"{path}: corrupt settings: not an object")
+    return payload
+
+
+def load_section(path: str) -> dict:
+    payload = read_settings(path)
+    try:
+        return payload["section"]
+    except (KeyError, TypeError) as error:
+        raise ConfigurationError(f"{path}: missing section: {error!r}") from error

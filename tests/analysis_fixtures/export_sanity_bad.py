@@ -1,0 +1,9 @@
+"""Bad: __all__ names a ghost and an import is silently re-exported."""
+
+from json import dumps
+
+__all__ = ["encode", "decode"]
+
+
+def encode(payload: dict) -> str:
+    return repr(payload)

@@ -1,0 +1,9 @@
+"""Good: __all__ matches the module's bindings and imports are used."""
+
+from json import dumps
+
+__all__ = ["encode"]
+
+
+def encode(payload: dict) -> str:
+    return dumps(payload, sort_keys=True)

@@ -1,0 +1,10 @@
+"""Bad: mutating a merged list / reaching server state outside the log."""
+
+
+def sneak_insert(server, list_id: int, element) -> None:
+    merged = server._lists[list_id]  # private state of a foreign object
+    merged.add_sorted_by_trs(element)  # replicas never see this write
+
+
+def sneak_delete(merged, ciphertext: bytes) -> bool:
+    return merged.remove_by_ciphertext(ciphertext)

@@ -1,0 +1,9 @@
+"""Good: writes go through the server; reads use public accessors."""
+
+
+def insert_via_server(server, principal: str, list_id: int, element) -> None:
+    server.insert(principal, list_id, element)
+
+
+def groups_of(server, list_id: int) -> set[str]:
+    return set(server.visible_group_tags(list_id))

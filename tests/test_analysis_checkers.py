@@ -1,0 +1,76 @@
+"""Per-rule checker tests driven by the fixture snippets.
+
+Scoped rules (``determinism`` watches ``repro.core``,
+``exception-discipline`` watches ``repro.persist``/``repro.cli``) are fed
+their fixture sources under an explicit in-scope module name, since
+fixture paths derive neutral bare-stem modules.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_checkers, analyze_source
+from repro.analysis.checkers.consistency import READ_CONSISTENCY_MEMBERS
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+# rule id -> (fixture stem base, module the fixture is linted as)
+RULE_FIXTURES = {
+    "crypto-construct": ("crypto_construct", None),
+    "crypto-key-leak": ("crypto_key_leak", None),
+    "replication-bypass": ("replication_bypass", None),
+    "epoch-discipline": ("epoch_discipline", None),
+    "determinism": ("determinism", "repro.core.fixture_mod"),
+    "exception-discipline": ("exception_discipline", "repro.persist.fixture_mod"),
+    "consistency-exhaustiveness": ("consistency", None),
+    "export-sanity": ("export_sanity", None),
+}
+
+
+def _lint(stem: str, module: str | None):
+    path = FIXTURES / f"{stem}.py"
+    return analyze_source(
+        path.read_text(), module=module or stem, path=str(path)
+    )
+
+
+def test_every_registered_rule_has_a_fixture_pair():
+    assert set(RULE_FIXTURES) == set(all_checkers())
+    for base, _ in RULE_FIXTURES.values():
+        assert (FIXTURES / f"{base}_bad.py").exists()
+        assert (FIXTURES / f"{base}_good.py").exists()
+
+
+def test_issue_floor_of_six_distinct_rules():
+    assert len(all_checkers()) >= 6
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_bad_fixture_fires_only_its_rule(rule):
+    base, module = RULE_FIXTURES[rule]
+    findings = _lint(f"{base}_bad", module)
+    assert findings, f"{rule}: bad fixture produced no findings"
+    assert {f.rule for f in findings} == {rule}
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_good_fixture_is_clean(rule):
+    base, module = RULE_FIXTURES[rule]
+    assert _lint(f"{base}_good", module) == []
+
+
+def test_bad_fixtures_report_real_locations():
+    for rule, (base, module) in sorted(RULE_FIXTURES.items()):
+        path = FIXTURES / f"{base}_bad.py"
+        lines = path.read_text().splitlines()
+        for finding in _lint(f"{base}_bad", module):
+            assert 1 <= finding.line <= len(lines), (rule, finding)
+            assert finding.col >= 1
+
+
+def test_read_consistency_mirror_matches_enum():
+    """The checker's member mirror must track repro.core.replication."""
+    from repro.core.replication import ReadConsistency
+
+    assert READ_CONSISTENCY_MEMBERS == {member.name for member in ReadConsistency}
