@@ -25,7 +25,9 @@ from repro.errors import (
     IndexingError,
     ProtocolError,
     QuorumUnavailableError,
+    QuorumWriteUnavailableError,
     ReproError,
+    StaleEpochError,
     TrainingError,
     UnavailableError,
     UnknownListError,
@@ -51,6 +53,7 @@ from repro.core import (
     CoalescedBatchResponse,
     Coordinator,
     CoordinatorStats,
+    FailoverEvent,
     HeatWeightedPlacement,
     LagModel,
     LeastLoadedReads,
@@ -69,6 +72,7 @@ from repro.core import (
     RstfModel,
     RstfTrainer,
     SystemConfig,
+    WriteConsistency,
     ZerberRClient,
     ZerberRServer,
     ZerberRSystem,
@@ -103,6 +107,8 @@ __all__ = [
     "ProtocolError",
     "UnavailableError",
     "QuorumUnavailableError",
+    "QuorumWriteUnavailableError",
+    "StaleEpochError",
     "TrainingError",
     # corpus
     "Corpus",
@@ -140,6 +146,8 @@ __all__ = [
     "LeastLoadedReads",
     "LagModel",
     "ReadConsistency",
+    "WriteConsistency",
+    "FailoverEvent",
     "ReplicationStats",
     "Rstf",
     "RstfModel",

@@ -1,16 +1,18 @@
-"""Consistency-exhaustiveness rule: dispatch covers every ReadConsistency.
+"""Consistency-exhaustiveness rule: dispatch covers every consistency level.
 
 The cluster's read path branches on
 :class:`~repro.core.replication.ReadConsistency` (ONE / PRIMARY /
-QUORUM).  A new member added to the enum would silently fall through any
+QUORUM) and its write path on
+:class:`~repro.core.replication.WriteConsistency` (ONE / QUORUM / ALL).
+A new member added to either enum would silently fall through any
 ``if``/``elif`` chain or ``match`` that neither covers all members nor
-carries an explicit default — and a fallen-through read level degrades to
+carries an explicit default — and a fallen-through level degrades to
 whatever the last branch did, which is a *consistency* bug, not a crash.
-This rule flags multi-branch dispatches over ``ReadConsistency`` members
-that lack an ``else``/``case _`` and do not test every member.
+This rule flags multi-branch dispatches over either enum's members that
+lack an ``else``/``case _`` and do not test every member.
 
-The member list is mirrored here (not imported) so zlint stays
-dependency-free; ``tests/test_analysis_checkers.py`` asserts the mirror
+The member lists are mirrored here (not imported) so zlint stays
+dependency-free; ``tests/test_analysis_checkers.py`` asserts each mirror
 matches the live enum, so drift fails CI.
 """
 
@@ -24,32 +26,45 @@ from repro.analysis.framework import Checker, FileContext, Finding, register
 #: Mirror of repro.core.replication.ReadConsistency member names.
 READ_CONSISTENCY_MEMBERS = frozenset({"ONE", "PRIMARY", "QUORUM"})
 
+#: Mirror of repro.core.replication.WriteConsistency member names.
+WRITE_CONSISTENCY_MEMBERS = frozenset({"ONE", "QUORUM", "ALL"})
 
-def _member_of(expr: ast.expr) -> str | None:
-    """``X`` if *expr* is ``ReadConsistency.X`` (possibly dotted), else None."""
+#: Guarded enum name -> its mirrored member set.
+CONSISTENCY_ENUMS = {
+    "ReadConsistency": READ_CONSISTENCY_MEMBERS,
+    "WriteConsistency": WRITE_CONSISTENCY_MEMBERS,
+}
+
+
+def _member_of(expr: ast.expr) -> tuple[str, str] | None:
+    """``(Enum, X)`` if *expr* is ``ReadConsistency.X`` or
+    ``WriteConsistency.X`` (possibly dotted), else None."""
     if not isinstance(expr, ast.Attribute):
         return None
     base = expr.value
     base_name = base.attr if isinstance(base, ast.Attribute) else (
         base.id if isinstance(base, ast.Name) else None
     )
-    if base_name == "ReadConsistency":
-        return expr.attr
+    if base_name in CONSISTENCY_ENUMS:
+        return base_name, expr.attr
     return None
 
 
-def _test_members(test: ast.expr) -> set[str] | None:
-    """Members tested by one branch condition, or None if it is not a
-    pure ReadConsistency test (``x is ReadConsistency.M``, ``==``, or an
-    ``or`` of those)."""
+def _test_members(test: ast.expr) -> tuple[str, set[str]] | None:
+    """``(enum, members)`` tested by one branch condition, or None if it
+    is not a pure single-enum consistency test (``x is Enum.M``, ``==``,
+    or an ``or`` of those over one enum)."""
     if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        enum: str | None = None
         members: set[str] = set()
         for value in test.values:
             sub = _test_members(value)
-            if sub is None:
+            if sub is None or (enum is not None and sub[0] != enum):
                 return None
-            members |= sub
-        return members
+            enum = sub[0]
+            members |= sub[1]
+        assert enum is not None
+        return enum, members
     if (
         isinstance(test, ast.Compare)
         and len(test.ops) == 1
@@ -58,7 +73,7 @@ def _test_members(test: ast.expr) -> set[str] | None:
         for side in (test.left, test.comparators[0]):
             member = _member_of(side)
             if member is not None:
-                return {member}
+                return member[0], {member[1]}
     return None
 
 
@@ -66,8 +81,8 @@ def _test_members(test: ast.expr) -> set[str] | None:
 class ConsistencyExhaustivenessChecker(Checker):
     rule = "consistency-exhaustiveness"
     description = (
-        "every if/match dispatch over ReadConsistency covers all members "
-        "or has an explicit default"
+        "every if/match dispatch over ReadConsistency or WriteConsistency "
+        "covers all members or has an explicit default"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -86,15 +101,18 @@ class ConsistencyExhaustivenessChecker(Checker):
                 yield from self._check_match(ctx, node)
 
     def _check_chain(self, ctx: FileContext, node: ast.If) -> Iterator[Finding]:
+        enum: str | None = None
         tested: set[str] = set()
         branches = 0
         current: ast.If = node
         while True:
-            members = _test_members(current.test)
-            if members is None:
-                # A non-consistency branch acts as a fallback path.
+            result = _test_members(current.test)
+            if result is None or (enum is not None and result[0] != enum):
+                # A non-consistency (or mixed-enum) branch acts as a
+                # fallback path.
                 return
-            tested |= members
+            enum = result[0]
+            tested |= result[1]
             branches += 1
             orelse = current.orelse
             if len(orelse) == 1 and isinstance(orelse[0], ast.If):
@@ -104,19 +122,19 @@ class ConsistencyExhaustivenessChecker(Checker):
             break
         if branches < 2 or has_else:
             return  # single guards and defaulted chains are fine
-        missing = READ_CONSISTENCY_MEMBERS - tested
+        missing = CONSISTENCY_ENUMS[enum] - tested
         if missing:
             yield ctx.finding(
                 self.rule,
                 node,
-                "if/elif over ReadConsistency has no else and does not "
+                f"if/elif over {enum} has no else and does not "
                 f"handle {', '.join(sorted(missing))} — a new or unhandled "
                 "consistency level silently falls through",
             )
 
     def _check_match(self, ctx: FileContext, node: ast.Match) -> Iterator[Finding]:
+        enum: str | None = None
         tested: set[str] = set()
-        saw_member = False
         for case in node.cases:
             patterns = (
                 case.pattern.patterns
@@ -127,18 +145,20 @@ class ConsistencyExhaustivenessChecker(Checker):
                 if isinstance(pattern, ast.MatchValue):
                     member = _member_of(pattern.value)
                     if member is not None:
-                        saw_member = True
-                        tested.add(member)
+                        if enum is not None and member[0] != enum:
+                            return  # mixed-enum match: not a pure dispatch
+                        enum = member[0]
+                        tested.add(member[1])
                 elif isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
                     return  # wildcard / capture default: exhaustive
-        if not saw_member:
+        if enum is None:
             return
-        missing = READ_CONSISTENCY_MEMBERS - tested
+        missing = CONSISTENCY_ENUMS[enum] - tested
         if missing:
             yield ctx.finding(
                 self.rule,
                 node,
-                "match over ReadConsistency has no wildcard case and does "
+                f"match over {enum} has no wildcard case and does "
                 f"not handle {', '.join(sorted(missing))} — add the missing "
                 "members or a `case _`",
             )

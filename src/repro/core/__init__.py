@@ -46,12 +46,14 @@ from repro.core.placement import (
     load_balance_ratio,
 )
 from repro.core.replication import (
+    FailoverEvent,
     LagModel,
     ReadConsistency,
     ReplicationLog,
     ReplicationManager,
     ReplicationOp,
     ReplicationStats,
+    WriteConsistency,
 )
 from repro.core.router import Coordinator, CoordinatorStats
 from repro.core.system import ZerberRSystem, SystemConfig
@@ -98,12 +100,14 @@ __all__ = [
     "RotatingReads",
     "LeastLoadedReads",
     "load_balance_ratio",
+    "FailoverEvent",
     "LagModel",
     "ReadConsistency",
     "ReplicationLog",
     "ReplicationManager",
     "ReplicationOp",
     "ReplicationStats",
+    "WriteConsistency",
     "Coordinator",
     "CoordinatorStats",
     "ZerberRSystem",

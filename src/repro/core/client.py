@@ -162,12 +162,15 @@ class _TermSession:
         # for-range loop's semantics): empty, unsatisfied result.
         self.done = max_requests < 1
 
-    def next_request(self, principal: str) -> FetchRequest:
+    def next_request(
+        self, principal: str, min_version: int | None = None
+    ) -> FetchRequest:
         return FetchRequest(
             principal=principal,
             list_id=self.list_id,
             offset=self.offset,
             count=self.policy.response_size(self.request_number),
+            min_version=min_version,
         )
 
     def ranked_hits(self) -> tuple[RankedHit, ...]:
@@ -217,9 +220,18 @@ class ClientQuerySession:
         return all(s.done for s in self._sessions)
 
     def pending_requests(self) -> tuple[FetchRequest, ...]:
-        """Next slice of every still-active term, in term order."""
+        """Next slice of every still-active term, in term order.
+
+        Each request carries the owning client's per-list version floor
+        (``min_version``), so a coordinator that coalesces this session's
+        slices with other sessions' still enforces *this* session's
+        read-your-writes/monotonic-reads guarantees (shared slices are
+        served at the max of the sharing sessions' floors).
+        """
         return tuple(
-            s.next_request(self.principal) for s in self._sessions if not s.done
+            s.next_request(self.principal, self._client.version_floor(s.list_id))
+            for s in self._sessions
+            if not s.done
         )
 
     def deliver(self, responses: Sequence[FetchResponse]) -> None:
@@ -276,6 +288,43 @@ class ZerberRClient:
         self._rstf = rstf_model
         self._plan = merge_plan
         self._ciphers: dict[str, StreamCipher] = {}
+        # Session-consistency tokens: list_id -> highest replication-log
+        # version this client has written or read (the floor its future
+        # reads of the list must reflect — read-your-writes + monotonic
+        # reads).  Stays empty against a bare unreplicated server, which
+        # exposes neither primary_version nor response versions.
+        self._version_floors: dict[int, int] = {}
+
+    # -- session-consistency tokens ----------------------------------------------
+
+    def version_floor(self, list_id: int) -> int | None:
+        """The version floor this client's reads of *list_id* must meet.
+
+        ``None`` until the client first writes the list or sees a
+        versioned response for it.  The floor is stamped into every
+        :class:`~repro.core.protocol.FetchRequest` the client (or a
+        session it opened) issues, and a replicated backend repairs and
+        re-serves any answer below it.
+        """
+        return self._version_floors.get(list_id)
+
+    def _note_version(self, list_id: int, version: int | None) -> None:
+        """Raise the floor of one list (floors only ever go up)."""
+        if version is not None and version > self._version_floors.get(list_id, 0):
+            self._version_floors[list_id] = version
+
+    def _note_written(self, list_ids: Iterable[int]) -> None:
+        """Record a write's acknowledged versions (read-your-writes).
+
+        The backend's post-write log head bounds the written op's
+        version; duck-typed so a bare :class:`ZerberRServer` (no
+        ``primary_version``, no replication) keeps floor-free requests.
+        """
+        version_of = getattr(self._server, "primary_version", None)
+        if version_of is None:
+            return
+        for list_id in dict.fromkeys(list_ids):
+            self._note_version(list_id, version_of(list_id))
 
     # -- key plumbing -----------------------------------------------------------
 
@@ -338,7 +387,9 @@ class ZerberRClient:
     def index_document(self, doc: DocumentStats, group: str) -> int:
         """Encrypt and upload every term of *doc*; returns elements sent."""
         items = [self.build_element(term, doc, group) for term in sorted(doc.counts)]
-        return self._server.insert_many(self.principal, items)
+        sent = self._server.insert_many(self.principal, items)
+        self._note_written(list_id for list_id, _ in items)
+        return sent
 
     def index_document_with_receipts(
         self, doc: DocumentStats, group: str
@@ -351,6 +402,7 @@ class ZerberRClient:
         """
         items = [self.build_element(term, doc, group) for term in sorted(doc.counts)]
         self._server.insert_many(self.principal, items)
+        self._note_written(list_id for list_id, _ in items)
         return [(list_id, element.ciphertext) for list_id, element in items]
 
     def delete_document(self, receipts: Iterable[tuple[int, bytes]]) -> int:
@@ -361,9 +413,12 @@ class ZerberRClient:
         deletion is idempotent).
         """
         removed = 0
+        touched: list[int] = []
         for list_id, ciphertext in receipts:
             if self._server.delete_element(self.principal, list_id, ciphertext):
                 removed += 1
+                touched.append(list_id)
+        self._note_written(touched)
         return removed
 
     # -- querying (paper §5.2) ------------------------------------------------------
@@ -391,6 +446,9 @@ class ZerberRClient:
     ) -> None:
         """Feed one fetch response into a term session (shared step logic)."""
         session.trace.record_response(response)
+        # Monotonic reads: later fetches of this list — this session's
+        # follow-ups or any future session — never go below this version.
+        self._note_version(session.list_id, response.replica_version)
         session.offset += len(response.elements)
         session.request_number += 1
         matches, trs_values = self._decrypt_matches(response.elements, session.term)
@@ -422,7 +480,11 @@ class ZerberRClient:
         """
         session = self._start_session(term, k, policy, max_requests)
         while not session.done:
-            response = self._server.fetch(session.next_request(self.principal))
+            response = self._server.fetch(
+                session.next_request(
+                    self.principal, self.version_floor(session.list_id)
+                )
+            )
             self._absorb_response(session, response)
         return QueryResult(hits=session.ranked_hits(), trace=session.trace)
 

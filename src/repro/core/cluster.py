@@ -50,7 +50,7 @@ replicas *diverge* instead).
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace as dataclass_replace
 
@@ -70,10 +70,12 @@ from repro.core.protocol import (
     FetchResponse,
 )
 from repro.core.replication import (
+    FailoverEvent,
     LagModel,
     ReadConsistency,
     ReplicationManager,
     ReplicationStats,
+    WriteConsistency,
 )
 from repro.core.server import ObservedFetch, ZerberRServer
 from repro.core.views import ViewStats
@@ -83,6 +85,8 @@ from repro.errors import (
     ConfigurationError,
     ProtocolError,
     QuorumUnavailableError,
+    QuorumWriteUnavailableError,
+    StaleEpochError,
     UnavailableError,
     UnknownListError,
 )
@@ -104,6 +108,8 @@ class ServerCluster:
         read_strategy: ReadSelector | str | None = None,
         read_seed: int = 0,
         anti_entropy_every: int | None = None,
+        write_consistency: WriteConsistency | str | None = None,
+        failover_after: int | None = None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one server")
@@ -111,6 +117,8 @@ class ServerCluster:
             raise ConfigurationError("replication must be in [1, num_servers]")
         if num_lists < 1:
             raise ProtocolError("num_lists must be >= 1")
+        if failover_after is not None and failover_after < 1:
+            raise ConfigurationError("failover_after must be >= 1 tick")
         self._num_lists = num_lists
         self.replication = replication
         self._keys = key_service
@@ -128,6 +136,12 @@ class ServerCluster:
         )
         self._epoch = 0
         self.read_consistency = ReadConsistency.coerce(read_consistency)
+        self.write_consistency = WriteConsistency.coerce(write_consistency)
+        self.failover_after = failover_after
+        # server -> replication tick it was first seen unreachable (the
+        # failover timer); cleared the tick the server is reachable again.
+        self._unreachable_since: dict[int, int] = {}
+        self._failover_history: list[FailoverEvent] = []
         self._read_selector = coerce_read_selector(read_strategy, seed=read_seed)
         self._repl = ReplicationManager(
             self._servers,
@@ -175,10 +189,13 @@ class ServerCluster:
         asynchronous path, so acknowledged ops the dead server missed
         live on in the replication log and drain after
         :meth:`restore_server`.  The one idealisation kept from the
-        seed: a *primary's* copy models durable storage, so a write to a
-        list whose primary is down still lands there (there is no
-        failover election yet — see ROADMAP) and reads fail over to the
-        live replicas.
+        seed: a *primary's* copy models durable storage, so a ``ONE``
+        write to a list whose primary is down still lands there and reads
+        fail over to the live replicas.  With ``failover_after`` set, a
+        primary that stays down past the threshold is deposed by an
+        election instead (see :meth:`check_failovers`); ``QUORUM``/
+        ``ALL`` writes never lean on the idealisation — they require a
+        live primary.
         """
         self._alive[index] = False
 
@@ -205,10 +222,15 @@ class ServerCluster:
 
         Deliveries whose lag has elapsed apply to their followers, and
         every ``anti_entropy_every``-th tick additionally force-syncs all
-        reachable stale followers.  A no-op for the default zero-lag
+        reachable stale followers.  With ``failover_after`` set, the tick
+        also runs the failover election check (see
+        :meth:`check_failovers`).  A no-op for the default zero-lag
         configuration.
         """
-        return self._repl.tick()
+        applied = self._repl.tick()
+        if self.failover_after is not None:
+            self.check_failovers()
+        return applied
 
     def pause_follower(self, index: int) -> None:
         """Partition one server from replication traffic (reads still work)."""
@@ -235,13 +257,126 @@ class ServerCluster:
 
         Returns the ticks run.  Backlog held for paused or down servers
         does not block quiescence — heal them first if the test needs
-        full convergence.
+        full convergence.  Ticks go through :meth:`replication_tick`, so
+        failover timers advance (and clear) exactly as under normal
+        operation.
         """
         ticks = 0
         while self._repl.reachable_backlog() and ticks < max_ticks:
-            self._repl.tick()
+            self.replication_tick()
             ticks += 1
         return ticks
+
+    # -- primary failover ----------------------------------------------------
+
+    def _reachable(self, server_index: int) -> bool:
+        """Alive and not partitioned — can serve and receive log traffic."""
+        return self._alive[server_index] and not self._repl.is_paused(server_index)
+
+    def check_failovers(self) -> list[FailoverEvent]:
+        """Elect new primaries for lists whose primary stayed unreachable.
+
+        The failover timer is per *server*: a server that has been down
+        or paused for at least ``failover_after`` consecutive replication
+        ticks is deposed as primary of every list it leads.  The election
+        promotes the most-caught-up reachable replica — first forced to
+        the log head through the log itself (invariant 3 guarantees the
+        ops exist), so the new primary acknowledges writes from exactly
+        the old head.  The placement epoch bumps once per election batch,
+        rejecting in-flight coalesced envelopes routed under the old
+        primary; the deposed server stays in the replica set and catches
+        up through normal lag-driven delivery after it is restored
+        (demote-and-catch-up).
+
+        Called from :meth:`replication_tick` when ``failover_after`` is
+        set; harmless to call directly (a no-op when it is ``None`` or no
+        timer has expired).  Returns the elections performed.
+        """
+        if self.failover_after is None:
+            return []
+        tick = self._repl.tick_count
+        for server_index in range(len(self._servers)):
+            if self._reachable(server_index):
+                self._unreachable_since.pop(server_index, None)
+            else:
+                self._unreachable_since.setdefault(server_index, tick)
+        elections: list[FailoverEvent] = []
+        for list_id in range(self._num_lists):
+            primary = self._placement[list_id][0]
+            since = self._unreachable_since.get(primary)
+            if since is None or tick - since < self.failover_after:
+                continue
+            event = self._elect_primary(list_id)
+            if event is not None:
+                elections.append(event)
+        if elections:
+            self._epoch += 1
+        return elections
+
+    def _elect_primary(self, list_id: int) -> FailoverEvent | None:
+        """Promote the most-caught-up reachable replica of one list.
+
+        Returns ``None`` (no election) when no other replica is
+        reachable — the list keeps its dead primary and the write-path
+        durability idealisation until a candidate appears.
+        """
+        old = self._placement[list_id]
+        candidates = [s for s in old[1:] if self._reachable(s)]
+        if not candidates:
+            return None
+        winner = max(
+            candidates,
+            key=lambda s: (self._repl.applied_version(list_id, s), -old.index(s)),
+        )
+        # Force the winner to the head BEFORE it takes over: a primary
+        # behind its own log would violate the _record invariant.
+        self._repl.sync(list_id, winner, reason="failover")
+        if self._repl.applied_version(list_id, winner) < self._repl.head_version(
+            list_id
+        ):
+            return None  # log raced away (cannot happen; defensive)
+        self._placement[list_id] = (winner,) + tuple(
+            s for s in old if s != winner
+        )
+        event = FailoverEvent(
+            list_id=list_id,
+            old_primary=old[0],
+            new_primary=winner,
+            tick=self._repl.tick_count,
+        )
+        self._failover_history.append(event)
+        self._repl.stats.failovers += 1
+        return event
+
+    def failover_history(self) -> list[FailoverEvent]:
+        """Every election performed (or restored), in order."""
+        return list(self._failover_history)
+
+    def unreachable_since(self) -> dict[int, int]:
+        """Live failover timers: server -> tick it became unreachable."""
+        return dict(self._unreachable_since)
+
+    def restore_failover_state(
+        self,
+        history: Iterable[FailoverEvent] = (),
+        unreachable_since: Mapping[int, int] | None = None,
+    ) -> None:
+        """Reinstall persisted failover audit trail and timers (recovery).
+
+        The elected primaries themselves are already carried by the
+        persisted placement table; this restores the *audit trail* and
+        the in-progress unreachability timers so a restart taken
+        mid-outage neither forgets past promotions nor resets the clock
+        on a pending one.
+        """
+        self._failover_history = list(history)
+        timers = dict(unreachable_since or {})
+        for server_index in timers:
+            if not 0 <= server_index < len(self._servers):
+                raise ConfigurationError(
+                    f"unreachable-since timer names unknown server {server_index}"
+                )
+        self._unreachable_since = timers
 
     # -- data plane -----------------------------------------------------------
 
@@ -262,6 +397,91 @@ class ServerCluster:
         if consistency is None:
             return self.read_consistency
         return ReadConsistency.coerce(consistency)
+
+    def _resolve_write_consistency(
+        self, consistency: WriteConsistency | str | None
+    ) -> WriteConsistency:
+        """Per-call override, or the cluster default."""
+        if consistency is None:
+            return self.write_consistency
+        return WriteConsistency.coerce(consistency)
+
+    def _check_write_quorum(
+        self, list_id: int, consistency: WriteConsistency
+    ) -> None:
+        """Refuse a W > 1 write that cannot reach its ack count.
+
+        Runs BEFORE the primary is mutated or anything is logged, so a
+        refused write is a clean no-op.  An ack-capable replica is one
+        that will *hold* the op when the write call returns: the primary
+        (alive — a paused primary still applies writes inline; pausing
+        only blocks log deliveries *to* it) plus every reachable
+        follower, which :meth:`_force_write_acks` forces current through
+        the log.  ``ONE`` keeps the pre-quorum behaviour, including the
+        durable-primary idealisation for a down primary (see
+        :meth:`fail_server`).
+        """
+        replicas = self.replicas_of(list_id)
+        needed = consistency.required_acks(len(replicas))
+        if needed <= 1:
+            return
+        primary = replicas[0]
+        ack_capable = [primary] if self._alive[primary] else []
+        ack_capable += [s for s in replicas[1:] if self._reachable(s)]
+        if len(ack_capable) < needed:
+            raise QuorumWriteUnavailableError(
+                list_id,
+                len(replicas),
+                needed,
+                live_replicas=tuple(ack_capable),
+                down_replicas=tuple(
+                    s for s in replicas if not self._alive[s]
+                ),
+                paused_replicas=tuple(
+                    s
+                    for s in replicas
+                    if self._alive[s] and self._repl.is_paused(s) and s != primary
+                ),
+            )
+
+    def _force_write_acks(
+        self, list_id: int, consistency: WriteConsistency
+    ) -> None:
+        """Force followers current until W replicas hold the list's head.
+
+        The acks are synchronous *through the log* — no wall-clock
+        waiting: the most-caught-up reachable followers are caught up via
+        :meth:`~repro.core.replication.ReplicationManager.sync` (reason
+        ``"write-ack"``) until the required count of replicas sits at the
+        head.  :meth:`_check_write_quorum` already proved enough replicas
+        are reachable, and invariant 3 guarantees the log holds every op
+        they lack, so this cannot fail once the write was admitted.
+        """
+        replicas = self.replicas_of(list_id)
+        needed = consistency.required_acks(len(replicas))
+        if needed <= 1:
+            return
+        head = self._repl.head_version(list_id)
+        acked = sum(
+            1
+            for s in replicas
+            if self._repl.applied_version(list_id, s) >= head
+        )
+        stale = sorted(
+            (
+                s
+                for s in replicas[1:]
+                if self._reachable(s)
+                and self._repl.applied_version(list_id, s) < head
+            ),
+            key=lambda s: -self._repl.applied_version(list_id, s),
+        )
+        for server_index in stale:
+            if acked >= needed:
+                break
+            self._repl.sync(list_id, server_index, reason="write-ack")
+            if self._repl.applied_version(list_id, server_index) >= head:
+                acked += 1
 
     def _ensure_primary_current(self, list_id: int) -> None:
         """Refuse to acknowledge a write at a gapped primary.
@@ -319,32 +539,45 @@ class ServerCluster:
         return per_server
 
     def insert(
-        self, principal: str, list_id: int, element: EncryptedPostingElement
+        self,
+        principal: str,
+        list_id: int,
+        element: EncryptedPostingElement,
+        consistency: WriteConsistency | str | None = None,
     ) -> None:
         """Insert one element; replicas converge through the log.
 
         On the synchronous path (zero lag, no backlog) every replica is
-        mutated inline — the seed behaviour.  Otherwise the primary is
-        mutated and acknowledged immediately and the op drains to
-        followers on later replication ticks.
+        mutated inline — the seed behaviour, and every ack level is
+        trivially satisfied.  Otherwise the primary is mutated and the op
+        logged; with *consistency* ``QUORUM``/``ALL`` (per-call override
+        of the cluster's ``write_consistency``) the required follower
+        acks are then forced synchronously through the log, and an
+        unsatisfiable ack count refuses the write up front with
+        :class:`~repro.errors.QuorumWriteUnavailableError` — a clean
+        no-op.  Remaining followers drain on later replication ticks.
         """
+        consistency = self._resolve_write_consistency(consistency)
         replicas = self.replicas_of(list_id)
         if self._write_synchronously():
             for server_index in replicas:
                 self._servers[server_index].insert(principal, list_id, element)
             self._repl.record_synchronous(list_id, 1)
             return
+        self._check_write_quorum(list_id, consistency)
         self._ensure_primary_current(list_id)
         # The primary's insert performs the TRS/membership validation; a
         # rejected element raises before anything is logged.
         self._servers[replicas[0]].insert(principal, list_id, element)
         self._repl.record_insert(list_id, element)
+        self._force_write_acks(list_id, consistency)
         self._repl.deliver_due()
 
     def insert_many(
         self,
         principal: str,
         items: Iterable[tuple[int, EncryptedPostingElement]],
+        consistency: WriteConsistency | str | None = None,
     ) -> int:
         """Replicated multi-insert, batched per touched server.
 
@@ -352,31 +585,44 @@ class ServerCluster:
         :meth:`_validate_items`) and grouped by destination, so a batch
         costs O(touched servers) server calls instead of O(elements ×
         replication).  On the asynchronous path only the *primaries* are
-        written inline; follower copies drain through the log.
+        written inline; follower copies drain through the log, except the
+        W - 1 follower acks a ``QUORUM``/``ALL`` *consistency* forces
+        synchronously per touched list — checked for every touched list
+        before anything is mutated, so a refused batch is a clean no-op.
         """
-        return self._replicated_write_batch(principal, items, bulk=False)
+        return self._replicated_write_batch(
+            principal, items, bulk=False, consistency=consistency
+        )
 
     def bulk_load(
         self,
         principal: str,
         items: Iterable[tuple[int, EncryptedPostingElement]],
+        consistency: WriteConsistency | str | None = None,
     ) -> int:
         """Bulk-load with the same all-or-nothing validation as
         :meth:`insert_many`; each touched server sorts once."""
-        return self._replicated_write_batch(principal, items, bulk=True)
+        return self._replicated_write_batch(
+            principal, items, bulk=True, consistency=consistency
+        )
 
     def _replicated_write_batch(
         self,
         principal: str,
         items: Iterable[tuple[int, EncryptedPostingElement]],
         bulk: bool,
+        consistency: WriteConsistency | str | None = None,
     ) -> int:
         """Shared body of :meth:`insert_many` and :meth:`bulk_load` —
         identical replication discipline, different server entry point."""
+        consistency = self._resolve_write_consistency(consistency)
         items = self._validate_items(principal, items)
+        touched = list(dict.fromkeys(lid for lid, _ in items))
         sync = self._write_synchronously()
         if not sync:
-            for list_id in dict.fromkeys(lid for lid, _ in items):
+            for list_id in touched:
+                self._check_write_quorum(list_id, consistency)
+            for list_id in touched:
                 self._ensure_primary_current(list_id)
         per_server = self._group_by_server(items, primary_only=not sync)
         for server_index in sorted(per_server):
@@ -389,13 +635,20 @@ class ServerCluster:
         else:
             for list_id, element in items:
                 self._repl.record_insert(list_id, element)
+            for list_id in touched:
+                self._force_write_acks(list_id, consistency)
             self._repl.deliver_due()
         return len(items)
 
     def delete_element(
-        self, principal: str, list_id: int, ciphertext: bytes
+        self,
+        principal: str,
+        list_id: int,
+        ciphertext: bytes,
+        consistency: WriteConsistency | str | None = None,
     ) -> bool:
         """Delete a receipt's element; followers learn through the log."""
+        consistency = self._resolve_write_consistency(consistency)
         replicas = self.replicas_of(list_id)
         if self._write_synchronously():
             removed_any = False
@@ -407,12 +660,14 @@ class ServerCluster:
             if removed_any:
                 self._repl.record_synchronous(list_id, 1)
             return removed_any
+        self._check_write_quorum(list_id, consistency)
         self._ensure_primary_current(list_id)
         removed = self._servers[replicas[0]].delete_element(
             principal, list_id, ciphertext
         )
         if removed:
             self._repl.record_delete(list_id, ciphertext)
+            self._force_write_acks(list_id, consistency)
             self._repl.deliver_due()
         return removed
 
@@ -427,9 +682,12 @@ class ServerCluster:
         cluster's ``read_consistency``): ``PRIMARY`` prefers caught-up
         live replicas, ``ONE`` accepts any live replica, ``QUORUM``
         requires a live majority and returns the version-max member.
-        Among eligible replicas the configured
-        :class:`~repro.core.placement.ReadSelector` picks one (the
-        default always takes the first — the seed's replica-0 skew).
+        Among eligible replicas, paused (partitioned) ones are avoided
+        whenever an unpaused candidate exists — they only grow staler —
+        and the configured :class:`~repro.core.placement.ReadSelector`
+        picks from what remains (the default always takes the first —
+        the seed's replica-0 skew).  Down servers are never eligible
+        under any level or selector.
 
         Raises :class:`UnavailableError` when every replica is down and
         :class:`QuorumUnavailableError` when a quorum read lacks a live
@@ -442,9 +700,18 @@ class ServerCluster:
         list_id: int,
         consistency: ReadConsistency,
         loads: list[int] | None = None,
+        min_version: int | None = None,
+        max_staleness: int | None = None,
     ) -> int:
         """:meth:`route` with a resolved consistency and optional
-        precomputed per-server loads (batched reads compute them once)."""
+        precomputed per-server loads (batched reads compute them once).
+
+        *min_version* (a session's read-your-writes/monotonic floor) and
+        *max_staleness* (version-delta bound) narrow ``ONE``'s candidate
+        set to replicas satisfying them when any exists; enforcement —
+        repair and re-serve when routing could not satisfy the bound —
+        happens in :meth:`_finalize_read`.
+        """
         replicas = self.replicas_of(list_id)
         live = [s for s in replicas if self._alive[s]]
         if not live:
@@ -453,14 +720,23 @@ class ServerCluster:
             needed = len(replicas) // 2 + 1
             if len(live) < needed:
                 raise QuorumUnavailableError(
-                    list_id, len(replicas), needed, len(live)
+                    list_id,
+                    len(replicas),
+                    needed,
+                    live_replicas=tuple(live),
+                    down_replicas=tuple(
+                        s for s in replicas if not self._alive[s]
+                    ),
+                    paused_replicas=tuple(
+                        s for s in live if self._repl.is_paused(s)
+                    ),
                 )
             self._repl.stats.version_probes += len(live)
             return max(
                 live, key=lambda s: self._repl.applied_version(list_id, s)
             )
+        head = self._repl.head_version(list_id)
         if consistency is ReadConsistency.PRIMARY:
-            head = self._repl.head_version(list_id)
             fresh = [
                 s
                 for s in live
@@ -469,6 +745,24 @@ class ServerCluster:
             candidates = fresh if fresh else live
         else:  # ONE
             candidates = live
+            floor = 0
+            if min_version is not None:
+                floor = min(min_version, head)
+            if max_staleness is not None:
+                floor = max(floor, head - max_staleness)
+            if floor > 0:
+                satisfying = [
+                    s
+                    for s in live
+                    if self._repl.applied_version(list_id, s) >= floor
+                ]
+                if satisfying:
+                    candidates = satisfying
+        # A partitioned follower only grows staler: route around it
+        # unless it is the only copy left (it then serves best-effort).
+        unpaused = [s for s in candidates if not self._repl.is_paused(s)]
+        if unpaused:
+            candidates = unpaused
         if len(candidates) == 1:
             return candidates[0]
         if loads is None:
@@ -481,22 +775,39 @@ class ServerCluster:
         self,
         request: FetchRequest,
         consistency: ReadConsistency | str | None = None,
+        max_staleness: int | None = None,
     ) -> FetchResponse:
         """Serve one slice at the requested (or default) consistency.
 
         The response's ``replica_version`` is the serving replica's
         applied log version; a stale replica triggers read-repair (see
-        :meth:`_finalize_read`).
+        :meth:`_finalize_read`).  *max_staleness* bounds how many log ops
+        a ``ONE`` read may trail the head: a violating answer falls back
+        toward ``PRIMARY`` (repair and re-serve) instead of returning
+        arbitrarily stale data.  ``max_staleness=0`` means read-at-head;
+        the bound is a no-op under ``PRIMARY``/``QUORUM``, which already
+        re-serve stale answers.  The request's ``min_version`` session
+        floor is honored the same way.
         """
+        if max_staleness is not None and max_staleness < 0:
+            raise ConfigurationError("max_staleness must be >= 0 ops")
         consistency = self._resolve_consistency(consistency)
-        server_index = self._route_read(request.list_id, consistency)
+        server_index = self._route_read(
+            request.list_id,
+            consistency,
+            min_version=request.min_version,
+            max_staleness=max_staleness,
+        )
         response = self._servers[server_index].fetch(request)
-        return self._finalize_read(request, server_index, response, consistency)
+        return self._finalize_read(
+            request, server_index, response, consistency, max_staleness
+        )
 
     def batch_fetch(
         self,
         batch: BatchFetchRequest,
         consistency: ReadConsistency | str | None = None,
+        max_staleness: int | None = None,
     ) -> BatchFetchResponse:
         """Serve a batch with one sub-batch per shard server.
 
@@ -509,12 +820,20 @@ class ServerCluster:
         repair traffic.  A list with no live replica fails the whole
         batch, matching :meth:`fetch`'s error behaviour.
         """
+        if max_staleness is not None and max_staleness < 0:
+            raise ConfigurationError("max_staleness must be >= 0 ops")
         consistency = self._resolve_consistency(consistency)
         loads = (
             self.per_server_load() if self._read_selector.needs_loads else None
         )
         routed: list[int] = [
-            self._route_read(request.list_id, consistency, loads)
+            self._route_read(
+                request.list_id,
+                consistency,
+                loads,
+                min_version=request.min_version,
+                max_staleness=max_staleness,
+            )
             for request in batch.requests
         ]
         per_server: dict[int, list[int]] = {}
@@ -529,7 +848,11 @@ class ServerCluster:
             sub_response = self._servers[server_index].batch_fetch(sub_batch)
             for i, response in zip(slice_indices, sub_response.responses):
                 responses[i] = self._finalize_read(
-                    batch.requests[i], server_index, response, consistency
+                    batch.requests[i],
+                    server_index,
+                    response,
+                    consistency,
+                    max_staleness,
                 )
         return BatchFetchResponse(responses=tuple(responses))  # type: ignore[arg-type]
 
@@ -554,10 +877,7 @@ class ServerCluster:
         if not self._alive[server_index]:
             raise ProtocolError(f"server {server_index} is down")
         if envelope.epoch is not None and envelope.epoch != self._epoch:
-            raise ProtocolError(
-                f"envelope routed under placement epoch {envelope.epoch}, "
-                f"cluster is at {self._epoch}"
-            )
+            raise StaleEpochError(envelope.epoch, self._epoch)
         consistency = self._resolve_consistency(consistency)
         raw = self._servers[server_index].coalesced_fetch(envelope)
         flat_requests = [
@@ -577,6 +897,7 @@ class ServerCluster:
         server_index: int,
         response: FetchResponse,
         consistency: ReadConsistency,
+        max_staleness: int | None = None,
     ) -> FetchResponse:
         """Stamp the replica version; detect divergence and read-repair.
 
@@ -585,7 +906,13 @@ class ServerCluster:
         Under ``PRIMARY``/``QUORUM`` the slice is then *re-served* from a
         replica at the head — the repaired server itself, or the primary
         — so the caller sees every acknowledged write; under ``ONE`` the
-        stale response is returned as-is (fast/stale).
+        stale response is returned as-is (fast/stale) *unless* it
+        violates the read's *max_staleness* bound or the request's
+        ``min_version`` session floor, in which case the read escalates
+        to the same repair-and-re-serve.  When no reachable replica can
+        satisfy a bound (every fresh copy down or partitioned), the stale
+        answer is returned best-effort rather than failing the read — the
+        guarantees hold whenever a head replica is reachable.
         """
         list_id = request.list_id
         version = self._repl.applied_version(list_id, server_index)
@@ -605,7 +932,15 @@ class ServerCluster:
                     and self._repl.sync(list_id, other)
                 ):
                     self._repl.stats.read_repairs += 1
-        if consistency is not ReadConsistency.ONE:
+        needs_fresh = consistency is not ReadConsistency.ONE
+        # A session floor can never honestly exceed the log head (it came
+        # from an earlier response of this cluster); clamp defensively.
+        floor = min(request.min_version or 0, head)
+        floor_violated = version < floor
+        bound_violated = (
+            max_staleness is not None and head - version > max_staleness
+        )
+        if needs_fresh or bound_violated or floor_violated:
             reserve_from = None
             if self._repl.applied_version(list_id, server_index) >= head:
                 reserve_from = server_index  # repaired in place
@@ -617,6 +952,11 @@ class ServerCluster:
                 ):
                     reserve_from = primary
             if reserve_from is not None:
+                if not needs_fresh:
+                    if bound_violated:
+                        self._repl.stats.staleness_fallbacks += 1
+                    if floor_violated:
+                        self._repl.stats.floor_reserves += 1
                 response = self._servers[reserve_from].fetch(request)
                 self._repl.stats.read_reserves += 1
                 version = self._repl.applied_version(list_id, reserve_from)

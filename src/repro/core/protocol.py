@@ -83,18 +83,30 @@ class FetchRequest:
     ``offset``/``count`` address the server-side TRS order restricted to
     the elements the principal may read.  The server sees exactly these
     fields — they are what the query-observation adversary logs.
+
+    ``min_version`` is a session-consistency floor: the lowest
+    replication-log version of the list the response may reflect,
+    carried by sessions enforcing read-your-writes and monotonic reads
+    (see :class:`~repro.core.client.ClientQuerySession`).  ``None`` (the
+    default, and the only value a bare server ever sees) imposes no
+    floor; a cluster read below the floor is repaired and re-served.  It
+    reveals only how recently the session last touched the list —
+    strictly less than the query-observation channel already leaks.
     """
 
     principal: str
     list_id: int
     offset: int
     count: int
+    min_version: int | None = None
 
     def __post_init__(self) -> None:
         if self.offset < 0:
             raise ProtocolError("offset must be non-negative")
         if self.count < 1:
             raise ProtocolError("count must be >= 1")
+        if self.min_version is not None and self.min_version < 0:
+            raise ProtocolError("min_version must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -107,6 +107,82 @@ class ReadConsistency(Enum):
             ) from None
 
 
+class WriteConsistency(Enum):
+    """Tunable acknowledgement requirement of cluster writes.
+
+    The write-side half of the consistency matrix (reads are tuned by
+    :class:`ReadConsistency`).  Whatever the level, the mutation itself
+    always applies to the primary first and is recorded in the
+    replication log; the level only controls how many replicas must
+    *hold* the op before the write call returns — acks are forced
+    synchronously through the log (no wall-clock waiting), so an
+    acknowledged write is never outrun by a crash of fewer than W
+    replicas.
+
+    ``ONE``
+        Primary ack only — the default, and the pre-quorum behaviour:
+        followers converge asynchronously under the lag model.
+    ``QUORUM``
+        A majority of the list's replicas must hold the op before the
+        call returns; the most-caught-up reachable followers are forced
+        current through the log.  Raises
+        :class:`~repro.errors.QuorumWriteUnavailableError` (a clean
+        no-op: nothing mutated, nothing logged) when fewer than a
+        majority are reachable.
+    ``ALL``
+        Every replica must hold the op — linearizable against any
+        single-replica read, at the cost of refusing writes whenever any
+        replica is down or partitioned.
+    """
+
+    ONE = "one"
+    QUORUM = "quorum"
+    ALL = "all"
+
+    @classmethod
+    def coerce(cls, value: "WriteConsistency | str | None") -> "WriteConsistency":
+        if value is None:
+            return cls.ONE
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown write consistency {value!r}; "
+                f"expected one of {[c.value for c in cls]}"
+            ) from None
+
+    def required_acks(self, num_replicas: int) -> int:
+        """Replicas that must hold an op before the write is acked."""
+        if num_replicas < 1:
+            raise ConfigurationError("num_replicas must be >= 1")
+        if self is WriteConsistency.ONE:
+            return 1
+        elif self is WriteConsistency.QUORUM:
+            return num_replicas // 2 + 1
+        elif self is WriteConsistency.ALL:
+            return num_replicas
+        raise ConfigurationError(f"unknown write consistency {self!r}")
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One primary failover election (see ``ServerCluster``).
+
+    Recorded when the cluster promotes ``new_primary`` over *list_id*
+    because ``old_primary`` had been unreachable past the failover
+    threshold at replication tick ``tick``.  The history is persisted
+    with the cluster snapshot, so a restart keeps the promotion audit
+    trail (and the elected primary, via the placement table).
+    """
+
+    list_id: int
+    old_primary: int
+    new_primary: int
+    tick: int
+
+
 @dataclass(frozen=True)
 class LagModel:
     """How many scheduler ticks an op takes to reach each follower.
@@ -263,6 +339,15 @@ class ReplicationStats:
     stale first answer; ``version_probes`` counts replica version checks
     done by quorum reads.  ``max_staleness_seen`` is the largest
     head-minus-applied gap any read ever observed.
+
+    Write-side counters: ``write_ack_syncs`` / ``write_ack_ops`` count
+    follower catch-ups forced synchronously by QUORUM/ALL writes (the
+    price of a W > 1 ack).  ``failovers`` / ``failover_ops`` count
+    primary elections and the catch-up ops they forced through the log.
+    ``staleness_fallbacks`` counts ONE reads escalated to a fresh
+    re-serve because a ``max_staleness`` bound was violated;
+    ``floor_reserves`` counts re-serves forced by a session's
+    read-your-writes/monotonic-reads version floor.
     """
 
     ticks: int = 0
@@ -277,6 +362,12 @@ class ReplicationStats:
     anti_entropy_ops: int = 0
     version_probes: int = 0
     max_staleness_seen: int = 0
+    write_ack_syncs: int = 0
+    write_ack_ops: int = 0
+    failovers: int = 0
+    failover_ops: int = 0
+    staleness_fallbacks: int = 0
+    floor_reserves: int = 0
 
 
 class ReplicationManager:
@@ -481,6 +572,11 @@ class ReplicationManager:
             if reason == "anti-entropy":
                 self.stats.anti_entropy_syncs += 1
                 self.stats.anti_entropy_ops += applied
+            elif reason == "write-ack":
+                self.stats.write_ack_syncs += 1
+                self.stats.write_ack_ops += applied
+            elif reason == "failover":
+                self.stats.failover_ops += applied
             else:
                 self.stats.repair_ops += applied
             self._due.pop((list_id, server_index), None)

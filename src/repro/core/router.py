@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclass_replace
 
 from repro.core.client import ClientQuerySession, MultiQueryResult, ZerberRClient
 from repro.core.cluster import ServerCluster
@@ -55,10 +56,15 @@ from repro.core.protocol import (
     FetchResponse,
     ResponsePolicy,
 )
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, StaleEpochError
 
 SliceKey = tuple[str, int, int, int]
-"""Identity of a fetch slice: (principal, list_id, offset, count)."""
+"""Identity of a fetch slice: (principal, list_id, offset, count).
+
+Deliberately excludes the request's ``min_version`` session floor: two
+sessions wanting the same slice under different floors still share one
+server fetch — the coalesced request carries the *max* of their floors,
+which satisfies both (floors are lower bounds)."""
 
 
 @dataclass
@@ -73,6 +79,10 @@ class CoordinatorStats:
     ``slices_spilled`` count admission-control deferrals: a session held
     back to a later tick because this tick's envelope or session caps
     were reached (each spilled session counts once per tick it waits).
+    ``stale_epoch_reroutes`` counts envelopes the cluster rejected with
+    :class:`~repro.errors.StaleEpochError` (a failover election or
+    rebalance bumped the epoch after routing) whose slices were
+    re-routed under the new placement instead of failing the tick.
     """
 
     ticks: int = 0
@@ -84,6 +94,7 @@ class CoordinatorStats:
     slices_spilled: int = 0
     rebalances: int = 0
     lists_migrated: int = 0
+    stale_epoch_reroutes: int = 0
 
     @property
     def slices_shared(self) -> int:
@@ -253,7 +264,17 @@ class Coordinator:
                     request.count,
                 )
                 keys.append(key)
-                if key in plan.unique or key in new_slices:
+                if key in new_slices:
+                    held, server_index = new_slices[key]
+                    new_slices[key] = (self._merge_floor(held, request), server_index)
+                    continue
+                if key in plan.unique:
+                    slice_id, held, server_index = plan.unique[key]
+                    plan.unique[key] = (
+                        slice_id,
+                        self._merge_floor(held, request),
+                        server_index,
+                    )
                     continue
                 server_index = self._cluster.route(request.list_id)
                 new_slices[key] = (request, server_index)
@@ -284,37 +305,73 @@ class Coordinator:
             admitted_sessions += 1
         return plan
 
+    @staticmethod
+    def _merge_floor(held: FetchRequest, request: FetchRequest) -> FetchRequest:
+        """Raise a deduplicated slice's session floor to cover both wanters."""
+        if (request.min_version or 0) > (held.min_version or 0):
+            return dataclass_replace(held, min_version=request.min_version)
+        return held
+
     def _dispatch(self, plan: _TickPlan) -> dict[int, FetchResponse]:
-        """Send one envelope per touched server (routes fixed at gather)."""
-        epoch = self._cluster.placement_epoch
-        per_server: dict[int, dict[str, list[tuple[int, FetchRequest]]]] = {}
-        for slice_id, request, server_index in plan.unique.values():
-            per_server.setdefault(server_index, {}).setdefault(
-                request.principal, []
-            ).append((slice_id, request))
+        """Send one envelope per touched server (routes fixed at gather).
+
+        An envelope the cluster rejects with
+        :class:`~repro.errors.StaleEpochError` — a failover election or an
+        externally triggered rebalance bumped the placement epoch between
+        routing and delivery — is not an error for its sessions: the
+        rejected slices are re-routed under the now-current placement and
+        re-sent, so an epoch bump costs the affected slices one extra
+        envelope instead of failing the whole tick.
+        """
+        entries = list(plan.unique.values())
         by_slice_id: dict[int, FetchResponse] = {}
-        for server_index in sorted(per_server):
-            by_principal = per_server[server_index]
-            batches = []
-            slice_ids: list[int] = []
-            for principal in sorted(by_principal):
-                slices = by_principal[principal]
-                batches.append(
-                    BatchFetchRequest(
-                        principal=principal,
-                        requests=tuple(request for _, request in slices),
-                    )
+        attempts = 0
+        while entries:
+            attempts += 1
+            if attempts > 16:
+                raise ProtocolError(
+                    "placement epoch kept moving during dispatch; giving up "
+                    f"with {len(entries)} slice(s) undelivered"
                 )
-                slice_ids.extend(slice_id for slice_id, _ in slices)
-            envelope = CoalescedBatchRequest(
-                batches=tuple(batches),
-                slice_ids=tuple(slice_ids),
-                epoch=epoch,
-            )
-            response = self._cluster.serve_envelope(server_index, envelope)
-            by_slice_id.update(response.by_slice_id())
-            self.stats.server_calls += 1
-            self.stats.slices_sent += len(envelope)
+            epoch = self._cluster.placement_epoch
+            per_server: dict[int, dict[str, list[tuple[int, FetchRequest]]]] = {}
+            for slice_id, request, server_index in entries:
+                per_server.setdefault(server_index, {}).setdefault(
+                    request.principal, []
+                ).append((slice_id, request))
+            retry: list[tuple[int, FetchRequest, int]] = []
+            for server_index in sorted(per_server):
+                by_principal = per_server[server_index]
+                batches = []
+                slice_ids: list[int] = []
+                for principal in sorted(by_principal):
+                    slices = by_principal[principal]
+                    batches.append(
+                        BatchFetchRequest(
+                            principal=principal,
+                            requests=tuple(request for _, request in slices),
+                        )
+                    )
+                    slice_ids.extend(slice_id for slice_id, _ in slices)
+                envelope = CoalescedBatchRequest(
+                    batches=tuple(batches),
+                    slice_ids=tuple(slice_ids),
+                    epoch=epoch,
+                )
+                try:
+                    response = self._cluster.serve_envelope(server_index, envelope)
+                except StaleEpochError:
+                    self.stats.stale_epoch_reroutes += 1
+                    retry.extend(
+                        (slice_id, request, self._cluster.route(request.list_id))
+                        for principal in sorted(by_principal)
+                        for slice_id, request in by_principal[principal]
+                    )
+                    continue
+                by_slice_id.update(response.by_slice_id())
+                self.stats.server_calls += 1
+                self.stats.slices_sent += len(envelope)
+            entries = retry
         return by_slice_id
 
     def _demultiplex(

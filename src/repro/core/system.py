@@ -25,7 +25,7 @@ from repro.core.client import QueryResult, ZerberRClient
 from repro.core.cluster import ServerCluster
 from repro.core.confidentiality import ConfidentialityAudit, audit_merge_plan
 from repro.core.placement import PlacementPolicy, ReadSelector
-from repro.core.replication import LagModel, ReadConsistency
+from repro.core.replication import LagModel, ReadConsistency, WriteConsistency
 from repro.core.protocol import ResponsePolicy
 from repro.core.router import Coordinator
 from repro.core.rstf import RstfModel, RstfTrainer, TrainerConfig
@@ -257,6 +257,8 @@ class ZerberRSystem:
         anti_entropy_every: int | None = None,
         max_slices_per_envelope: int | None = None,
         max_sessions_per_tick: int | None = None,
+        write_consistency: WriteConsistency | str | None = None,
+        failover_after: int | None = None,
     ) -> tuple[ServerCluster, Coordinator]:
         """Stand up a sharded deployment of this system's index.
 
@@ -268,10 +270,13 @@ class ZerberRSystem:
         (``system.client_for(p, server=cluster)``) or through coordinator
         sessions — results are identical.
 
-        *lag*, *read_consistency*, *read_strategy* and
-        *anti_entropy_every* configure the replication subsystem (see
-        :mod:`repro.core.replication`); the defaults — zero lag, strong
-        ``PRIMARY`` reads, primary-only routing — reproduce the
+        *lag*, *read_consistency*, *read_strategy*,
+        *anti_entropy_every*, *write_consistency* and *failover_after*
+        configure the replication subsystem (see
+        :mod:`repro.core.replication` and
+        :meth:`~repro.core.cluster.ServerCluster.check_failovers`); the
+        defaults — zero lag, strong ``PRIMARY`` reads, ``ONE`` writes,
+        primary-only routing, no failover election — reproduce the
         synchronous seed behaviour byte-for-byte.  The ``max_*`` caps are
         the coordinator's admission control.
         """
@@ -285,6 +290,8 @@ class ZerberRSystem:
             read_consistency=read_consistency,
             read_strategy=read_strategy,
             anti_entropy_every=anti_entropy_every,
+            write_consistency=write_consistency,
+            failover_after=failover_after,
         )
         self._index_corpus(backend=cluster)
         return cluster, Coordinator(

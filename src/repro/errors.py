@@ -87,26 +87,107 @@ class UnavailableError(ProtocolError):
         self.num_replicas = num_replicas
 
 
+def _replica_roster(
+    live_replicas: tuple[int, ...],
+    down_replicas: tuple[int, ...],
+    paused_replicas: tuple[int, ...],
+) -> str:
+    """``live: [..]; down: [..]; paused: [..]`` — the fault-triage roster."""
+    parts = [f"live: {list(live_replicas)}", f"down: {list(down_replicas)}"]
+    if paused_replicas:
+        parts.append(f"paused: {list(paused_replicas)}")
+    return "; ".join(parts)
+
+
 class QuorumUnavailableError(UnavailableError):
     """A quorum read could not consult a majority of a list's replicas.
 
     Unlike the base :class:`UnavailableError` (no replica live at all),
     *some* replicas may be up — just fewer than the ``needed`` majority,
     so a version-max-across-majority read cannot be answered honestly.
+    The message and attributes name the exact replica roster — which
+    servers were live, down and paused — so a fault can be triaged from
+    the error alone.
     """
 
     def __init__(
-        self, list_id: int, num_replicas: int, needed: int, live: int
+        self,
+        list_id: int,
+        num_replicas: int,
+        needed: int,
+        live_replicas: tuple[int, ...],
+        down_replicas: tuple[int, ...] = (),
+        paused_replicas: tuple[int, ...] = (),
     ) -> None:
         ProtocolError.__init__(
             self,
             f"quorum read of list {list_id} needs {needed} of "
-            f"{num_replicas} replicas live, only {live} up",
+            f"{num_replicas} replicas live, only {len(live_replicas)} up "
+            f"({_replica_roster(live_replicas, down_replicas, paused_replicas)})",
         )
         self.list_id = list_id
         self.num_replicas = num_replicas
         self.needed = needed
-        self.live = live
+        self.live_replicas = live_replicas
+        self.down_replicas = down_replicas
+        self.paused_replicas = paused_replicas
+
+    @property
+    def live(self) -> int:
+        """Number of live replicas (kept for pre-roster handlers)."""
+        return len(self.live_replicas)
+
+
+class QuorumWriteUnavailableError(QuorumUnavailableError):
+    """A QUORUM/ALL write could not reach its required ack count.
+
+    Raised *before* the primary is mutated or anything is logged, so a
+    refused write is a clean no-op: not acknowledged, nothing to lose.
+    ``needed`` is the required ack count (W); acks come from the primary
+    plus followers reachable by the replication log (live and unpaused).
+    """
+
+    def __init__(
+        self,
+        list_id: int,
+        num_replicas: int,
+        needed: int,
+        live_replicas: tuple[int, ...],
+        down_replicas: tuple[int, ...] = (),
+        paused_replicas: tuple[int, ...] = (),
+    ) -> None:
+        ProtocolError.__init__(
+            self,
+            f"write to list {list_id} needs {needed} ack(s) from "
+            f"{num_replicas} replicas, only "
+            f"{len(live_replicas)} reachable "
+            f"({_replica_roster(live_replicas, down_replicas, paused_replicas)})",
+        )
+        self.list_id = list_id
+        self.num_replicas = num_replicas
+        self.needed = needed
+        self.live_replicas = live_replicas
+        self.down_replicas = down_replicas
+        self.paused_replicas = paused_replicas
+
+
+class StaleEpochError(ProtocolError):
+    """An envelope was routed under an outdated placement epoch.
+
+    Raised by :meth:`~repro.core.cluster.ServerCluster.serve_envelope`
+    when a rebalance or failover election bumped the epoch after the
+    envelope was routed.  The coordinator catches this and re-routes the
+    in-flight slices under the current placement instead of failing the
+    scheduling tick.
+    """
+
+    def __init__(self, envelope_epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"envelope routed under placement epoch {envelope_epoch}, "
+            f"cluster is at {current_epoch}"
+        )
+        self.envelope_epoch = envelope_epoch
+        self.current_epoch = current_epoch
 
 
 class TrainingError(ReproError):

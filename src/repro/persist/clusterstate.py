@@ -31,7 +31,7 @@ from pathlib import Path
 
 from repro.core.cluster import ServerCluster
 from repro.core.placement import PlacementPolicy, ReadSelector
-from repro.core.replication import LagModel, ReplicationOp
+from repro.core.replication import FailoverEvent, LagModel, ReplicationOp
 from repro.core.rstf import RstfModel
 from repro.crypto.keys import GroupKeyService
 from repro.errors import ConfigurationError, ProtocolError, ReproError
@@ -128,6 +128,30 @@ def cluster_to_dict(
         "placement": [list(replicas) for replicas in cluster.placement_table()],
         "epoch": cluster.placement_epoch,
         "read_consistency": cluster.read_consistency.value,
+        "write_consistency": cluster.write_consistency.value,
+        # Promotion state (format-v2 extension; absent in older dumps —
+        # decode falls back to disabled failover and an empty history).
+        # The elected primaries themselves travel in "placement": the
+        # extension carries the audit trail and the in-progress timers so
+        # a restart taken mid-outage resumes the failover clock.
+        "failover": {
+            "after": cluster.failover_after,
+            "unreachable_since": {
+                str(server_index): tick
+                for server_index, tick in sorted(
+                    cluster.unreachable_since().items()
+                )
+            },
+            "history": [
+                {
+                    "list": event.list_id,
+                    "old": event.old_primary,
+                    "new": event.new_primary,
+                    "tick": event.tick,
+                }
+                for event in cluster.failover_history()
+            ],
+        },
         "lag": {
             "fixed_ticks": lag.fixed_ticks,
             "per_server": {
@@ -187,6 +211,8 @@ def cluster_from_dict(
                 for server_index, delay in lag_data.get("per_server", {}).items()
             },
         )
+        failover_data = data.get("failover", {})
+        failover_after = failover_data.get("after")
         cluster = ServerCluster(
             key_service,
             num_lists=num_lists,
@@ -198,10 +224,29 @@ def cluster_from_dict(
             read_strategy=read_strategy,
             read_seed=read_seed,
             anti_entropy_every=data.get("anti_entropy_every"),
+            write_consistency=data.get("write_consistency"),
+            failover_after=None if failover_after is None else int(failover_after),
         )
         cluster.restore_topology(
             [tuple(replicas) for replicas in data["placement"]],
             int(data.get("epoch", 0)),
+        )
+        cluster.restore_failover_state(
+            history=[
+                FailoverEvent(
+                    list_id=int(entry["list"]),
+                    old_primary=int(entry["old"]),
+                    new_primary=int(entry["new"]),
+                    tick=int(entry["tick"]),
+                )
+                for entry in failover_data.get("history", ())
+            ],
+            unreachable_since={
+                int(server_index): int(tick)
+                for server_index, tick in failover_data.get(
+                    "unreachable_since", {}
+                ).items()
+            },
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ConfigurationError(

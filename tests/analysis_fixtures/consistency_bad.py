@@ -1,6 +1,6 @@
-"""Bad: the dispatch forgets QUORUM and has no else fallback."""
+"""Bad: dispatches forget a member and have no else fallback."""
 
-from repro.core.replication import ReadConsistency
+from repro.core.replication import ReadConsistency, WriteConsistency
 
 
 def pick_replica(consistency, primary, replicas):
@@ -8,3 +8,10 @@ def pick_replica(consistency, primary, replicas):
         return replicas[0]
     elif consistency is ReadConsistency.PRIMARY:
         return primary
+
+
+def acks_needed(consistency, num_replicas):
+    if consistency is WriteConsistency.ONE:
+        return 1
+    elif consistency is WriteConsistency.QUORUM:
+        return num_replicas // 2 + 1

@@ -1,6 +1,6 @@
-"""Good: every ReadConsistency member is handled (or a fallback exists)."""
+"""Good: every Read/WriteConsistency member is handled (or a fallback exists)."""
 
-from repro.core.replication import ReadConsistency
+from repro.core.replication import ReadConsistency, WriteConsistency
 
 
 def pick_replica(consistency, primary, replicas):
@@ -20,3 +20,22 @@ def pick_with_fallback(consistency, primary, replicas):
         return primary
     else:
         return replicas
+
+
+def acks_needed(consistency, num_replicas):
+    if consistency is WriteConsistency.ONE:
+        return 1
+    elif consistency is WriteConsistency.QUORUM:
+        return num_replicas // 2 + 1
+    elif consistency is WriteConsistency.ALL:
+        return num_replicas
+    raise ValueError(f"unknown consistency: {consistency!r}")
+
+
+def acks_with_fallback(consistency, num_replicas):
+    if consistency is WriteConsistency.ONE:
+        return 1
+    elif consistency is WriteConsistency.QUORUM:
+        return num_replicas // 2 + 1
+    else:
+        return num_replicas

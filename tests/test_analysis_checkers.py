@@ -11,7 +11,10 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import all_checkers, analyze_source
-from repro.analysis.checkers.consistency import READ_CONSISTENCY_MEMBERS
+from repro.analysis.checkers.consistency import (
+    READ_CONSISTENCY_MEMBERS,
+    WRITE_CONSISTENCY_MEMBERS,
+)
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -74,3 +77,10 @@ def test_read_consistency_mirror_matches_enum():
     from repro.core.replication import ReadConsistency
 
     assert READ_CONSISTENCY_MEMBERS == {member.name for member in ReadConsistency}
+
+
+def test_write_consistency_mirror_matches_enum():
+    """The write-side mirror must track repro.core.replication too."""
+    from repro.core.replication import WriteConsistency
+
+    assert WRITE_CONSISTENCY_MEMBERS == {member.name for member in WriteConsistency}

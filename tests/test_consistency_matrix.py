@@ -1,0 +1,659 @@
+"""The W×R consistency matrix: quorum writes, failover, staleness, sessions.
+
+Companion to ``test_core_replication.py`` (the R side of the matrix and
+the log machinery): this file exercises the write-side ack levels, the
+primary-failover election, bounded-staleness reads, and the client
+session guarantees (read-your-writes + monotonic reads), plus the
+dead-primary routing matrix for every read selector.
+"""
+
+import pytest
+
+from repro.core.client import ZerberRClient
+from repro.core.cluster import ServerCluster
+from repro.core.protocol import (
+    BatchFetchRequest,
+    CoalescedBatchRequest,
+    FetchRequest,
+)
+from repro.core.replication import LagModel, ReadConsistency, WriteConsistency
+from repro.core.rstf import RstfModel, train_rstf
+from repro.crypto.keys import GroupKeyService
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    QuorumUnavailableError,
+    QuorumWriteUnavailableError,
+    StaleEpochError,
+    UnavailableError,
+)
+from repro.index.merge import MergePlan
+from repro.index.postings import EncryptedPostingElement
+from repro.text.analysis import DocumentStats
+
+
+@pytest.fixture()
+def keys():
+    svc = GroupKeyService(master_secret=b"w" * 32)
+    svc.register("u", {"g"})
+    return svc
+
+
+def _element(trs, payload=b"cipher"):
+    return EncryptedPostingElement(ciphertext=payload, group="g", trs=trs)
+
+
+def _fetch(cluster, list_id, count=8, consistency=None, **kwargs):
+    return cluster.fetch(
+        FetchRequest(principal="u", list_id=list_id, offset=0, count=count),
+        consistency=consistency,
+        **kwargs,
+    )
+
+
+class TestWriteConsistencyEnum:
+    def test_coercion(self):
+        assert WriteConsistency.coerce(None) is WriteConsistency.ONE
+        assert WriteConsistency.coerce("quorum") is WriteConsistency.QUORUM
+        assert WriteConsistency.coerce("ALL") is WriteConsistency.ALL
+        assert (
+            WriteConsistency.coerce(WriteConsistency.QUORUM)
+            is WriteConsistency.QUORUM
+        )
+        with pytest.raises(ConfigurationError):
+            WriteConsistency.coerce("majority")
+
+    def test_required_acks(self):
+        assert WriteConsistency.ONE.required_acks(3) == 1
+        assert WriteConsistency.QUORUM.required_acks(3) == 2
+        assert WriteConsistency.QUORUM.required_acks(5) == 3
+        assert WriteConsistency.ALL.required_acks(3) == 3
+        assert WriteConsistency.QUORUM.required_acks(1) == 1
+
+
+class TestQuorumWrites:
+    def _cluster(self, keys, num_servers=3, replication=3, **kwargs):
+        return ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=num_servers,
+            replication=replication,
+            **kwargs,
+        )
+
+    def test_quorum_write_forces_acks_through_log(self, keys):
+        cluster = self._cluster(keys, lag=10)
+        cluster.insert("u", 0, _element(0.5, b"x"), consistency="quorum")
+        versions = sorted(
+            cluster.applied_version(0, s) for s in cluster.replicas_of(0)
+        )
+        # Primary + one follower hold the op at ack time; the third copy
+        # still arrives later through normal lag-driven delivery.
+        assert versions == [0, 1, 1]
+        stats = cluster.replication_stats
+        assert stats.write_ack_syncs == 1
+        assert stats.write_ack_ops == 1
+        cluster.run_replication_until_quiet()
+        assert all(
+            cluster.applied_version(0, s) == 1 for s in cluster.replicas_of(0)
+        )
+
+    def test_all_write_forces_every_replica(self, keys):
+        cluster = self._cluster(keys, lag=10)
+        cluster.insert("u", 0, _element(0.5, b"x"), consistency="all")
+        assert all(
+            cluster.applied_version(0, s) == 1 for s in cluster.replicas_of(0)
+        )
+        assert cluster.replication_backlog() == {}
+
+    def test_quorum_ack_prefers_most_caught_up_follower(self, keys):
+        cluster = self._cluster(keys, lag=LagModel(per_server={1: 1, 2: 10}))
+        cluster.insert("u", 0, _element(0.5, b"a"))
+        cluster.replication_tick()  # server 1 at v1; server 2 at v0
+        cluster.insert("u", 0, _element(0.6, b"b"), consistency="quorum")
+        # The nearer follower (1) was synced for the ack; 2 stays behind.
+        assert cluster.applied_version(0, 1) == 2
+        assert cluster.applied_version(0, 2) == 0
+
+    def test_quorum_write_refused_before_mutation(self, keys):
+        cluster = self._cluster(keys, lag=1)
+        cluster.insert("u", 0, _element(0.5, b"a"))
+        cluster.fail_server(1)
+        cluster.fail_server(2)
+        with pytest.raises(QuorumWriteUnavailableError) as excinfo:
+            cluster.insert("u", 0, _element(0.6, b"b"), consistency="quorum")
+        err = excinfo.value
+        assert err.list_id == 0
+        assert err.needed == 2
+        assert err.live_replicas == (0,)
+        assert set(err.down_replicas) == {1, 2}
+        assert err.paused_replicas == ()
+        assert isinstance(err, QuorumUnavailableError)  # legacy handlers
+        # Clean no-op refusal: nothing was logged or applied anywhere.
+        assert cluster.primary_version(0) == 1
+        assert cluster.server(0).list_length(0) == 1
+
+    def test_paused_follower_is_not_ack_capable(self, keys):
+        cluster = self._cluster(keys, num_servers=2, replication=2, lag=1)
+        cluster.pause_follower(1)
+        with pytest.raises(QuorumWriteUnavailableError) as excinfo:
+            cluster.insert("u", 0, _element(0.5), consistency="all")
+        assert excinfo.value.paused_replicas == (1,)
+        # A paused *primary* still applies writes inline (pausing only
+        # blocks deliveries TO it), so it stays ack-capable.
+        cluster.resume_follower(1)
+        cluster.pause_follower(0)
+        cluster.insert("u", 0, _element(0.5, b"x"), consistency="all")
+        assert cluster.applied_version(0, 0) == 1
+        assert cluster.applied_version(0, 1) == 1
+
+    def test_one_write_keeps_durable_primary_idealisation(self, keys):
+        cluster = self._cluster(keys, num_servers=2, replication=2, lag=1)
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        cluster.insert("u", 0, _element(0.5, b"x"))  # W=ONE still lands
+        assert cluster.primary_version(0) == 1
+        with pytest.raises(QuorumWriteUnavailableError):
+            cluster.insert("u", 0, _element(0.6), consistency="quorum")
+
+    def test_cluster_default_write_consistency(self, keys):
+        cluster = self._cluster(keys, lag=10, write_consistency="quorum")
+        assert cluster.write_consistency is WriteConsistency.QUORUM
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        at_head = [
+            s
+            for s in cluster.replicas_of(0)
+            if cluster.applied_version(0, s) == 1
+        ]
+        assert len(at_head) >= 2
+        # A per-call ONE override relaxes the default back down.
+        cluster.fail_server(cluster.replicas_of(0)[2])
+        cluster.insert("u", 0, _element(0.6, b"y"), consistency="one")
+
+    def test_synchronous_path_satisfies_every_level(self, keys):
+        cluster = self._cluster(keys)  # zero lag, all alive
+        for level in ("one", "quorum", "all"):
+            cluster.insert("u", 0, _element(0.5), consistency=level)
+        assert cluster.replication_stats.write_ack_syncs == 0
+        assert cluster.replication_stats.ops_logged == 0
+
+    def test_batch_writes_honor_consistency(self, keys):
+        cluster = self._cluster(keys, lag=10)
+        items = [(0, _element(0.1 * i, b"b%d" % i)) for i in range(1, 4)]
+        assert cluster.bulk_load("u", items, consistency="all") == 3
+        assert all(
+            cluster.applied_version(0, s) == 3 for s in cluster.replicas_of(0)
+        )
+        assert cluster.delete_element("u", 0, b"b1", consistency="all")
+        assert all(
+            cluster.applied_version(0, s) == 4 for s in cluster.replicas_of(0)
+        )
+
+    def test_acked_quorum_write_survives_primary_crash(self, keys):
+        """The point of W=QUORUM: kill the primary right after the ack
+        and the op is still served — no acked write lost."""
+        cluster = self._cluster(keys, lag=10)
+        cluster.insert("u", 0, _element(0.9, b"acked"), consistency="quorum")
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        response = _fetch(cluster, 0, consistency="quorum")
+        assert [e.ciphertext for e in response.elements] == [b"acked"]
+
+
+class TestFailoverElection:
+    def _cluster(self, keys, **kwargs):
+        kwargs.setdefault("failover_after", 2)
+        kwargs.setdefault("lag", 1)
+        return ServerCluster(
+            keys, num_lists=1, num_servers=3, replication=3, **kwargs
+        )
+
+    def test_failover_after_validation(self, keys):
+        with pytest.raises(ConfigurationError):
+            ServerCluster(keys, num_lists=1, num_servers=1, failover_after=0)
+
+    def test_primary_deposed_after_threshold(self, keys):
+        cluster = self._cluster(keys)
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.run_replication_until_quiet()
+        old_primary = cluster.replicas_of(0)[0]
+        epoch_before = cluster.placement_epoch
+        cluster.fail_server(old_primary)
+        cluster.replication_tick()  # timer starts
+        assert cluster.replicas_of(0)[0] == old_primary  # below threshold
+        cluster.replication_tick()
+        cluster.replication_tick()  # tick - since >= 2: election fires
+        new_primary = cluster.replicas_of(0)[0]
+        assert new_primary != old_primary
+        assert cluster.placement_epoch == epoch_before + 1
+        assert cluster.applied_version(0, new_primary) == 1
+        events = cluster.failover_history()
+        assert len(events) == 1
+        assert events[0].old_primary == old_primary
+        assert events[0].new_primary == new_primary
+        assert events[0].list_id == 0
+        assert cluster.replication_stats.failovers == 1
+        # The deposed server stays in the replica set, demoted.
+        assert old_primary in cluster.replicas_of(0)
+
+    def test_election_promotes_most_caught_up_replica(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=3,
+            replication=3,
+            lag=LagModel(per_server={1: 10, 2: 1}),
+            failover_after=2,
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.replication_tick()  # server 2 at v1, server 1 at v0
+        assert cluster.applied_version(0, 2) == 1
+        cluster.fail_server(0)
+        for _ in range(3):
+            cluster.replication_tick()
+        assert cluster.replicas_of(0)[0] == 2
+        assert cluster.replication_stats.failover_ops == 0  # already at head
+
+    def test_election_syncs_winner_to_head_first(self, keys):
+        cluster = self._cluster(keys, lag=100)
+        cluster.insert("u", 0, _element(0.5, b"x"))  # followers 100 ticks back
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        for _ in range(3):
+            cluster.replication_tick()
+        new_primary = cluster.replicas_of(0)[0]
+        assert cluster.applied_version(0, new_primary) == 1
+        assert cluster.replication_stats.failover_ops == 1
+        # Writes acknowledge at the elected primary from the old head.
+        cluster.insert("u", 0, _element(0.6, b"y"))
+        assert cluster.primary_version(0) == 2
+        assert {
+            e.ciphertext for e in cluster.server(new_primary).export_list(0)
+        } == {b"x", b"y"}
+
+    def test_no_election_without_reachable_candidate(self, keys):
+        cluster = self._cluster(keys)
+        cluster.fail_server(0)
+        cluster.pause_follower(1)
+        cluster.fail_server(2)
+        for _ in range(5):
+            cluster.replication_tick()
+        assert cluster.replicas_of(0)[0] == 0  # nobody to elect
+        assert cluster.failover_history() == []
+
+    def test_paused_primary_is_deposed_too(self, keys):
+        cluster = self._cluster(keys)
+        cluster.pause_follower(cluster.replicas_of(0)[0])
+        for _ in range(3):
+            cluster.replication_tick()
+        assert cluster.replicas_of(0)[0] != 0
+        assert cluster.unreachable_since()  # 0's timer still live
+
+    def test_restored_old_primary_catches_up_as_follower(self, keys):
+        cluster = self._cluster(keys)
+        cluster.insert("u", 0, _element(0.5, b"a"))
+        cluster.run_replication_until_quiet()
+        old_primary = cluster.replicas_of(0)[0]
+        cluster.fail_server(old_primary)
+        for _ in range(3):
+            cluster.replication_tick()
+        cluster.insert("u", 0, _element(0.6, b"b"))  # lands on new primary
+        cluster.restore_server(old_primary)
+        cluster.run_replication_until_quiet()
+        cluster.replication_tick()  # reachable again: timer clears
+        assert old_primary not in cluster.unreachable_since()
+        assert cluster.applied_version(0, old_primary) == 2
+        new_primary = cluster.replicas_of(0)[0]
+        assert [
+            e.ciphertext for e in cluster.server(old_primary).export_list(0)
+        ] == [
+            e.ciphertext for e in cluster.server(new_primary).export_list(0)
+        ]
+        # No flap-back: the election is sticky until the NEW primary fails.
+        assert cluster.replicas_of(0)[0] != old_primary
+
+    def test_timer_resets_when_primary_recovers_in_time(self, keys):
+        cluster = self._cluster(keys, failover_after=3)
+        primary = cluster.replicas_of(0)[0]
+        cluster.fail_server(primary)
+        cluster.replication_tick()
+        cluster.replication_tick()
+        cluster.restore_server(primary)
+        cluster.replication_tick()  # reachable again: timer cleared
+        assert cluster.unreachable_since() == {}
+        for _ in range(4):
+            cluster.replication_tick()
+        assert cluster.replicas_of(0)[0] == primary
+        assert cluster.failover_history() == []
+
+    def test_stale_epoch_envelope_rejected_after_failover(self, keys):
+        cluster = self._cluster(keys)
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        stale_epoch = cluster.placement_epoch
+        envelope = CoalescedBatchRequest(
+            batches=(
+                BatchFetchRequest(
+                    principal="u",
+                    requests=(
+                        FetchRequest(
+                            principal="u", list_id=0, offset=0, count=1
+                        ),
+                    ),
+                ),
+            ),
+            slice_ids=(0,),
+            epoch=stale_epoch,
+        )
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        for _ in range(3):
+            cluster.replication_tick()
+        target = cluster.replicas_of(0)[0]
+        with pytest.raises(StaleEpochError) as excinfo:
+            cluster.serve_envelope(target, envelope)
+        assert excinfo.value.envelope_epoch == stale_epoch
+        assert excinfo.value.current_epoch == cluster.placement_epoch
+        assert isinstance(excinfo.value, ProtocolError)
+
+    def test_failover_disabled_by_default(self, keys):
+        cluster = ServerCluster(
+            keys, num_lists=1, num_servers=2, replication=2, lag=1
+        )
+        assert cluster.failover_after is None
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        for _ in range(10):
+            cluster.replication_tick()
+        assert cluster.replicas_of(0)[0] == 0
+        assert cluster.check_failovers() == []  # direct call: no-op
+
+    def test_restore_failover_state_rejects_unknown_server(self, keys):
+        cluster = self._cluster(keys)
+        with pytest.raises(ConfigurationError):
+            cluster.restore_failover_state(unreachable_since={9: 1})
+
+
+class TestBoundedStaleness:
+    def _lagged(self, keys, **kwargs):
+        cluster = ServerCluster(
+            keys, num_lists=1, num_servers=2, replication=2, lag=50, **kwargs
+        )
+        cluster.insert("u", 0, _element(0.5, b"old"))
+        cluster.run_replication_until_quiet(max_ticks=60)
+        cluster.insert("u", 0, _element(0.9, b"new"))
+        cluster.insert("u", 0, _element(0.8, b"newer"))
+        cluster.fail_server(cluster.replicas_of(0)[0])  # follower is 2 behind
+        return cluster
+
+    def test_unbounded_one_read_serves_stale(self, keys):
+        cluster = self._lagged(keys)
+        response = _fetch(cluster, 0, consistency="one")
+        assert response.replica_version == 1
+        assert cluster.replication_stats.staleness_fallbacks == 0
+
+    def test_bound_violation_escalates_to_fresh(self, keys):
+        cluster = self._lagged(keys)
+        response = _fetch(cluster, 0, consistency="one", max_staleness=1)
+        assert response.replica_version == 3
+        assert {e.ciphertext for e in response.elements} == {
+            b"old",
+            b"new",
+            b"newer",
+        }
+        stats = cluster.replication_stats
+        assert stats.staleness_fallbacks == 1
+        assert stats.read_reserves == 1
+
+    def test_bound_met_returns_stale_fast(self, keys):
+        cluster = self._lagged(keys)
+        response = _fetch(cluster, 0, consistency="one", max_staleness=2)
+        assert response.replica_version == 1
+        assert cluster.replication_stats.staleness_fallbacks == 0
+
+    def test_zero_staleness_means_read_at_head(self, keys):
+        cluster = self._lagged(keys)
+        response = _fetch(cluster, 0, consistency="one", max_staleness=0)
+        assert response.replica_version == 3
+
+    def test_negative_staleness_rejected(self, keys):
+        cluster = self._lagged(keys)
+        with pytest.raises(ConfigurationError):
+            _fetch(cluster, 0, consistency="one", max_staleness=-1)
+        with pytest.raises(ConfigurationError):
+            cluster.batch_fetch(
+                BatchFetchRequest(
+                    principal="u",
+                    requests=(
+                        FetchRequest(
+                            principal="u", list_id=0, offset=0, count=1
+                        ),
+                    ),
+                ),
+                max_staleness=-1,
+            )
+
+    def test_routing_prefers_satisfying_replica(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=3,
+            replication=3,
+            lag=LagModel(per_server={1: 1, 2: 50}),
+            read_strategy="rotate",
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.replication_tick()  # server 1 at head, server 2 at v0
+        cluster.fail_server(0)
+        for _ in range(4):
+            response = _fetch(cluster, 0, consistency="one", max_staleness=0)
+            assert response.replica_version == 1
+        # The satisfying replica was routed to directly: no fallbacks.
+        assert cluster.replication_stats.staleness_fallbacks == 0
+
+    def test_best_effort_when_no_fresh_replica_reachable(self, keys):
+        cluster = self._lagged(keys)
+        cluster.pause_follower(cluster.replicas_of(0)[1])
+        response = _fetch(cluster, 0, consistency="one", max_staleness=0)
+        # Primary down, follower partitioned: stale best-effort beats
+        # failing a read the bound cannot possibly satisfy.
+        assert response.replica_version == 1
+
+
+class TestSessionFloors:
+    def test_min_version_validation(self):
+        with pytest.raises(ProtocolError):
+            FetchRequest(
+                principal="u", list_id=0, offset=0, count=1, min_version=-1
+            )
+
+    def test_floor_violation_repairs_and_reserves(self, keys):
+        cluster = ServerCluster(
+            keys, num_lists=1, num_servers=2, replication=2, lag=50
+        )
+        cluster.insert("u", 0, _element(0.5, b"a"))
+        cluster.insert("u", 0, _element(0.6, b"b"))
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        request = FetchRequest(
+            principal="u", list_id=0, offset=0, count=4, min_version=2
+        )
+        response = cluster.fetch(request, consistency="one")
+        assert response.replica_version == 2
+        assert cluster.replication_stats.floor_reserves == 1
+
+    def test_floor_above_head_is_clamped(self, keys):
+        cluster = ServerCluster(
+            keys, num_lists=1, num_servers=2, replication=2, lag=50
+        )
+        cluster.insert("u", 0, _element(0.5, b"a"))
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        request = FetchRequest(
+            principal="u", list_id=0, offset=0, count=4, min_version=99
+        )
+        response = cluster.fetch(request, consistency="one")
+        assert response.replica_version == 1  # head, not 99
+
+
+class TestClientSessionGuarantees:
+    @pytest.fixture()
+    def client_keys(self):
+        svc = GroupKeyService(master_secret=b"s" * 32)
+        svc.register("alice", {"g1"})
+        return svc
+
+    @pytest.fixture()
+    def model(self):
+        return RstfModel(
+            {
+                "apple": train_rstf([0.1, 0.2, 0.3, 0.5], sigma=20.0),
+                "pear": train_rstf([0.05, 0.15, 0.4], sigma=20.0),
+            }
+        )
+
+    @pytest.fixture()
+    def plan(self):
+        return MergePlan(groups=(("apple", "pear"),), r=2.0)
+
+    def _client(self, client_keys, backend, model, plan):
+        return ZerberRClient(
+            principal="alice",
+            key_service=client_keys,
+            server=backend,
+            rstf_model=model,
+            merge_plan=plan,
+        )
+
+    def _doc(self, doc_id, counts):
+        return DocumentStats.from_counts(doc_id, counts)
+
+    def test_read_your_writes_through_dead_primary(self, client_keys, model, plan):
+        cluster = ServerCluster(
+            client_keys,
+            num_lists=1,
+            num_servers=2,
+            replication=2,
+            lag=50,
+            read_consistency="one",
+        )
+        alice = self._client(client_keys, cluster, model, plan)
+        alice.index_document(self._doc("d1", {"apple": 3}), "g1")
+        assert alice.version_floor(0) == cluster.primary_version(0)
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        # The surviving follower never received the write; alice's floor
+        # forces repair + re-serve, so she still reads her own write.
+        result = alice.query("apple", k=5)
+        assert result.doc_ids() == ["d1"]
+        assert cluster.replication_stats.floor_reserves >= 1
+
+    def test_monotonic_reads_raise_the_floor(self, client_keys, model, plan):
+        cluster = ServerCluster(
+            client_keys,
+            num_lists=1,
+            num_servers=2,
+            replication=2,
+            lag=50,
+            read_consistency="one",
+        )
+        writer = self._client(client_keys, cluster, model, plan)
+        reader = self._client(client_keys, cluster, model, plan)
+        writer.index_document(self._doc("d1", {"apple": 3}), "g1")
+        assert reader.version_floor(0) is None
+        reader.query("apple", k=5)
+        # The read's response version became the reader's floor: later
+        # reads can never regress below what this one observed.
+        assert reader.version_floor(0) == cluster.primary_version(0)
+
+    def test_floors_only_ever_rise(self, client_keys, model, plan):
+        cluster = ServerCluster(
+            client_keys, num_lists=1, num_servers=2, replication=2, lag=1
+        )
+        alice = self._client(client_keys, cluster, model, plan)
+        alice.index_document(self._doc("d1", {"apple": 3}), "g1")
+        floor = alice.version_floor(0)
+        assert floor is not None and floor >= 1
+        alice._note_version(0, 0)  # a stale observation cannot lower it
+        assert alice.version_floor(0) == floor
+
+    def test_bare_server_keeps_floor_free_requests(self, client_keys, model, plan):
+        from repro.core.server import ZerberRServer
+
+        server = ZerberRServer(client_keys, num_lists=1)
+        alice = self._client(client_keys, server, model, plan)
+        alice.index_document(self._doc("d1", {"apple": 3}), "g1")
+        assert alice.version_floor(0) is None
+        session = alice.open_multi_session(["apple"], k=2)
+        for request in session.pending_requests():
+            assert request.min_version is None
+
+    def test_delete_document_raises_floor(self, client_keys, model, plan):
+        cluster = ServerCluster(
+            client_keys, num_lists=1, num_servers=2, replication=2, lag=1
+        )
+        alice = self._client(client_keys, cluster, model, plan)
+        receipts = alice.index_document_with_receipts(
+            self._doc("d1", {"apple": 3}), "g1"
+        )
+        floor_after_insert = alice.version_floor(0)
+        assert alice.delete_document(receipts) >= 1
+        assert alice.version_floor(0) > floor_after_insert
+
+
+class TestDeadPrimaryRoutingMatrix:
+    """Every ReadConsistency level routes sanely with the primary down."""
+
+    def _cluster(self, keys, strategy=None):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=3,
+            replication=3,
+            lag=1,
+            read_strategy=strategy,
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        cluster.run_replication_until_quiet()
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        return cluster
+
+    @pytest.mark.parametrize("level", ["one", "primary", "quorum"])
+    def test_dead_primary_served_by_followers(self, keys, level):
+        cluster = self._cluster(keys)
+        response = _fetch(cluster, 0, consistency=level)
+        assert [e.ciphertext for e in response.elements] == [b"x"]
+        assert response.replica_version == 1
+
+    @pytest.mark.parametrize("level", ["one", "primary", "quorum"])
+    def test_all_replicas_down_raises(self, keys, level):
+        cluster = self._cluster(keys)
+        for s in cluster.replicas_of(0)[1:]:
+            cluster.fail_server(s)
+        with pytest.raises(UnavailableError):
+            _fetch(cluster, 0, consistency=level)
+
+    def test_least_loaded_never_selects_downed_server(self, keys):
+        cluster = self._cluster(keys, strategy="least-loaded")
+        dead = cluster.replicas_of(0)[0]
+        baseline = cluster.per_server_load()[dead]
+        for _ in range(9):
+            _fetch(cluster, 0, count=1, consistency="one")
+        assert cluster.per_server_load()[dead] == baseline
+        live = [s for s in cluster.replicas_of(0) if s != dead]
+        loads = [cluster.per_server_load()[s] for s in live]
+        assert max(loads) - min(loads) <= 1  # still balanced over the rest
+
+    def test_rotate_skips_paused_followers(self, keys):
+        cluster = ServerCluster(
+            keys,
+            num_lists=1,
+            num_servers=3,
+            replication=3,
+            lag=0,
+            read_strategy="rotate",
+        )
+        cluster.insert("u", 0, _element(0.5, b"x"))
+        paused = cluster.replicas_of(0)[2]
+        cluster.pause_follower(paused)
+        baseline = cluster.per_server_load()[paused]
+        for _ in range(8):
+            _fetch(cluster, 0, count=1, consistency="one")
+        assert cluster.per_server_load()[paused] == baseline
+        assert sum(cluster.per_server_load()) >= 8
+
+    def test_consistency_levels_are_enums_everywhere(self, keys):
+        cluster = self._cluster(keys)
+        assert cluster.read_consistency is ReadConsistency.PRIMARY
+        assert cluster.write_consistency is WriteConsistency.ONE

@@ -122,6 +122,8 @@ def _run_ops(cluster, ops, ref=None, counter_start=0):
             cluster.pause_follower(r % NUM_SERVERS)
         elif opcode == "resume":
             cluster.resume_follower(r % NUM_SERVERS)
+        elif opcode == "kill_primary":
+            cluster.fail_server(cluster.replicas_of(r % NUM_LISTS)[0])
         elif opcode == "fetch":
             try:
                 cluster.fetch(
@@ -313,6 +315,122 @@ class TestFuzzedCrashRecovery:
             )
         assert twice.replication_backlog() == once.replication_backlog()
         _assert_converged(twice, ref)
+
+
+class TestFailoverStatePersistence:
+    """Promotion state (format-v2 extension) survives crash/restore."""
+
+    def _elected(self):
+        """A cluster snapshotted mid-failover: election done, victim down."""
+        cluster = _cluster(lag=2, failover_after=2, write_consistency="quorum")
+        ref = _Reference()
+        counter = 0
+        for list_id in range(NUM_LISTS):
+            counter += 1
+            element = EncryptedPostingElement(
+                ciphertext=b"fo-%03d" % counter, group="g", trs=counter / 100.0
+            )
+            cluster.insert("u", list_id, element)
+            ref.insert(list_id, element)
+        cluster.run_replication_until_quiet()
+        victim = cluster.replicas_of(0)[0]
+        cluster.fail_server(victim)
+        for _ in range(3):
+            cluster.replication_tick()
+        assert cluster.failover_history(), "scenario needs an election"
+        return cluster, ref, victim
+
+    def test_recovery_lands_on_elected_primary(self, tmp_path):
+        cluster, ref, victim = self._elected()
+        elected = cluster.replicas_of(0)[0]
+        assert elected != victim
+        restored, _ = _reload(cluster, tmp_path)
+        assert restored.replicas_of(0)[0] == elected
+        assert restored.failover_history() == cluster.failover_history()
+        assert restored.unreachable_since() == cluster.unreachable_since()
+        assert restored.write_consistency == cluster.write_consistency
+        assert restored.failover_after == cluster.failover_after
+        assert restored.placement_epoch == cluster.placement_epoch
+        # The recovered cluster acknowledges writes at the elected
+        # primary (the healed old primary counts toward W again).
+        restored.restore_server(victim)
+        element = EncryptedPostingElement(
+            ciphertext=b"post-failover", group="g", trs=0.999
+        )
+        restored.insert("u", 0, element, consistency="quorum")
+        ref.insert(0, element)
+        assert restored.replicas_of(0)[0] == elected  # no flap-back
+        _assert_converged(restored, ref)
+
+    def test_pending_timer_survives_restart(self, tmp_path):
+        """A restart taken mid-outage, before the election fired, must
+        not reset the unreachability clock: the recovered cluster elects
+        on schedule."""
+        cluster = _cluster(lag=1, failover_after=3)
+        victim = cluster.replicas_of(0)[0]
+        cluster.fail_server(victim)
+        cluster.replication_tick()  # timer starts, threshold not reached
+        assert victim in cluster.unreachable_since()
+        assert cluster.failover_history() == []
+        restored, _ = _reload(cluster, tmp_path)
+        assert restored.unreachable_since() == cluster.unreachable_since()
+        restored.replication_tick()
+        restored.replication_tick()
+        restored.replication_tick()
+        assert restored.failover_history(), "restored timer did not fire"
+        assert restored.replicas_of(0)[0] != victim
+
+    def test_plain_v2_dump_without_failover_keys_loads(self, tmp_path):
+        """Dumps written before the consistency-matrix extension carry no
+        write_consistency/failover keys; they must load with defaults."""
+        cluster, _, _ = _lagged_snapshot_cluster()
+        restored, path = _reload(cluster, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["cluster"].pop("write_consistency", None)
+        payload["cluster"].pop("failover", None)
+        path.write_text(json.dumps(payload))
+        old_style, _, _ = load_cluster(path, _keys())
+        from repro.core.replication import WriteConsistency
+
+        assert old_style.write_consistency is WriteConsistency.ONE
+        assert old_style.failover_after is None
+        assert old_style.failover_history() == []
+        assert old_style.unreachable_since() == {}
+
+    def test_unknown_timer_server_rejected(self, tmp_path):
+        cluster, _, _ = self._elected()
+        restored, path = _reload(cluster, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["cluster"]["failover"]["unreachable_since"] = {"42": 1}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="42"):
+            load_cluster(path, _keys())
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(OPCODES + ("kill_primary", "tick", "tick")),
+                st.integers(0, 10**6),
+            ),
+            max_size=80,
+        ),
+        split=st.integers(0, 80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_crash_point_fuzz_preserves_promotions(self, ops, split):
+        """Crash at an arbitrary point of a failover-heavy soup: the
+        recovered cluster keeps its elected primaries and audit trail,
+        finishes the soup, and converges with no acknowledged op lost."""
+        cluster = _cluster(lag=2, failover_after=2)
+        ref, counter = _run_ops(cluster, ops[:split])
+        placement_before = cluster.placement_table()
+        history_before = cluster.failover_history()
+        with tempfile.TemporaryDirectory() as tmp:
+            restored, _ = _reload(cluster, Path(tmp))
+        assert restored.placement_table() == placement_before
+        assert restored.failover_history() == history_before
+        ref, _ = _run_ops(restored, ops[split:], ref=ref, counter_start=counter)
+        _assert_converged(restored, ref)
 
 
 class TestViewSpill:

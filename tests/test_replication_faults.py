@@ -50,6 +50,15 @@ OPCODES = (
     "rebalance",
 )
 
+# The failover soup adds quorum-acked writes and targeted primary kills
+# (mid-write, mid-rebalance), so elections fire while the tape runs.
+FAILOVER_OPCODES = OPCODES + (
+    "insert_quorum",
+    "insert_quorum",
+    "kill_primary",
+    "tick",
+)
+
 
 def _keys():
     svc = GroupKeyService(master_secret=b"f" * 32)
@@ -87,7 +96,7 @@ def _run_ops(cluster, ops):
     receipts: list[tuple[int, bytes]] = []
     counter = 0
     for opcode, r in ops:
-        if opcode == "insert":
+        if opcode in ("insert", "insert_quorum"):
             list_id = r % NUM_LISTS
             counter += 1
             # Unique TRS per element keeps replica order comparison exact.
@@ -96,12 +105,17 @@ def _run_ops(cluster, ops):
                 group="g",
                 trs=(counter % 997) / 1000.0,
             )
+            consistency = "quorum" if opcode == "insert_quorum" else None
             try:
-                cluster.insert("u", list_id, element)
+                cluster.insert("u", list_id, element, consistency=consistency)
             except UnavailableError:
-                continue  # refused (unreachable gapped primary): not acked
+                # Refused (unreachable gapped primary, or a W>1 write
+                # without enough ack-capable replicas): not acked.
+                continue
             ref.insert(list_id, element)
             receipts.append((list_id, element.ciphertext))
+        elif opcode == "kill_primary":
+            cluster.fail_server(cluster.replicas_of(r % NUM_LISTS)[0])
         elif opcode == "delete":
             if not receipts:
                 continue
@@ -173,6 +187,11 @@ _OPS = st.lists(
     max_size=120,
 )
 
+_FAILOVER_OPS = st.lists(
+    st.tuples(st.sampled_from(FAILOVER_OPCODES), st.integers(0, 10**6)),
+    max_size=120,
+)
+
 
 class TestFuzzedFaultSoup:
     @given(ops=_OPS, lag=st.integers(0, 4))
@@ -199,6 +218,46 @@ class TestFuzzedFaultSoup:
             num_servers=NUM_SERVERS,
             replication=REPLICATION,
             lag=10**6,
+        )
+        ref = _run_ops(cluster, [op for op in ops if op[0] != "rebalance"])
+        _assert_converged(cluster, ref)
+
+
+class TestFailoverSoup:
+    @given(ops=_FAILOVER_OPS, lag=st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_elections_never_lose_acked_writes(self, ops, lag):
+        """Primary kills mid-tape depose primaries through elections;
+        every acknowledged write (ONE and QUORUM) still converges."""
+        cluster = ServerCluster(
+            _keys(),
+            num_lists=NUM_LISTS,
+            num_servers=NUM_SERVERS,
+            replication=REPLICATION,
+            lag=lag,
+            failover_after=2,
+            placement=HeatWeightedPlacement(),
+        )
+        ref = _run_ops(cluster, ops)
+        _assert_converged(cluster, ref)
+        # Every recorded election is internally consistent.
+        for event in cluster.failover_history():
+            assert event.old_primary != event.new_primary
+            assert 0 <= event.list_id < NUM_LISTS
+
+    @given(ops=_FAILOVER_OPS)
+    @settings(max_examples=25, deadline=None)
+    def test_quorum_default_soup_converges(self, ops):
+        """Same soup with cluster-wide W=QUORUM: refused writes are clean
+        no-ops, acked ones converge everywhere."""
+        cluster = ServerCluster(
+            _keys(),
+            num_lists=NUM_LISTS,
+            num_servers=NUM_SERVERS,
+            replication=REPLICATION,
+            lag=3,
+            failover_after=3,
+            write_consistency="quorum",
         )
         ref = _run_ops(cluster, [op for op in ops if op[0] != "rebalance"])
         _assert_converged(cluster, ref)
@@ -242,6 +301,54 @@ class TestMidRebalance:
         cluster.rebalance()  # second migration with backlog in flight
         for server_index in range(NUM_SERVERS):
             cluster.restore_server(server_index)
+        cluster.run_replication_until_quiet()
+        _assert_converged(cluster, ref)
+
+    def test_election_mid_rebalance_keeps_quorum_writes(self):
+        """Kill a primary mid-workload with failover enabled: a replica
+        is elected, the epoch moves, a rebalance runs during the outage,
+        and no acknowledged QUORUM write is lost."""
+        cluster = ServerCluster(
+            _keys(),
+            num_lists=NUM_LISTS,
+            num_servers=NUM_SERVERS,
+            replication=3,  # quorum (2) stays reachable with one dead
+            lag=2,
+            failover_after=2,
+            placement=HeatWeightedPlacement(),
+        )
+        ref = _Reference()
+        counter = 0
+
+        def write(list_id, consistency=None):
+            nonlocal counter
+            counter += 1
+            element = EncryptedPostingElement(
+                ciphertext=b"fe-%03d" % counter, group="g", trs=counter / 1000.0
+            )
+            cluster.insert("u", list_id, element, consistency=consistency)
+            ref.insert(list_id, element)
+
+        for list_id in range(NUM_LISTS):
+            write(list_id, consistency="quorum")
+        epoch_before = cluster.placement_epoch
+        victim = cluster.replicas_of(0)[0]
+        cluster.fail_server(victim)
+        write(0)  # mid-write: the primary is already dead (W=ONE lands)
+        for _ in range(3):
+            cluster.replication_tick()
+        assert cluster.failover_history(), "no election fired"
+        assert cluster.placement_epoch > epoch_before
+        assert cluster.replicas_of(0)[0] != victim
+        # The elected primary acknowledges quorum writes mid-outage.
+        write(0, consistency="quorum")
+        for _ in range(6):  # heat list 0, then rebalance during the outage
+            cluster.fetch(
+                FetchRequest(principal="u", list_id=0, offset=0, count=2)
+            )
+        cluster.rebalance()
+        write(0, consistency="quorum")
+        cluster.restore_server(victim)
         cluster.run_replication_until_quiet()
         _assert_converged(cluster, ref)
 
