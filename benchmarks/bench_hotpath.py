@@ -19,6 +19,10 @@ allows" goal, plus the repo's first recorded perf trajectory point:
    representation paid an O(view) memmove).
 3. **End-to-end** — coordinator-driven concurrent queries return results
    identical to the direct per-client path; their latency is recorded.
+4. **Instrumentation overhead** — running the same coordinator workload
+   with full telemetry (metrics registry + tracer + monitor) instead of
+   the Null instruments costs at most 5% extra wall clock, so the
+   observability layer can stay on in production deployments.
 
 Results are written as JSON (default ``BENCH_hotpath.json``) so later PRs
 can compare their curves against this baseline.
@@ -34,6 +38,7 @@ Exits non-zero if any claim fails.
 from __future__ import annotations
 
 import argparse
+import gc
 import hashlib
 import hmac
 import json
@@ -47,6 +52,11 @@ from repro.corpus import studip_like, tiny_corpus
 from repro.crypto.cipher import StreamCipher
 from repro.crypto.keys import GroupKeyService
 from repro.index.postings import EncryptedPostingElement, MergedPostingList, PostingElement
+from repro.obs import Telemetry
+
+# Telemetry must stay cheap enough to leave on: full instrumentation may
+# cost at most this fraction of the uninstrumented coordinator path.
+INSTRUMENTATION_BUDGET = 0.05
 
 
 # -- the frozen pre-PR implementation (reference for speed and identity) ------
@@ -421,6 +431,121 @@ def measure_end_to_end(system: ZerberRSystem, queries: list[list[str]], k: int) 
     }
 
 
+# -- claim 4: instrumentation overhead ----------------------------------------
+
+
+def measure_instrumentation_overhead(quick: bool) -> dict:
+    """Full telemetry vs the Null instruments on the coordinator path.
+
+    Without a :class:`Telemetry` the whole stack runs on the Null
+    singletons (no-op counters, a tracer that opens nothing), so timing
+    the same warm coordinator workload both ways isolates what the
+    metrics registry, span tree and monitor cost on the hot path.
+
+    The budget is a claim about *production-shaped* queries, so the
+    workload is its own: a studip-like corpus with 6-term queries at
+    k=20, where each round carries real decrypt/parse work per term
+    slice.  On a warm micro-corpus a query bottoms out around 0.2 ms
+    while telemetry emits the same ~27 events, so the 5% budget would
+    demand ~0.4 us per event *including call sites* — unreachable in
+    CPython and not what "telemetry can stay on in production" means.
+
+    The estimator fights two noise sources that each exceed the budget:
+
+    * **Heap-layout bias.**  Two deployments of identical code differ
+      by several percent depending on where the allocator placed their
+      views and memo tables, so comparing an instrumented deployment
+      against a separate uninstrumented one measures the layout lottery
+      as much as the telemetry.  Instead each deployment is compared
+      against *itself*: the :meth:`Telemetry.suspend` kill switch flips
+      the very same objects between live and Null instruments, so the
+      on/off pair shares every byte of layout.
+    * **Scheduler preemption and CPU drift.**  On a small (possibly
+      single-core) box, background load randomly inflates individual
+      samples by far more than the budget, and it can hit either state.
+      Each round therefore times the two states back-to-back as a
+      *pair* (order alternating by round parity) and records their
+      ratio; a preempted sample turns its pair into an outlier ratio,
+      and the reported figure is the trimmed mean of the central half
+      of all pair ratios, which discards outliers in both directions
+      instead of hoping a best-of-N dodges them.
+    """
+    corpus = studip_like(num_documents=150, vocabulary_size=2500, seed=7)
+    system = ZerberRSystem.build(corpus, SystemConfig(r=4.0, seed=41))
+    queries = sample_queries(system, 8, 6)
+    assert queries, "could not assemble instrumentation-overhead queries"
+    k = 20
+    deploys = 3 if quick else 5
+    rounds = 40 if quick else 48
+
+    def warm_deployment():
+        telemetry = Telemetry()
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=3, telemetry=telemetry
+        )
+        client = system.client_for("superuser", server=cluster)
+        jobs = [(client, list(query), k) for query in queries]
+        coordinator.run_queries(jobs)  # untimed warmup: views + memos
+        telemetry.suspend()
+        coordinator.run_queries(jobs)  # warm the suspended state too
+        telemetry.resume()
+        return telemetry, coordinator, jobs
+
+    deployments = [warm_deployment() for _ in range(deploys)]
+
+    def sample(coordinator, jobs) -> float:
+        # The untimed run re-warms the interpreter's per-call-site
+        # specializations after a toggle flipped the instrument types.
+        coordinator.run_queries(jobs)
+        started = time.perf_counter()
+        coordinator.run_queries(jobs)
+        return time.perf_counter() - started
+
+    # Collector pauses land on whichever sample is unlucky; parking the
+    # collector keeps them out of the on/off comparison (steady-state
+    # telemetry holds no cyclic garbage, so nothing accumulates).
+    pair_ratios: list[float] = []
+    best_off = best_on = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for round_index in range(rounds):
+            for i, (telemetry, coordinator, jobs) in enumerate(deployments):
+                on_seconds = off_seconds = 0.0
+                on_first = (round_index + i) % 2 == 0
+                for state in ("on", "off") if on_first else ("off", "on"):
+                    if state == "on":
+                        on_seconds = sample(coordinator, jobs)
+                    else:
+                        telemetry.suspend()
+                        off_seconds = sample(coordinator, jobs)
+                        telemetry.resume()
+                pair_ratios.append(on_seconds / off_seconds)
+                best_on = min(best_on, on_seconds)
+                best_off = min(best_off, off_seconds)
+    finally:
+        gc.enable()
+    pair_ratios.sort()
+    quartile = len(pair_ratios) // 4
+    central = pair_ratios[quartile : len(pair_ratios) - quartile]
+    trimmed_mean = sum(central) / len(central)
+    return {
+        "num_queries": len(queries),
+        "terms_per_query": len(queries[0]),
+        "k": k,
+        "deployments": deploys,
+        "interleaved_rounds": rounds,
+        "paired_samples": len(pair_ratios),
+        "instrumented_ms_per_query": best_on / len(queries) * 1e3,
+        "uninstrumented_ms_per_query": best_off / len(queries) * 1e3,
+        "overhead_iqr": [
+            round(pair_ratios[quartile] - 1.0, 4),
+            round(pair_ratios[-1 - quartile] - 1.0, 4),
+        ],
+        "overhead_fraction": trimmed_mean - 1.0,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -469,6 +594,21 @@ def main() -> int:
     print(f"direct path       : {end_to_end['direct_ms_per_query']:.2f} ms/query")
     print(f"coordinator path  : {end_to_end['coordinator_ms_per_query']:.2f} ms/query")
 
+    print("\n== instrumentation overhead (telemetry on vs Null instruments) ==")
+    instrumentation = measure_instrumentation_overhead(args.quick)
+    print(
+        f"uninstrumented    : "
+        f"{instrumentation['uninstrumented_ms_per_query']:.3f} ms/query"
+    )
+    print(
+        f"instrumented      : "
+        f"{instrumentation['instrumented_ms_per_query']:.3f} ms/query"
+    )
+    print(
+        f"overhead          : {instrumentation['overhead_fraction'] * 100:.2f}% "
+        f"(budget {INSTRUMENTATION_BUDGET * 100:.0f}%)"
+    )
+
     record = {
         "benchmark": "hotpath",
         "schema_version": 1,
@@ -477,6 +617,7 @@ def main() -> int:
         "crypto": crypto,
         "views": views,
         "end_to_end": end_to_end,
+        "instrumentation": instrumentation,
     }
     with open(args.output, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
@@ -493,6 +634,11 @@ def main() -> int:
             f"view patches are not sublinear: 10x size cost "
             f"{views['patch_cost_ratio_10x']:.2f}x > 2x"
         )
+    if instrumentation["overhead_fraction"] > INSTRUMENTATION_BUDGET:
+        failures.append(
+            f"telemetry overhead {instrumentation['overhead_fraction'] * 100:.2f}% "
+            f"blows the {INSTRUMENTATION_BUDGET * 100:.0f}% budget"
+        )
 
     print()
     if failures:
@@ -501,7 +647,8 @@ def main() -> int:
         return 1
     print(
         "OK: >=5x decrypt-skim, sublinear view patches, "
-        "coordinator results identical to the direct path"
+        "coordinator results identical to the direct path, "
+        "telemetry within its overhead budget"
     )
     return 0
 

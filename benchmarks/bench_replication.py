@@ -11,7 +11,10 @@ write consistency (``one`` / ``quorum`` / ``all``), read consistency
   write is held by a quorum of its replicas.  ``W=quorum``/``all``
   force the acks through the log at write time (latency 0, paid as
   ``write_ack_ops`` sync work instead); ``W=one`` acks at the primary
-  and lets the quorum form at lag speed;
+  and lets the quorum form at lag speed.  The per-op follower ack
+  latency is also read back from the telemetry registry's
+  ``replication_ack_latency_ticks`` histogram (the ``fa_ticks``
+  column), so the observability layer reports the same story;
 * **repair traffic** — catch-up ops applied by read-repair, re-served
   slices, forced write-acks, scheduled follower deliveries and
   anti-entropy ops;
@@ -53,6 +56,7 @@ from repro.core.cluster import ServerCluster
 from repro.core.protocol import FetchRequest
 from repro.crypto.keys import GroupKeyService
 from repro.index.postings import EncryptedPostingElement
+from repro.obs import Telemetry
 
 WRITE_LEVELS = ("one", "quorum", "all")
 READ_LEVELS = ("one", "primary", "quorum")
@@ -69,6 +73,7 @@ def make_cluster(config: dict, lag: int, anti_entropy_every: int | None):
         lag=lag,
         read_strategy="rotate",  # reads must reach followers to observe lag
         anti_entropy_every=anti_entropy_every,
+        telemetry=Telemetry(),  # per-point registry: follower ack latency
     )
 
 
@@ -174,6 +179,17 @@ def run_mix(
     converged = cluster.replication_backlog() == {}
     stats = cluster.replication_stats
     latencies = acks.latencies
+    # The registry's view of the same ack path: one observation per
+    # scheduled follower delivery, in ticks from log append to apply
+    # (read-repair/anti-entropy syncs take a different path and are
+    # deliberately not in this histogram).
+    ack_series = []
+    if cluster.telemetry is not None:
+        ack_series = cluster.telemetry.registry.snapshot()[
+            "replication_ack_latency_ticks"
+        ]["series"]
+    registry_acks = sum(entry["count"] for entry in ack_series)
+    registry_tick_sum = sum(entry["sum"] for entry in ack_series)
     return {
         "consistency": read_consistency,
         "write_consistency": write_consistency,
@@ -184,6 +200,9 @@ def run_mix(
         "max_staleness": stats.max_staleness_seen,
         "ack_latency_ticks_mean": sum(latencies) / max(1, len(latencies)),
         "ack_latency_ticks_max": max(latencies, default=0),
+        "registry_follower_acks": registry_acks,
+        "registry_follower_ack_ticks_mean": registry_tick_sum
+        / max(1, registry_acks),
         "write_ack_syncs": stats.write_ack_syncs,
         "write_ack_ops": stats.write_ack_ops,
         "read_repair_ops": stats.repair_ops,
@@ -220,6 +239,7 @@ def sweep(config: dict) -> dict:
                     f"stale={point['stale_fraction']:.3f} "
                     f"max_gap={point['max_staleness']:<4d} "
                     f"ack_ticks={point['ack_latency_ticks_mean']:.2f} "
+                    f"fa_ticks={point['registry_follower_ack_ticks_mean']:.2f} "
                     f"ack_ops={point['write_ack_ops']:<5d} "
                     f"re_serves={point['re_served_slices']:<5d} "
                     f"calls/read={point['server_calls_per_read']:.2f}"

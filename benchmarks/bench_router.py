@@ -6,7 +6,10 @@ Three claims, all load-bearing for the ROADMAP's concurrent-traffic goal:
    through a :class:`~repro.core.router.Coordinator` cost one envelope
    per touched shard server per scheduling tick, instead of one batched
    call per touched server *per query* when every client talks to the
-   cluster directly.  Results stay byte-identical to the direct path.
+   cluster directly.  Results stay byte-identical to the direct path,
+   and the coalesce ratio re-derived from the telemetry registry's
+   ``coordinator_envelope_slices`` histogram must agree with the
+   coordinator's own counters.
 2. **Heat-aware placement** — under a Zipf-skewed single-term workload,
    rebalancing with :class:`~repro.core.placement.HeatWeightedPlacement`
    yields a lower max/mean per-server load ratio than static round-robin,
@@ -40,6 +43,7 @@ from repro.core.placement import (
 )
 from repro.corpus import studip_like, tiny_corpus
 from repro.evalmetrics.workload import coalesced_workload_requests
+from repro.obs import Telemetry
 
 
 def build_system(quick: bool) -> ZerberRSystem:
@@ -78,7 +82,8 @@ def measure_coalescing(system: ZerberRSystem, queries: list[list[str]], k: int):
     groups = set(system.corpus.groups())
     for i in range(num_users):
         system.register_user(f"bench-user{i}", groups)
-    cluster, coordinator = system.deploy_cluster(num_servers=3)
+    telemetry = Telemetry()
+    cluster, coordinator = system.deploy_cluster(num_servers=3, telemetry=telemetry)
     jobs = []
     for i, query in enumerate(queries):
         client = system.client_for(f"bench-user{i % num_users}", server=cluster)
@@ -113,7 +118,28 @@ def measure_coalescing(system: ZerberRSystem, queries: list[list[str]], k: int):
         ResponsePolicy(initial_size=k),
         cluster.num_servers,
     )
-    return direct_calls, coalesced_calls, coordinator.stats, (model_direct, model_coalesced)
+    # The same coalescing measured from the telemetry registry: the
+    # coordinator_envelope_slices histogram sees one observation per
+    # envelope (count) carrying its slice payload (sum), so the mean is
+    # the coalesce ratio and both must agree with the coordinator's own
+    # counters.
+    envelope_series = telemetry.registry.snapshot()[
+        "coordinator_envelope_slices"
+    ]["series"]
+    envelopes = sum(entry["count"] for entry in envelope_series)
+    slices = sum(entry["sum"] for entry in envelope_series)
+    registry_coalesce = {
+        "envelopes": envelopes,
+        "slices": int(slices),
+        "slices_per_envelope": slices / max(1, envelopes),
+    }
+    return (
+        direct_calls,
+        coalesced_calls,
+        coordinator.stats,
+        (model_direct, model_coalesced),
+        registry_coalesce,
+    )
 
 
 def zipf_workload(system: ZerberRSystem, num_terms: int, scale: int) -> list[str]:
@@ -204,7 +230,7 @@ def main() -> int:
     queries = sample_queries(system, num_queries, terms_per_query)
     assert len(queries) == num_queries, "could not assemble concurrent queries"
 
-    direct_calls, coalesced_calls, stats, model = measure_coalescing(
+    direct_calls, coalesced_calls, stats, model, registry = measure_coalescing(
         system, queries, k
     )
     print(
@@ -215,6 +241,14 @@ def main() -> int:
     print(f"server calls, coordinator envelopes      : {coalesced_calls}")
     print(f"slices shared across sessions            : {stats.slices_shared}")
     print(f"analytic model (direct, coalesced)       : {model}")
+    print(
+        f"registry envelopes / slices              : "
+        f"{registry['envelopes']} / {registry['slices']}"
+    )
+    print(
+        f"registry coalesce ratio (slices/envelope): "
+        f"{registry['slices_per_envelope']:.2f}"
+    )
 
     workload = zipf_workload(
         system, num_terms=8 if args.quick else 24, scale=6 if args.quick else 24
@@ -240,6 +274,15 @@ def main() -> int:
     )
 
     failures = []
+    if (
+        registry["envelopes"] != stats.server_calls
+        or registry["slices"] != stats.slices_sent
+    ):
+        failures.append(
+            f"telemetry registry disagrees with coordinator counters "
+            f"(envelopes {registry['envelopes']} vs {stats.server_calls}, "
+            f"slices {registry['slices']} vs {stats.slices_sent})"
+        )
     if coalesced_calls * 2 > direct_calls:
         failures.append(
             f"coordinator did not halve server calls "

@@ -12,6 +12,7 @@ from repro.analysis.checkers import (
     epoch,
     exceptions,
     exports,
+    obs,
     replication,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "epoch",
     "exceptions",
     "exports",
+    "obs",
     "replication",
 ]

@@ -8,7 +8,9 @@ failing fuzz case unreproducible.  This rule bans wall-clock reads, OS
 entropy (``os.urandom``/``secrets``/``uuid``), the module-level
 ``random.*`` functions (shared global state), and unseeded generator
 construction (``random.Random()`` / ``np.random.default_rng()`` with no
-arguments) inside ``repro.core``.
+arguments) inside ``repro.core`` — and, since PR 9, inside
+``repro.obs``, whose tick-stamped traces and monitor windows must
+replay the same way.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from repro.analysis.framework import (
     register,
 )
 
-_SCOPE = ("repro.core",)
+_SCOPE = ("repro.core", "repro.obs")
 
 _WALL_CLOCK = frozenset(
     {
@@ -56,7 +58,7 @@ class DeterminismChecker(Checker):
     rule = "determinism"
     description = (
         "no wall-clock, OS entropy, global random state or unseeded "
-        "generators in repro.core (replayability contract)"
+        "generators in repro.core/repro.obs (replayability contract)"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -72,7 +74,7 @@ class DeterminismChecker(Checker):
                 yield ctx.finding(
                     self.rule,
                     node,
-                    f"{name}() in repro.core — the replication tick clock is "
+                    f"{name}() in {ctx.module} — the replication tick clock is "
                     "the only time source (crash-point fuzzing replays "
                     "depend on it)",
                 )
@@ -80,7 +82,7 @@ class DeterminismChecker(Checker):
                 yield ctx.finding(
                     self.rule,
                     node,
-                    f"{name}() in repro.core — OS entropy makes runs "
+                    f"{name}() in {ctx.module} — OS entropy makes runs "
                     "unreplayable; draw from an explicitly seeded generator",
                 )
             elif name in _SEEDED_CONSTRUCTORS:
@@ -92,13 +94,13 @@ class DeterminismChecker(Checker):
                     yield ctx.finding(
                         self.rule,
                         node,
-                        f"unseeded {name}() in repro.core — pass an explicit "
+                        f"unseeded {name}() in {ctx.module} — pass an explicit "
                         "seed so failing runs replay byte-for-byte",
                     )
             elif name.startswith("random.") and name not in _SEEDED_CONSTRUCTORS:
                 yield ctx.finding(
                     self.rule,
                     node,
-                    f"{name}() in repro.core uses the process-global RNG — "
+                    f"{name}() in {ctx.module} uses the process-global RNG — "
                     "construct a seeded random.Random(seed) instead",
                 )

@@ -1,0 +1,212 @@
+"""Obs-discipline rule: telemetry flows only through ``repro.obs``.
+
+The telemetry subsystem (PR 9) makes three promises that hold only if
+every call site cooperates.  First, trace spans are balanced: a span
+closes when its ``with`` block exits, even on exception — so
+:meth:`Tracer.span` must ONLY be used as a ``with`` context expression
+(``begin_trace`` / ``end_trace`` are the one sanctioned non-context
+pair, for session roots that outlive a call frame).  Second, the metric
+namespace is closed: instruments are created from the literal names in
+:data:`repro.obs.registry.METRIC_CATALOG`, never ad hoc — ``repro.core``
+never creates instruments at all (it holds bundles from
+``repro.obs.instruments``), and everywhere else a literal metric name
+must come from the catalog.  Third, there is no side-channel telemetry:
+``print()`` in ``repro.core`` is banned outright.
+
+The catalog names are mirrored here (not imported) so zlint stays
+dependency-free; ``tests/test_obs_discipline.py`` asserts the mirror
+matches the live catalog, so drift fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import (
+    Checker,
+    FileContext,
+    Finding,
+    call_name,
+    module_matches,
+    register,
+)
+
+#: Modules where instrument *creation* is banned outright.
+_CORE_SCOPE = ("repro.core",)
+
+#: Modules where literal metric names are checked against the mirror.
+_CATALOG_SCOPE = ("repro",)
+
+#: Modules allowed to build metric names dynamically (the stats-mirror
+#: loop in ``instruments._mirror_stats`` derives names from dataclass
+#: fields; the registry itself re-creates series when merging snapshots).
+_DYNAMIC_NAME_OK = ("repro.obs", "repro.analysis")
+
+_INSTRUMENT_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+#: Mirror of the ``repro.obs.registry.METRIC_CATALOG`` names.  The
+#: ``_stats_counters`` families are spelled out flat so this file keeps
+#: zlint's no-runtime-imports property.
+CATALOG_METRIC_NAMES = frozenset(
+    {
+        # coordinator stats mirrors + direct instruments
+        "coordinator_ticks_total",
+        "coordinator_server_calls_total",
+        "coordinator_slices_requested_total",
+        "coordinator_slices_sent_total",
+        "coordinator_sessions_completed_total",
+        "coordinator_sessions_spilled_total",
+        "coordinator_slices_spilled_total",
+        "coordinator_rebalances_total",
+        "coordinator_lists_migrated_total",
+        "coordinator_stale_epoch_reroutes_total",
+        "coordinator_queue_depth",
+        "coordinator_envelope_slices",
+        "coordinator_session_rounds",
+        # cluster read/write paths
+        "cluster_reads_total",
+        "cluster_writes_total",
+        "cluster_read_lag_ticks",
+        "cluster_read_staleness",
+        "cluster_quorum_write_refusals_total",
+        "cluster_server_load",
+        "cluster_list_read_heat",
+        "cluster_list_write_heat",
+        # replication stats mirrors + direct instruments
+        "replication_ticks_total",
+        "replication_ops_logged_total",
+        "replication_follower_ops_applied_total",
+        "replication_stale_reads_detected_total",
+        "replication_read_repairs_total",
+        "replication_repair_ops_total",
+        "replication_read_reserves_total",
+        "replication_anti_entropy_runs_total",
+        "replication_anti_entropy_syncs_total",
+        "replication_anti_entropy_ops_total",
+        "replication_version_probes_total",
+        "replication_write_ack_syncs_total",
+        "replication_write_ack_ops_total",
+        "replication_failovers_total",
+        "replication_failover_ops_total",
+        "replication_staleness_fallbacks_total",
+        "replication_floor_reserves_total",
+        "replication_max_staleness",
+        "replication_ack_latency_ticks",
+        "replication_log_length",
+        "replication_replica_lag",
+        "replication_elections_total",
+        # readable-view stats mirrors
+        "views_hits_total",
+        "views_misses_total",
+        "views_full_builds_total",
+        "views_stale_rebuilds_total",
+        "views_incremental_updates_total",
+        "views_replication_patches_total",
+        "views_evictions_total",
+        "views_invalidations_total",
+        "views_warm_restores_total",
+        # crypto skim
+        "crypto_skim_elements_total",
+        "crypto_skim_memo_hits_total",
+        # persistence
+        "persist_snapshots_total",
+        "persist_snapshot_bytes",
+        "persist_snapshot_seconds",
+        "persist_restores_total",
+    }
+)
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "span"
+
+
+def _instrument_factory(node: ast.Call) -> str | None:
+    """``counter``/``gauge``/``histogram`` if *node* calls one, else None.
+
+    Only attribute calls count (``registry.counter(...)``); a bare local
+    function that happens to share the name is not instrument creation.
+    """
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _INSTRUMENT_FACTORIES:
+        return node.func.attr
+    return None
+
+
+@register
+class ObsDisciplineChecker(Checker):
+    rule = "obs-discipline"
+    description = (
+        "spans only via `with tracer.span(...)`, metric names only from "
+        "the registered catalog, no print() telemetry in repro.core"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_core = module_matches(ctx.module, _CORE_SCOPE)
+        check_names = module_matches(ctx.module, _CATALOG_SCOPE) and not in_core
+        dynamic_ok = module_matches(ctx.module, _DYNAMIC_NAME_OK)
+        if not (in_core or check_names):
+            return
+
+        # Span calls that appear as a `with` item context expression are
+        # the sanctioned form; collect them first so the walk below can
+        # flag every other `.span(` call.
+        with_spans: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        with_spans.add(id(item.context_expr))
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if in_core:
+                name = call_name(node)
+                if name == "print":
+                    yield ctx.finding(
+                        self.rule,
+                        node,
+                        "print() in repro.core — telemetry goes through the "
+                        "metrics registry or tracer, not stdout",
+                    )
+                if _is_span_call(node) and id(node) not in with_spans:
+                    yield ctx.finding(
+                        self.rule,
+                        node,
+                        ".span(...) outside a `with` statement in repro.core — "
+                        "spans must be context-managed so they close on "
+                        "exception (begin_trace/end_trace are the only "
+                        "sanctioned non-context pair)",
+                    )
+                factory = _instrument_factory(node)
+                if factory is not None:
+                    yield ctx.finding(
+                        self.rule,
+                        node,
+                        f".{factory}(...) in repro.core — the core never "
+                        "creates instruments; hold a bundle from "
+                        "repro.obs.instruments instead",
+                    )
+            elif check_names:
+                factory = _instrument_factory(node)
+                if factory is None:
+                    continue
+                first = node.args[0] if node.args else None
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    if first.value not in CATALOG_METRIC_NAMES:
+                        yield ctx.finding(
+                            self.rule,
+                            node,
+                            f"metric {first.value!r} is not in METRIC_CATALOG — "
+                            "declare it in repro.obs.registry and the "
+                            "obs-discipline mirror first",
+                        )
+                elif not dynamic_ok:
+                    yield ctx.finding(
+                        self.rule,
+                        node,
+                        f".{factory}(...) with a non-literal metric name — "
+                        "outside repro.obs, metric names must be catalog "
+                        "literals so this rule can check them",
+                    )

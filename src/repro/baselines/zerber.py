@@ -129,7 +129,7 @@ class ZerberClient:
         # Zerber downloads the WHOLE merged list, so the skim is the
         # dominant client cost — batch it per group (the server already
         # filtered to groups this principal belongs to).
-        plaintexts = skim_plaintexts(elements, self._cipher)
+        plaintexts, _ = skim_plaintexts(elements, self._cipher)
         hits: list[RankedHit] = []
         for element, plaintext in zip(elements, plaintexts):
             if plaintext is None:

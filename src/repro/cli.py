@@ -212,6 +212,206 @@ def cmd_restore(args: argparse.Namespace) -> int:
     return _run_query(service, cluster, plan, model, groups, args, with_trace=False)
 
 
+def _scripted_workload(
+    telemetry,
+) -> tuple[ZerberRSystem, object, object]:
+    """Build a small deterministic deployment and exercise every layer.
+
+    The workload behind ``repro-index metrics`` / ``trace``: index a
+    synthetic corpus into an instrumented 3-server cluster (replication
+    2, 1-tick lag, anti-entropy, failover elections, monitor attached),
+    run coalesced coordinator sessions plus direct reads and writes at
+    each consistency level, force a failover election, and snapshot the
+    cluster to a scratch file — so the emitted registry covers the
+    coordinator, cluster read/write, replication, view and persist
+    metric families in one run.
+    """
+    import tempfile
+
+    from repro.core.protocol import FetchRequest
+
+    corpus = Corpus(name="scripted")
+    for i in range(24):
+        group = f"g{i % 3}"
+        words = [
+            "alpha",
+            "beta",
+            "gamma",
+            "delta",
+            f"term{i % 5}",
+            "shared",
+            f"word{i}",
+        ]
+        corpus.add(
+            Document(doc_id=f"doc-{i:02d}", group=group, text=" ".join(words))
+        )
+    service = _key_service(DEFAULT_SECRET, corpus.groups())
+    system = ZerberRSystem.build(
+        corpus, SystemConfig(seed=11, training_fraction=0.9), key_service=service
+    )
+    cluster, coordinator = system.deploy_cluster(
+        num_servers=3,
+        replication=2,
+        lag=1,
+        anti_entropy_every=4,
+        failover_after=2,
+        telemetry=telemetry,
+        monitor_every=2,
+        read_strategy="rotate",
+    )
+    client = system.client_for("superuser", server=cluster)
+
+    # Coalesced coordinator sessions (coordinator + envelope + skim).
+    sessions = [
+        coordinator.open_session(client, ["alpha", "beta", "shared"], k=3),
+        coordinator.open_session(client, ["gamma", "shared"], k=2),
+    ]
+    ticks = 0
+    while any(not s.done for s in sessions) and ticks < 64:
+        coordinator.tick()
+        cluster.replication_tick()
+        ticks += 1
+
+    # Direct reads at every consistency level (read-path histograms).
+    list_id = system.merge_plan.list_of("alpha")
+    for consistency in ("one", "primary", "quorum"):
+        cluster.fetch(
+            FetchRequest(
+                principal="superuser", list_id=list_id, offset=0, count=2
+            ),
+            consistency=consistency,
+        )
+
+    # Writes at every consistency level (write counters, ack latency).
+    owner = system.client_for("owner:g0")
+    doc = next(iter(corpus.documents_in_group("g0")))
+    doc_stats = corpus.stats(doc.doc_id)
+    for consistency in ("one", "quorum", "all"):
+        target_list, element = owner.build_element("alpha", doc_stats, "g0")
+        cluster.insert("owner:g0", target_list, element, consistency=consistency)
+    for _ in range(4):
+        cluster.replication_tick()
+
+    # A failover election inside a monitor window (election counters).
+    victim = cluster.replicas_of(list_id)[0]
+    cluster.fail_server(victim)
+    for _ in range(4):
+        cluster.replication_tick()
+    cluster.restore_server(victim)
+    cluster.run_replication_until_quiet()
+
+    # A snapshot (persist metrics) to a scratch file.
+    with tempfile.TemporaryDirectory() as scratch:
+        system.snapshot_cluster(Path(scratch) / "snapshot.json", cluster)
+    return system, cluster, coordinator
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        Path(output).write_text(text + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the scripted workload and emit the metrics registry."""
+    from repro.obs import Telemetry, metrics_to_json, metrics_to_text
+
+    telemetry = Telemetry()
+    _scripted_workload(telemetry)
+    snapshot = telemetry.registry.snapshot()
+    monitor = telemetry.monitor
+    if args.format == "json":
+        _emit(metrics_to_json(snapshot, monitor=monitor), args.output)
+    else:
+        _emit(metrics_to_text(snapshot), args.output)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced multi-term query and emit its span tree."""
+    from repro.obs import Telemetry, trace_to_json, trace_to_text
+
+    telemetry = Telemetry()
+    system, cluster, coordinator = _scripted_workload(telemetry)
+    client = system.client_for("superuser", server=cluster)
+    session = coordinator.open_session(
+        client, ["alpha", "beta", "shared"], k=args.k
+    )
+    ticks = 0
+    while not session.done and ticks < 64:
+        coordinator.tick()
+        cluster.replication_tick()
+        ticks += 1
+    session.result()
+    trace = next(
+        (t for t in telemetry.tracer.traces() if t.trace_id == session.trace_id),
+        None,
+    )
+    if trace is None:
+        print("error: traced session left no recorded trace", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _emit(trace_to_json(trace), args.output)
+    else:
+        _emit(trace_to_text(trace), args.output)
+    return 0
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Recover a snapshot and show its availability / failover state."""
+    service = GroupKeyService(master_secret=bytes.fromhex(args.secret))
+    try:
+        cluster, _, _ = load_cluster(args.snapshot, service)
+    except OSError as error:
+        print(f"error: cannot read snapshot: {error}", file=sys.stderr)
+        return 2
+    repl = cluster.replication_manager
+    tick = repl.tick_count
+    timers = cluster.unreachable_since()
+    backlog = cluster.replication_backlog()
+    per_server_behind: dict[int, int] = {}
+    for (_, server_index), depth in backlog.items():
+        per_server_behind[server_index] = (
+            per_server_behind.get(server_index, 0) + depth
+        )
+    print(f"cluster: {args.snapshot}")
+    print(
+        f"  servers={cluster.num_servers} replication={cluster.replication} "
+        f"epoch={cluster.placement_epoch} tick={tick} "
+        f"failover_after={cluster.failover_after}"
+    )
+    for server_index in range(cluster.num_servers):
+        alive = cluster.is_alive(server_index)
+        paused = repl.is_paused(server_index)
+        state = "up" if alive else "DOWN"
+        if paused:
+            state += ",partitioned"
+        line = f"  server {server_index}: {state}"
+        since = timers.get(server_index)
+        if since is not None:
+            line += f"  unreachable_since=tick {since}"
+            if cluster.failover_after is not None:
+                remaining = cluster.failover_after - (tick - since)
+                if remaining > 0:
+                    line += f"  election in {remaining} tick(s)"
+                else:
+                    line += "  election due"
+        behind = per_server_behind.get(server_index, 0)
+        if behind:
+            line += f"  backlog={behind} op(s)"
+        print(line)
+    history = cluster.failover_history()
+    print(f"  failover history : {len(history)} election(s)")
+    for event in history:
+        print(
+            f"    tick {event.tick}: list {event.list_id} primary "
+            f"{event.old_primary} -> {event.new_primary}"
+        )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the zlint invariant checks (see repro.analysis)."""
     from repro.analysis.framework import main as zlint_main
@@ -295,6 +495,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--groups", nargs="*", help="restrict the principal's group memberships"
     )
     p_restore.set_defaults(func=cmd_restore)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a scripted workload on an instrumented cluster and emit "
+        "the metrics registry",
+    )
+    p_metrics.add_argument("--format", choices=("json", "text"), default="json")
+    p_metrics.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one traced multi-term query and emit its span tree"
+    )
+    p_trace.add_argument("--format", choices=("json", "text"), default="text")
+    p_trace.add_argument("--k", type=int, default=3)
+    p_trace.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_status = sub.add_parser(
+        "cluster-status",
+        help="show a snapshot's per-replica availability and failover state",
+    )
+    p_status.add_argument("--snapshot", required=True)
+    p_status.set_defaults(func=cmd_cluster_status)
 
     p_lint = sub.add_parser(
         "lint", help="run the zlint invariant checks over source paths"

@@ -48,6 +48,8 @@ from repro.core.server import ZerberRServer
 from repro.crypto.cipher import NonceSequence, StreamCipher
 from repro.crypto.keys import GroupKeyService
 from repro.errors import ProtocolError, UnknownTermError
+from repro.obs.instruments import ClientInstruments, Telemetry
+from repro.obs.trace import Span
 from repro.index.merge import MergePlan
 from repro.index.postings import EncryptedPostingElement, PostingElement
 from repro.text.analysis import DocumentStats
@@ -66,7 +68,7 @@ def skim_plaintexts(
     elements: Sequence[EncryptedPostingElement],
     cipher_for: Callable[[str], StreamCipher],
     readable: set[str] | frozenset[str] | None = None,
-) -> list[bytes | None]:
+) -> tuple[list[bytes | None], int]:
     """Batch-decrypt a fetched slice, one entry per element in order.
 
     Groups the elements per owning group and runs one
@@ -75,19 +77,28 @@ def skim_plaintexts(
     one cipher call per readable group rather than one per element.
     Elements whose group is not in *readable* (``None`` = skim all) and
     elements that fail authentication yield ``None``.
+
+    Returns the plaintexts plus this batch's decrypt-memo hit count —
+    counted here with two attribute reads per touched cipher, so the
+    telemetry layer never has to re-walk the caller's cipher table on
+    the skim hot path.
     """
     by_group: dict[str, list[int]] = {}
     for index, element in enumerate(elements):
         if readable is None or element.group in readable:
             by_group.setdefault(element.group, []).append(index)
     plaintexts: list[bytes | None] = [None] * len(elements)
+    memo_hits = 0
     for group, indices in by_group.items():
-        decrypted = cipher_for(group).try_decrypt_many(
+        cipher = cipher_for(group)
+        hits_before = cipher.memo_hits
+        decrypted = cipher.try_decrypt_many(
             [elements[i].ciphertext for i in indices]
         )
+        memo_hits += cipher.memo_hits - hits_before
         for i, plaintext in zip(indices, decrypted):
             plaintexts[i] = plaintext
-    return plaintexts
+    return plaintexts, memo_hits
 
 
 @dataclass(frozen=True)
@@ -163,7 +174,10 @@ class _TermSession:
         self.done = max_requests < 1
 
     def next_request(
-        self, principal: str, min_version: int | None = None
+        self,
+        principal: str,
+        min_version: int | None = None,
+        trace_id: int | None = None,
     ) -> FetchRequest:
         return FetchRequest(
             principal=principal,
@@ -171,6 +185,7 @@ class _TermSession:
             offset=self.offset,
             count=self.policy.response_size(self.request_number),
             min_version=min_version,
+            trace_id=trace_id,
         )
 
     def ranked_hits(self) -> tuple[RankedHit, ...]:
@@ -204,6 +219,20 @@ class ClientQuerySession:
         self.batch_trace = BatchQueryTrace(
             terms=tuple(s.term for s in sessions), k=k
         )
+        # The session root span outlives any call frame (a coordinator
+        # advances it across many scheduling ticks), so it is the one
+        # sanctioned begin/end trace pair; everything below it uses the
+        # context-manager span API.  trace_id rides every FetchRequest.
+        self._tracer = client._obs.tracer
+        self.trace_id: int | None = None
+        if client._obs.enabled:
+            self.trace_id = self._tracer.begin_trace(
+                "query",
+                principal=self.principal,
+                terms=len(sessions),
+                k=k,
+            )
+        self.rounds = 0
 
     @property
     def backend(self) -> ZerberRServer:
@@ -229,7 +258,11 @@ class ClientQuerySession:
         served at the max of the sharing sessions' floors).
         """
         return tuple(
-            s.next_request(self.principal, self._client.version_floor(s.list_id))
+            s.next_request(
+                self.principal,
+                self._client.version_floor(s.list_id),
+                self.trace_id,
+            )
             for s in self._sessions
             if not s.done
         )
@@ -243,11 +276,23 @@ class ClientQuerySession:
             raise ProtocolError(
                 f"expected {len(active)} responses, got {len(responses)}"
             )
-        self.batch_trace.record_round(
-            BatchFetchResponse(responses=tuple(responses))
-        )
-        for session, response in zip(active, responses):
-            self._client._absorb_response(session, response)
+        # One span covers the whole round; it is named for the decrypt
+        # skim that dominates it.  A span per term slice (inside
+        # ``_decrypt_matches``) measurably ate the ``bench_hotpath``
+        # instrumentation budget, and per-term element counts are already
+        # on the ``crypto_skim_*`` counters.
+        with self._tracer.span(
+            "skim", trace=self.trace_id, slices=len(responses)
+        ) as skim_span:
+            self.batch_trace.record_round(
+                BatchFetchResponse(responses=tuple(responses))
+            )
+            for session, response in zip(active, responses):
+                self._client._absorb_response(session, response)
+            self._client._flush_skim(skim_span)
+        self.rounds += 1
+        if self.done:
+            self._tracer.end_trace(self.trace_id)
 
     def result(self) -> MultiQueryResult:
         """Aggregate ranking once every term session has finished.
@@ -257,6 +302,7 @@ class ClientQuerySession:
         """
         if not self.done:
             raise ProtocolError("query session still has active terms")
+        self._tracer.end_trace(self.trace_id)  # no-op unless never delivered
         scores: dict[str, float] = {}
         for session in self._sessions:
             for hit in session.ranked_hits():
@@ -288,6 +334,23 @@ class ZerberRClient:
         self._rstf = rstf_model
         self._plan = merge_plan
         self._ciphers: dict[str, StreamCipher] = {}
+        # Telemetry is discovered from the backend (duck-typed, like
+        # primary_version below): a cluster deployed with a Telemetry
+        # exposes it, a bare server does not, and the client stays usable
+        # against both.  With no telemetry every instrument is a no-op.
+        self.telemetry: Telemetry | None = getattr(server, "telemetry", None)
+        self._obs = ClientInstruments(self.telemetry)
+        # Cumulative skim tallies, kept as plain ints on the decrypt
+        # path (one add per term slice) and mirrored into the bound
+        # counters once per delivery round / query by
+        # :meth:`_flush_skim` — two counter updates per round instead
+        # of two per term, which is what the bench_hotpath
+        # instrumentation budget demands.  The ``*_flushed`` watermarks
+        # track what the registry has already seen.
+        self._skim_elements = 0
+        self._skim_memo_hits = 0
+        self._skim_elements_flushed = 0
+        self._skim_memo_flushed = 0
         # Session-consistency tokens: list_id -> highest replication-log
         # version this client has written or read (the floor its future
         # reads of the list must reflect — read-your-writes + monotonic
@@ -486,6 +549,8 @@ class ZerberRClient:
                 )
             )
             self._absorb_response(session, response)
+        if self._obs.enabled:
+            self._flush_skim(None)
         return QueryResult(hits=session.ranked_hits(), trace=session.trace)
 
     @staticmethod
@@ -523,9 +588,12 @@ class ZerberRClient:
         slice costs one cipher call per readable group rather than one
         per element.
         """
-        plaintexts = skim_plaintexts(
+        plaintexts, memo_hits = skim_plaintexts(
             elements, self._cipher, self._readable_groups()
         )
+        if self._obs.enabled:
+            self._skim_elements += len(elements)
+            self._skim_memo_hits += memo_hits
         matches: list[RankedHit] = []
         trs_values: list[float] = []
         for element, plaintext in zip(elements, plaintexts):
@@ -542,6 +610,25 @@ class ZerberRClient:
                 )
                 trs_values.append(element.trs if element.trs is not None else 0.0)
         return matches, trs_values
+
+    def _flush_skim(self, span: Span | None) -> None:
+        """Mirror the plain-int skim tallies into the bound counters.
+
+        Called once per delivery round (and once per self-driven
+        :meth:`query`) instead of once per term slice — the watermark
+        diff keeps the registry totals exact while taking the counter
+        updates off the per-slice decrypt path.
+        """
+        elements = self._skim_elements - self._skim_elements_flushed
+        if elements:
+            self._skim_elements_flushed = self._skim_elements
+            self._obs.skim_elements.inc(elements)
+        memo = self._skim_memo_hits - self._skim_memo_flushed
+        if memo:
+            self._skim_memo_flushed = self._skim_memo_hits
+            self._obs.skim_memo_hits.inc(memo)
+            if span is not None:
+                span.annotate(memo_hits=memo)
 
     def query_multi_batched(
         self,

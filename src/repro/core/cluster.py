@@ -91,6 +91,12 @@ from repro.errors import (
     UnknownListError,
 )
 from repro.index.postings import EncryptedPostingElement
+from repro.obs.instruments import (
+    ClusterInstruments,
+    ReplicationInstruments,
+    Telemetry,
+)
+from repro.obs.monitor import ClusterMonitor
 
 
 class ServerCluster:
@@ -110,6 +116,7 @@ class ServerCluster:
         anti_entropy_every: int | None = None,
         write_consistency: WriteConsistency | str | None = None,
         failover_after: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError("need at least one server")
@@ -143,6 +150,10 @@ class ServerCluster:
         self._unreachable_since: dict[int, int] = {}
         self._failover_history: list[FailoverEvent] = []
         self._read_selector = coerce_read_selector(read_strategy, seed=read_seed)
+        self.telemetry = telemetry
+        self._obs = ClusterInstruments(telemetry)
+        self._repl_obs = ReplicationInstruments(telemetry)
+        self._monitor: ClusterMonitor | None = None
         self._repl = ReplicationManager(
             self._servers,
             replicas_of=self.replicas_of,
@@ -150,7 +161,21 @@ class ServerCluster:
             num_lists=num_lists,
             lag=lag,
             anti_entropy_every=anti_entropy_every,
+            instruments=self._repl_obs,
         )
+        if telemetry is not None:
+            # The replication tick counter is THE telemetry clock; read
+            # through self._repl so a restore_topology swap stays bound.
+            telemetry.bind_clock(lambda: self._repl.tick_count)
+            self._obs.register_collectors(
+                telemetry,
+                replication_stats=lambda: self._repl.stats,
+                view_stats=self.view_stats,
+                list_heat=self.list_heat,
+                list_write_heat=self.list_write_heat,
+                per_server_load=self.per_server_load,
+                log_lengths=lambda: self._repl.log_lengths(),
+            )
 
     # -- topology -----------------------------------------------------------
 
@@ -230,7 +255,19 @@ class ServerCluster:
         applied = self._repl.tick()
         if self.failover_after is not None:
             self.check_failovers()
+        if self._monitor is not None:
+            self._monitor.maybe_sample(self, self._repl.tick_count)
         return applied
+
+    def attach_monitor(self, monitor: ClusterMonitor) -> None:
+        """Sample *monitor* from :meth:`replication_tick` from now on."""
+        self._monitor = monitor
+        if self.telemetry is not None:
+            self.telemetry.monitor = monitor
+
+    @property
+    def monitor(self) -> ClusterMonitor | None:
+        return self._monitor
 
     def pause_follower(self, index: int) -> None:
         """Partition one server from replication traffic (reads still work)."""
@@ -346,6 +383,7 @@ class ServerCluster:
         )
         self._failover_history.append(event)
         self._repl.stats.failovers += 1
+        self._obs.elections.inc()
         return event
 
     def failover_history(self) -> list[FailoverEvent]:
@@ -429,6 +467,7 @@ class ServerCluster:
         ack_capable = [primary] if self._alive[primary] else []
         ack_capable += [s for s in replicas[1:] if self._reachable(s)]
         if len(ack_capable) < needed:
+            self._obs.quorum_refusals.inc()
             raise QuorumWriteUnavailableError(
                 list_id,
                 len(replicas),
@@ -563,6 +602,7 @@ class ServerCluster:
             for server_index in replicas:
                 self._servers[server_index].insert(principal, list_id, element)
             self._repl.record_synchronous(list_id, 1)
+            self._obs.writes.inc(1.0, consistency=consistency.value)
             return
         self._check_write_quorum(list_id, consistency)
         self._ensure_primary_current(list_id)
@@ -572,6 +612,7 @@ class ServerCluster:
         self._repl.record_insert(list_id, element)
         self._force_write_acks(list_id, consistency)
         self._repl.deliver_due()
+        self._obs.writes.inc(1.0, consistency=consistency.value)
 
     def insert_many(
         self,
@@ -638,6 +679,7 @@ class ServerCluster:
             for list_id in touched:
                 self._force_write_acks(list_id, consistency)
             self._repl.deliver_due()
+        self._obs.writes.inc(float(len(items)), consistency=consistency.value)
         return len(items)
 
     def delete_element(
@@ -659,6 +701,7 @@ class ServerCluster:
                     removed_any = True
             if removed_any:
                 self._repl.record_synchronous(list_id, 1)
+            self._obs.writes.inc(1.0, consistency=consistency.value)
             return removed_any
         self._check_write_quorum(list_id, consistency)
         self._ensure_primary_current(list_id)
@@ -669,6 +712,7 @@ class ServerCluster:
             self._repl.record_delete(list_id, ciphertext)
             self._force_write_acks(list_id, consistency)
             self._repl.deliver_due()
+        self._obs.writes.inc(1.0, consistency=consistency.value)
         return removed
 
     # -- read path -------------------------------------------------------------
@@ -879,14 +923,20 @@ class ServerCluster:
         if envelope.epoch is not None and envelope.epoch != self._epoch:
             raise StaleEpochError(envelope.epoch, self._epoch)
         consistency = self._resolve_consistency(consistency)
-        raw = self._servers[server_index].coalesced_fetch(envelope)
-        flat_requests = [
-            request for batch in envelope.batches for request in batch.requests
-        ]
-        finalized = tuple(
-            self._finalize_read(request, server_index, response, consistency)
-            for request, response in zip(flat_requests, raw.responses)
-        )
+        with self._obs.tracer.span(
+            "serve",
+            trace=envelope.trace_id,
+            server=server_index,
+            slices=len(envelope),
+        ):
+            raw = self._servers[server_index].coalesced_fetch(envelope)
+            flat_requests = [
+                request for batch in envelope.batches for request in batch.requests
+            ]
+            finalized = tuple(
+                self._finalize_read(request, server_index, response, consistency)
+                for request, response in zip(flat_requests, raw.responses)
+            )
         return CoalescedBatchResponse(
             responses=finalized, slice_ids=raw.slice_ids, epoch=raw.epoch
         )
@@ -917,11 +967,23 @@ class ServerCluster:
         list_id = request.list_id
         version = self._repl.applied_version(list_id, server_index)
         head = self._repl.head_version(list_id)
+        if self._obs.enabled:
+            read_counter, lag_histogram = self._obs.read_instruments(
+                consistency.value
+            )
+            read_counter.inc()
+            lag_histogram.observe(
+                float(self._repl.pending_lag_ticks(list_id, server_index))
+            )
         if version >= head:
             return dataclass_replace(response, replica_version=version)
         self._repl.observe_staleness(head - version)
-        if self._repl.sync(list_id, server_index):
-            self._repl.stats.read_repairs += 1
+        self._obs.read_staleness.observe(float(head - version))
+        with self._obs.tracer.span(
+            "read-repair", list=list_id, server=server_index, staleness=head - version
+        ):
+            if self._repl.sync(list_id, server_index):
+                self._repl.stats.read_repairs += 1
         if consistency is ReadConsistency.QUORUM:
             # Quorum reads repair every stale live replica they examined.
             for other in self.replicas_of(list_id):
@@ -976,6 +1038,20 @@ class ServerCluster:
             for list_id, count in server.fetch_counts.items():
                 heat[list_id] = heat.get(list_id, 0) + count
         return heat
+
+    def list_write_heat(self) -> dict[int, int]:
+        """Cumulative acknowledged write ops per list (log head versions).
+
+        The write-side twin of :meth:`list_heat`: the replication log
+        head counts every acknowledged mutation of a list regardless of
+        which path (synchronous or logged) carried it, so the monitor's
+        write-heat deltas are "ops per sampling period" — the placement
+        forecaster's second input signal.
+        """
+        return {
+            list_id: self._repl.head_version(list_id)
+            for list_id in range(self._num_lists)
+        }
 
     def rebalance(self) -> dict[int, tuple[int, ...]]:
         """Ask the placement policy for heat-driven moves and apply them.
@@ -1077,6 +1153,7 @@ class ServerCluster:
             num_lists=self._num_lists,
             lag=self._repl.lag,
             anti_entropy_every=self._repl.anti_entropy_every,
+            instruments=self._repl_obs,
         )
 
     def _migrate_list(self, list_id: int, targets: tuple[int, ...]) -> None:

@@ -92,6 +92,14 @@ class FetchRequest:
     floor; a cluster read below the floor is repaired and re-served.  It
     reveals only how recently the session last touched the list —
     strictly less than the query-observation channel already leaks.
+
+    ``trace_id`` is the telemetry trace-context id (see
+    :mod:`repro.obs.trace`): set, it ties every hop this slice takes —
+    coalesce, envelope, serve, skim — back to the issuing session's
+    span tree.  ``None`` (the default) means tracing is off; the server
+    treats the field as opaque, and it carries no query content beyond
+    "these slices belong to one session", which the coalesced envelope
+    already reveals.
     """
 
     principal: str
@@ -99,6 +107,7 @@ class FetchRequest:
     offset: int
     count: int
     min_version: int | None = None
+    trace_id: int | None = None
 
     def __post_init__(self) -> None:
         if self.offset < 0:
@@ -197,12 +206,16 @@ class CoalescedBatchRequest:
     order) and must be unique within the envelope — they are the
     coordinator's demultiplexing handles, opaque to the server.
     ``epoch`` is the placement epoch the envelope was routed under;
-    ``None`` means "unrouted" (direct single-server use).
+    ``None`` means "unrouted" (direct single-server use).  ``trace_id``
+    names the telemetry span tree the envelope is recorded under — the
+    coordinator attributes each tick's shared coalescing work to the
+    oldest admitted session's trace (``None`` when tracing is off).
     """
 
     batches: tuple[BatchFetchRequest, ...]
     slice_ids: tuple[int, ...]
     epoch: int | None = None
+    trace_id: int | None = None
 
     def __post_init__(self) -> None:
         if not self.batches:

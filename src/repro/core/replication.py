@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.index.postings import EncryptedPostingElement
+from repro.obs.instruments import ReplicationInstruments
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.server import ZerberRServer
@@ -392,6 +393,7 @@ class ReplicationManager:
         num_lists: int,
         lag: LagModel | int | None = None,
         anti_entropy_every: int | None = None,
+        instruments: ReplicationInstruments | None = None,
     ) -> None:
         if anti_entropy_every is not None and anti_entropy_every < 1:
             raise ConfigurationError("anti_entropy_every must be >= 1")
@@ -400,13 +402,17 @@ class ReplicationManager:
         self._alive = server_alive
         self.lag = LagModel.coerce(lag)
         self.anti_entropy_every = anti_entropy_every
+        self._obs = (
+            instruments if instruments is not None else ReplicationInstruments(None)
+        )
         self._logs: dict[int, ReplicationLog] = {
             list_id: ReplicationLog(list_id) for list_id in range(num_lists)
         }
         # (list_id, server) -> applied log seq; one entry per current replica.
         self._applied: dict[tuple[int, int], int] = {}
-        # (list_id, server) -> FIFO of (due_tick, upto_seq) deliveries.
-        self._due: dict[tuple[int, int], deque[tuple[int, int]]] = {}
+        # (list_id, server) -> FIFO of (due_tick, upto_seq, recorded_tick)
+        # deliveries; the recorded tick is what ack latency is measured from.
+        self._due: dict[tuple[int, int], deque[tuple[int, int, int]]] = {}
         self._paused: set[int] = set()
         self.tick_count = 0
         self.stats = ReplicationStats()
@@ -515,7 +521,7 @@ class ReplicationManager:
         for follower in replicas[1:]:
             due = self.tick_count + self.lag.delay_for(follower)
             self._due.setdefault((list_id, follower), deque()).append(
-                (due, op.seq)
+                (due, op.seq, self.tick_count)
             )
         return op
 
@@ -546,7 +552,8 @@ class ReplicationManager:
                 continue
             upto = None
             while queue and queue[0][0] <= self.tick_count:
-                upto = queue.popleft()[1]
+                _, upto, recorded = queue.popleft()
+                self._obs.ack_latency.observe(float(self.tick_count - recorded))
             if upto is not None:
                 total += self._apply_ops(list_id, server_index, upto)
             if not queue:
@@ -637,7 +644,7 @@ class ReplicationManager:
         if at_version < head:
             due = self.tick_count + self.lag.delay_for(server_index)
             self._due.setdefault((list_id, server_index), deque()).append(
-                (due, head)
+                (due, head, self.tick_count)
             )
 
     def drop_replica(self, list_id: int, server_index: int) -> None:
@@ -740,6 +747,25 @@ class ReplicationManager:
             self.stats.stale_reads_detected += 1
             if staleness > self.stats.max_staleness_seen:
                 self.stats.max_staleness_seen = staleness
+
+    def pending_lag_ticks(self, list_id: int, server_index: int) -> int:
+        """Ticks until the last scheduled delivery to one replica is due.
+
+        0 means the replica has nothing scheduled (it is at the head, or
+        its remaining staleness has no delivery yet — e.g. it is paused
+        with its queue drained by a sync).  This is the tick-denominated
+        answer to "how long until a read from this replica would be
+        fresh", which the cluster's per-consistency read-latency
+        histogram observes.
+        """
+        queue = self._due.get((list_id, server_index))
+        if not queue:
+            return 0
+        return max(0, queue[-1][0] - self.tick_count)
+
+    def log_lengths(self) -> dict[int, int]:
+        """Retained (untruncated) op count per list's replication log."""
+        return {list_id: len(log) for list_id, log in self._logs.items()}
 
     def backlog(self) -> dict[tuple[int, int], int]:
         """Current staleness per (list, server) pair, stale pairs only."""

@@ -57,6 +57,7 @@ from repro.core.protocol import (
     ResponsePolicy,
 )
 from repro.errors import ConfigurationError, ProtocolError, StaleEpochError
+from repro.obs.instruments import CoordinatorInstruments
 
 SliceKey = tuple[str, int, int, int]
 """Identity of a fetch slice: (principal, list_id, offset, count).
@@ -151,6 +152,12 @@ class Coordinator:
         self._max_sessions_per_tick = max_sessions_per_tick
         self._sessions: list[ClientQuerySession] = []
         self.stats = CoordinatorStats()
+        # Scheduling counters stay plain attribute increments on the hot
+        # loop; the collector mirrors them into the registry at snapshot
+        # time.  Direct instruments cover only what the stats cannot: the
+        # queue-depth gauge and the per-envelope / per-session histograms.
+        self._obs = CoordinatorInstruments(cluster.telemetry)
+        self._obs.register_stats_collector(cluster.telemetry, lambda: self.stats)
 
     @property
     def cluster(self) -> ServerCluster:
@@ -213,11 +220,25 @@ class Coordinator:
             self.stats.sessions_completed += len(finished)
             self._sessions = [s for s in self._sessions if not s.done]
         active = self._sessions
+        self._obs.queue_depth.set(float(len(active)))
         if not active:
             return False
         plan = self._gather(active)
-        responses = self._dispatch(plan)
-        self._demultiplex(plan, responses)
+        # One tick's coalescing is genuinely shared work; its span is
+        # attributed to the oldest admitted session's trace.  Everything
+        # below — envelopes, serves, delivery rounds, skims — nests under
+        # it through the tracer's call stack.
+        trace_ctx = (
+            plan.session_keys[0][0].trace_id if plan.session_keys else None
+        )
+        with self._obs.tracer.span(
+            "coalesce",
+            trace=trace_ctx,
+            sessions=len(plan.session_keys),
+            unique_slices=len(plan.unique),
+        ):
+            responses = self._dispatch(plan, trace_ctx)
+            self._demultiplex(plan, responses)
         self.stats.ticks += 1
         # One scheduling tick is one replication tick: follower deliveries
         # whose lag has elapsed land between envelopes, never mid-tick.
@@ -312,7 +333,9 @@ class Coordinator:
             return dataclass_replace(held, min_version=request.min_version)
         return held
 
-    def _dispatch(self, plan: _TickPlan) -> dict[int, FetchResponse]:
+    def _dispatch(
+        self, plan: _TickPlan, trace_ctx: int | None = None
+    ) -> dict[int, FetchResponse]:
         """Send one envelope per touched server (routes fixed at gather).
 
         An envelope the cluster rejects with
@@ -357,18 +380,33 @@ class Coordinator:
                     batches=tuple(batches),
                     slice_ids=tuple(slice_ids),
                     epoch=epoch,
+                    trace_id=trace_ctx,
                 )
-                try:
-                    response = self._cluster.serve_envelope(server_index, envelope)
-                except StaleEpochError:
-                    self.stats.stale_epoch_reroutes += 1
-                    retry.extend(
-                        (slice_id, request, self._cluster.route(request.list_id))
-                        for principal in sorted(by_principal)
-                        for slice_id, request in by_principal[principal]
-                    )
-                    continue
+                with self._obs.tracer.span(
+                    "envelope",
+                    trace=trace_ctx,
+                    server=server_index,
+                    slices=len(envelope),
+                ) as span:
+                    try:
+                        response = self._cluster.serve_envelope(
+                            server_index, envelope
+                        )
+                    except StaleEpochError:
+                        span.annotate(rerouted=True)
+                        self.stats.stale_epoch_reroutes += 1
+                        retry.extend(
+                            (
+                                slice_id,
+                                request,
+                                self._cluster.route(request.list_id),
+                            )
+                            for principal in sorted(by_principal)
+                            for slice_id, request in by_principal[principal]
+                        )
+                        continue
                 by_slice_id.update(response.by_slice_id())
+                self._obs.envelope_slices.observe(float(len(envelope)))
                 self.stats.server_calls += 1
                 self.stats.slices_sent += len(envelope)
             entries = retry
@@ -385,6 +423,7 @@ class Coordinator:
             session.deliver(responses)
             if session.done:
                 self.stats.sessions_completed += 1
+                self._obs.session_rounds.observe(float(session.rounds))
 
     def run_until_complete(self) -> int:
         """Tick until every submitted session is done; returns ticks run."""

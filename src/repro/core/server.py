@@ -31,7 +31,7 @@ log that the attack modules read.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.core.protocol import (
@@ -298,6 +298,30 @@ class ZerberRServer:
         merged.bulk_load_sorted_by_trs(elements)
         merged.version = version
         self._views.invalidate_list(list_id)
+
+    def restore_heat(
+        self, fetch_counts: Mapping[int, int], calls: int
+    ) -> None:
+        """Reinstall persisted per-list fetch counters and the call count.
+
+        Heat drives heat-weighted placement (and the monitor's read-heat
+        series); before it was persisted, every restart silently reset
+        the signal to zero and the first post-restart rebalance saw a
+        cold cluster.  Counter values must be non-negative; unknown list
+        ids are rejected (the snapshot and the topology travel together).
+        """
+        if calls < 0:
+            raise ProtocolError("calls served must be >= 0")
+        counts = dict(fetch_counts)
+        for list_id, count in counts.items():
+            if list_id not in self._lists:
+                raise UnknownListError(list_id)
+            if count < 0:
+                raise ProtocolError(
+                    f"list {list_id}: fetch count must be >= 0"
+                )
+        self._fetch_counts = counts
+        self._calls_served = calls
 
     def spill_views(self, limit: int) -> list[dict]:
         """Spill records of the hottest *fresh* readable views.

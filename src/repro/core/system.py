@@ -34,6 +34,7 @@ from repro.corpus.documents import Corpus
 from repro.crypto.keys import GroupKeyService
 from repro.errors import ConfigurationError
 from repro.index.merge import MergePlan, bfm_merge, greedy_pairing_merge, random_merge
+from repro.obs import ClusterMonitor, Telemetry
 from repro.text.vocabulary import Vocabulary
 
 MERGE_SCHEMES = ("bfm", "random", "greedy")
@@ -259,6 +260,9 @@ class ZerberRSystem:
         max_sessions_per_tick: int | None = None,
         write_consistency: WriteConsistency | str | None = None,
         failover_after: int | None = None,
+        telemetry: Telemetry | None = None,
+        monitor_every: int | None = None,
+        monitor_window: int = 64,
     ) -> tuple[ServerCluster, Coordinator]:
         """Stand up a sharded deployment of this system's index.
 
@@ -279,7 +283,20 @@ class ZerberRSystem:
         primary-only routing, no failover election — reproduce the
         synchronous seed behaviour byte-for-byte.  The ``max_*`` caps are
         the coordinator's admission control.
+
+        *telemetry* (see :mod:`repro.obs`) instruments every layer of the
+        deployment — coordinator, cluster read/write paths, replication,
+        views, clients obtained via ``client_for(p, server=cluster)`` —
+        and *monitor_every* additionally attaches a
+        :class:`~repro.obs.ClusterMonitor` sampling heat/load/backlog
+        every that many replication ticks into a *monitor_window*-sample
+        window.  Both default to off: an uninstrumented deployment runs
+        the seed code paths with shared no-op instruments.
         """
+        if monitor_every is not None and telemetry is None:
+            raise ConfigurationError(
+                "monitor_every requires telemetry to record samples into"
+            )
         cluster = ServerCluster(
             self.key_service,
             num_lists=self.merge_plan.num_lists,
@@ -292,7 +309,14 @@ class ZerberRSystem:
             anti_entropy_every=anti_entropy_every,
             write_consistency=write_consistency,
             failover_after=failover_after,
+            telemetry=telemetry,
         )
+        if monitor_every is not None and telemetry is not None:
+            cluster.attach_monitor(
+                ClusterMonitor(
+                    telemetry, every=monitor_every, window=monitor_window
+                )
+            )
         self._index_corpus(backend=cluster)
         return cluster, Coordinator(
             cluster,
@@ -337,6 +361,9 @@ class ZerberRSystem:
         rebalance_every: int | None = None,
         max_slices_per_envelope: int | None = None,
         max_sessions_per_tick: int | None = None,
+        telemetry: Telemetry | None = None,
+        monitor_every: int | None = None,
+        monitor_window: int = 64,
     ) -> tuple[ServerCluster, Coordinator]:
         """Recover a snapshotted cluster deployment of *this* system.
 
@@ -349,12 +376,23 @@ class ZerberRSystem:
         """
         from repro.persist import load_cluster
 
+        if monitor_every is not None and telemetry is None:
+            raise ConfigurationError(
+                "monitor_every requires telemetry to record samples into"
+            )
         cluster, merge_plan, _ = load_cluster(
             path,
             self.key_service,
             placement=placement,
             read_strategy=read_strategy,
+            telemetry=telemetry,
         )
+        if monitor_every is not None and telemetry is not None:
+            cluster.attach_monitor(
+                ClusterMonitor(
+                    telemetry, every=monitor_every, window=monitor_window
+                )
+            )
         if merge_plan != self.merge_plan:
             raise ConfigurationError(
                 f"{path}: snapshot was taken under a different merge plan; "

@@ -57,9 +57,14 @@ class StreamCipher:
 
     ``memo_capacity`` bounds the decrypt memo (entries, FIFO-evicted in
     halves); ``0`` disables memoisation entirely.
+
+    ``memo_hits`` counts skim decrypts answered straight from the memo
+    — a plain attribute (one integer add on the hit path) that the
+    client's telemetry instruments read and difference, so the cipher
+    itself stays free of any registry dependency.
     """
 
-    __slots__ = ("_enc", "_mac", "_memo", "_memo_capacity")
+    __slots__ = ("_enc", "_mac", "_memo", "_memo_capacity", "memo_hits")
 
     DEFAULT_MEMO_CAPACITY = 8192
 
@@ -74,6 +79,7 @@ class StreamCipher:
         self._mac = Prf(derive_key(master_key, "mac"))
         self._memo: dict[bytes, bytes] = {}
         self._memo_capacity = memo_capacity
+        self.memo_hits = 0
 
     def _memoise(self, ciphertext: bytes, plaintext: bytes) -> None:
         """Remember a *verified* decryption, evicting oldest when full."""
@@ -124,6 +130,7 @@ class StreamCipher:
         """
         cached = self._memo.get(ciphertext)
         if cached is not None:
+            self.memo_hits += 1
             return cached
         try:
             plaintext = self.decrypt(ciphertext)
@@ -155,9 +162,11 @@ class StreamCipher:
         memoise = self._memo_capacity > 0
         out: list[bytes | None] = []
         append = out.append
+        hits = 0  # batch-local tally; one attribute add after the loop
         for ciphertext in ciphertexts:
             cached = memo_get(ciphertext)
             if cached is not None:
+                hits += 1
                 append(cached)
                 continue
             if len(ciphertext) < floor:
@@ -180,6 +189,7 @@ class StreamCipher:
             if memoise:
                 self._memoise(ciphertext, plaintext)
             append(plaintext)
+        self.memo_hits += hits
         return out
 
     def decrypt_many(self, ciphertexts: Iterable[bytes]) -> list[bytes]:

@@ -1,0 +1,60 @@
+"""``repro.obs`` — dependency-free unified telemetry.
+
+Three cooperating pieces, all injectable and all deterministic under
+the ``repro.core`` rules (tick clock only, no wall time, no global
+state):
+
+* **Metrics** — :class:`MetricsRegistry` hands out catalog-validated
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments
+  with labeled series, plus snapshot / merge / reset.  The closed
+  catalog lives in :data:`METRIC_CATALOG`.
+* **Tracing** — :class:`Tracer` records per-request span trees
+  (query → coalesce → envelope → serve → skim → read-repair),
+  tick-stamped, in a bounded ring buffer; the trace-context id rides
+  the wire on ``FetchRequest`` / ``CoalescedBatchRequest``.
+* **Monitoring** — :class:`ClusterMonitor` samples the cluster every N
+  ticks into fixed-size time-series windows of per-list read/write
+  heat and per-server load — the input surface for ROADMAP item 2's
+  forecasters.
+
+:class:`Telemetry` bundles a registry and a tracer into the single
+object threaded through ``deploy_cluster`` and the layer constructors;
+``repro.obs.instruments`` holds the per-layer bound-instrument bundles
+so ``repro.core`` never names a metric itself (the ``obs-discipline``
+zlint rule enforces this).  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    metrics_to_dict,
+    metrics_to_json,
+    metrics_to_text,
+    trace_to_dict,
+    trace_to_json,
+    trace_to_text,
+)
+from repro.obs.instruments import Telemetry
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.monitor import ClusterMonitor, MonitorSample
+from repro.obs.registry import METRIC_CATALOG, MetricSpec, MetricsRegistry
+from repro.obs.trace import Span, Trace, Tracer
+
+__all__ = [
+    "METRIC_CATALOG",
+    "ClusterMonitor",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "MonitorSample",
+    "Span",
+    "Telemetry",
+    "Trace",
+    "Tracer",
+    "metrics_to_dict",
+    "metrics_to_json",
+    "metrics_to_text",
+    "trace_to_dict",
+    "trace_to_json",
+    "trace_to_text",
+]

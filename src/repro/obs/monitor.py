@@ -1,0 +1,172 @@
+"""Cluster monitor: fixed-size time-series windows over registry state.
+
+This is the input surface ROADMAP item 2's forecasters consume: every
+``every`` replication ticks the monitor takes one :class:`MonitorSample`
+— per-list read/write heat *deltas*, per-server load deltas, replica
+backlog depths, and the failover events that fired since the previous
+sample — into a ``deque(maxlen=window)``.  Deltas (not cumulative
+totals) are what a moving-average or linear forecaster wants: the
+series ``read_heat_series(list_id)`` is "fetches per sampling period",
+directly comparable across periods.
+
+The monitor is pull-only and duck-typed over the cluster surface
+(``list_heat`` / ``per_server_load`` / ``replication_backlog`` /
+``failover_history``), so it lives below ``repro.core`` without
+importing it.  Sampling also feeds the ``replication_replica_lag``
+histogram, the one distribution too expensive to observe per tick.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.obs.instruments import Telemetry
+
+
+class MonitoredCluster(Protocol):
+    """What the monitor needs from a cluster (structural, not nominal)."""
+
+    def list_heat(self) -> Mapping[int, int]: ...
+
+    def list_write_heat(self) -> Mapping[int, int]: ...
+
+    def per_server_load(self) -> Sequence[int]: ...
+
+    def replication_backlog(self) -> Mapping[tuple[int, int], int]: ...
+
+    def failover_history(self) -> Sequence[object]: ...
+
+
+@dataclass
+class MonitorSample:
+    """One sampling period: deltas since the previous sample."""
+
+    tick: int
+    read_heat: dict[int, int] = field(default_factory=dict)
+    write_heat: dict[int, int] = field(default_factory=dict)
+    server_load: list[int] = field(default_factory=list)
+    replica_backlog: dict[int, dict[int, int]] = field(default_factory=dict)
+    events: list[object] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "tick": self.tick,
+            "read_heat": {str(k): self.read_heat[k] for k in sorted(self.read_heat)},
+            "write_heat": {
+                str(k): self.write_heat[k] for k in sorted(self.write_heat)
+            },
+            "server_load": list(self.server_load),
+            "replica_backlog": {
+                str(list_id): {
+                    str(server): depth
+                    for server, depth in sorted(per_list.items())
+                }
+                for list_id, per_list in sorted(self.replica_backlog.items())
+            },
+            "events": [repr(event) for event in self.events],
+        }
+
+
+class ClusterMonitor:
+    """Samples a cluster every ``every`` ticks into a bounded window."""
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        *,
+        every: int = 8,
+        window: int = 64,
+    ) -> None:
+        if every < 1:
+            raise ValueError("monitor sampling period must be >= 1 tick")
+        if window < 1:
+            raise ValueError("monitor window must hold >= 1 sample")
+        self._telemetry = telemetry
+        self.every = every
+        self.window_size = window
+        self._samples: deque[MonitorSample] = deque(maxlen=window)
+        self._last_sample_tick: int | None = None
+        self._read_base: dict[int, int] = {}
+        self._write_base: dict[int, int] = {}
+        self._load_base: list[int] = []
+        self._events_seen = 0
+        self._lag_histogram = telemetry.registry.histogram(
+            "replication_replica_lag"
+        ).bind()
+
+    def maybe_sample(self, cluster: MonitoredCluster, tick: int) -> bool:
+        """Sample iff a full period elapsed; returns whether it did."""
+        if (
+            self._last_sample_tick is not None
+            and tick - self._last_sample_tick < self.every
+        ):
+            return False
+        self.sample(cluster, tick)
+        return True
+
+    def sample(self, cluster: MonitoredCluster, tick: int) -> MonitorSample:
+        read_now = dict(cluster.list_heat())
+        write_now = dict(cluster.list_write_heat())
+        load_now = list(cluster.per_server_load())
+        history = list(cluster.failover_history())
+        backlog: dict[int, dict[int, int]] = {}
+        for (list_id, server_index), depth in cluster.replication_backlog().items():
+            backlog.setdefault(list_id, {})[server_index] = depth
+        sample = MonitorSample(
+            tick=tick,
+            read_heat={
+                list_id: heat - self._read_base.get(list_id, 0)
+                for list_id, heat in read_now.items()
+            },
+            write_heat={
+                list_id: heat - self._write_base.get(list_id, 0)
+                for list_id, heat in write_now.items()
+            },
+            server_load=[
+                load - (self._load_base[i] if i < len(self._load_base) else 0)
+                for i, load in enumerate(load_now)
+            ],
+            replica_backlog=backlog,
+            events=history[self._events_seen :],
+        )
+        for per_list in backlog.values():
+            for depth in per_list.values():
+                self._lag_histogram.observe(float(depth))
+        self._read_base = read_now
+        self._write_base = write_now
+        self._load_base = load_now
+        self._events_seen = len(history)
+        self._last_sample_tick = tick
+        self._samples.append(sample)
+        return sample
+
+    # -- the forecaster-facing surface -----------------------------------
+
+    def window(self) -> list[MonitorSample]:
+        """Oldest-first samples, at most ``window_size`` of them."""
+        return list(self._samples)
+
+    def read_heat_series(self, list_id: int) -> list[int]:
+        return [sample.read_heat.get(list_id, 0) for sample in self._samples]
+
+    def write_heat_series(self, list_id: int) -> list[int]:
+        return [sample.write_heat.get(list_id, 0) for sample in self._samples]
+
+    def server_load_series(self, server: int) -> list[int]:
+        return [
+            sample.server_load[server] if server < len(sample.server_load) else 0
+            for sample in self._samples
+        ]
+
+    def events(self) -> list[object]:
+        return [event for sample in self._samples for event in sample.events]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "every": self.every,
+            "window_size": self.window_size,
+            "samples": [sample.to_dict() for sample in self._samples],
+        }

@@ -28,6 +28,7 @@ from __future__ import annotations
 import base64
 import json
 from pathlib import Path
+from time import perf_counter
 
 from repro.core.cluster import ServerCluster
 from repro.core.placement import PlacementPolicy, ReadSelector
@@ -36,6 +37,7 @@ from repro.core.rstf import RstfModel
 from repro.crypto.keys import GroupKeyService
 from repro.errors import ConfigurationError, ProtocolError, ReproError
 from repro.index.merge import MergePlan
+from repro.obs.instruments import PersistInstruments, Telemetry
 from repro.persist.atomic import atomic_write_text
 from repro.persist.encoders import (
     FORMAT_VERSION,
@@ -175,6 +177,19 @@ def cluster_to_dict(
             {
                 **server_to_dict(cluster.server(server_index)),
                 "views": cluster.server(server_index).spill_views(spill_views),
+                # Per-server heat (format-v2 extension; absent in older
+                # dumps — decode leaves the counters cold).  Persisting it
+                # fixes the stats amnesia that reset heat-weighted
+                # placement (and the monitor's heat series) every restart.
+                "heat": {
+                    "fetch_counts": {
+                        str(list_id): count
+                        for list_id, count in sorted(
+                            cluster.server(server_index).fetch_counts.items()
+                        )
+                    },
+                    "calls": cluster.server(server_index).num_calls,
+                },
             }
             for server_index in range(cluster.num_servers)
         ],
@@ -191,13 +206,16 @@ def cluster_from_dict(
     placement: PlacementPolicy | None = None,
     read_strategy: ReadSelector | str | None = None,
     read_seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> ServerCluster:
     """Recover a live cluster from a dumped ``cluster`` section.
 
     *placement* and *read_strategy* are runtime policy — code, not data —
     so they are supplied by the caller (defaults match the cluster
     defaults); the authoritative placement *table* and epoch come from
-    the dump regardless of the policy object.
+    the dump regardless of the policy object.  *telemetry*, likewise
+    runtime wiring, instruments the recovered cluster from its first
+    post-restore operation on.
     """
     try:
         num_lists = int(data["num_lists"])
@@ -226,6 +244,7 @@ def cluster_from_dict(
             anti_entropy_every=data.get("anti_entropy_every"),
             write_consistency=data.get("write_consistency"),
             failover_after=None if failover_after is None else int(failover_after),
+            telemetry=telemetry,
         )
         cluster.restore_topology(
             [tuple(replicas) for replicas in data["placement"]],
@@ -265,6 +284,23 @@ def cluster_from_dict(
         )
     for server_index, server_data in enumerate(servers_data):
         load_server_state(cluster.server(server_index), server_data, source)
+        heat = server_data.get("heat")
+        if heat is not None:  # absent in pre-extension dumps: stay cold
+            try:
+                cluster.server(server_index).restore_heat(
+                    {
+                        decode_list_id(list_id_str, num_lists, source): int(count)
+                        for list_id_str, count in heat.get(
+                            "fetch_counts", {}
+                        ).items()
+                    },
+                    int(heat.get("calls", 0)),
+                )
+            except (ReproError, TypeError, ValueError) as error:
+                raise ConfigurationError(
+                    f"{source}: corrupt cluster dump: server {server_index} "
+                    f"heat section: {error}"
+                ) from error
 
     repl = cluster.replication_manager
     state = data.get("replication_state", {})
@@ -349,8 +385,13 @@ def save_cluster(
 
     Like :func:`~repro.persist.save_index`, the dump holds only what the
     untrusted host tier stores (ciphertexts, TRS, group tags, logs) plus
-    the public setup artifacts — never keys.
+    the public setup artifacts — never keys.  An instrumented cluster
+    records snapshot size and duration into its telemetry registry
+    (wall-clock timing is fine here: ``repro.persist`` is outside the
+    determinism scope).
     """
+    obs = PersistInstruments(cluster.telemetry)
+    start = perf_counter()
     payload = {
         "format_version": FORMAT_VERSION,
         "kind": "cluster",
@@ -358,7 +399,11 @@ def save_cluster(
         "rstf_model": rstf_model_to_dict(rstf_model),
         "cluster": cluster_to_dict(cluster, spill_views=spill_views),
     }
-    atomic_write_text(path, json.dumps(payload))
+    text = json.dumps(payload)
+    atomic_write_text(path, text)
+    obs.snapshots.inc()
+    obs.snapshot_bytes.set(float(len(text.encode())))
+    obs.snapshot_seconds.set(perf_counter() - start)
 
 
 def load_cluster(
@@ -367,12 +412,14 @@ def load_cluster(
     placement: PlacementPolicy | None = None,
     read_strategy: ReadSelector | str | None = None,
     read_seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> tuple[ServerCluster, MergePlan, RstfModel]:
     """Recover a cluster snapshot against a (trusted) key service.
 
     The key service must already know the deployment's groups and
     principals — like :func:`~repro.persist.load_index`, only the
-    untrusted state is restored.
+    untrusted state is restored.  *telemetry* instruments the recovered
+    cluster and counts the restore.
     """
     payload = read_payload(path)
     version = payload.get("format_version")
@@ -407,5 +454,7 @@ def load_cluster(
         placement=placement,
         read_strategy=read_strategy,
         read_seed=read_seed,
+        telemetry=telemetry,
     )
+    PersistInstruments(telemetry).restores.inc()
     return cluster, merge_plan, rstf_model

@@ -28,6 +28,7 @@ RULE_FIXTURES = {
     "exception-discipline": ("exception_discipline", "repro.persist.fixture_mod"),
     "consistency-exhaustiveness": ("consistency", None),
     "export-sanity": ("export_sanity", None),
+    "obs-discipline": ("obs_discipline", "repro.core.fixture_mod"),
 }
 
 

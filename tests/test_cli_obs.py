@@ -1,0 +1,116 @@
+"""CLI tests for the telemetry subcommands: metrics, trace, cluster-status."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMetricsCommand:
+    def test_json_covers_every_metric_family(self, capsys):
+        assert main(["metrics"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema_version"] == 1
+        families = {name.split("_", 1)[0] for name in record["metrics"]}
+        assert {
+            "coordinator",
+            "cluster",
+            "replication",
+            "views",
+            "crypto",
+            "persist",
+        } <= families
+        assert record["monitor"]["samples"], "monitor window came back empty"
+
+    def test_scripted_workload_actually_exercises_the_paths(self, capsys):
+        assert main(["metrics"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        metrics = record["metrics"]
+
+        def total(name):
+            return sum(
+                entry["value"] for entry in metrics[name]["series"]
+            )
+
+        assert total("cluster_reads_total") > 0
+        assert total("cluster_writes_total") > 0
+        assert total("replication_elections_total") >= 1
+        assert total("crypto_skim_elements_total") > 0
+        assert total("persist_snapshots_total") >= 1
+        read_labels = {
+            entry["labels"]["consistency"]
+            for entry in metrics["cluster_reads_total"]["series"]
+        }
+        assert {"one", "primary", "quorum"} <= read_labels
+
+    def test_text_format(self, capsys):
+        assert main(["metrics", "--format", "text"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster_reads_total" in out
+        assert "replication_ack_latency_ticks" in out
+
+    def test_output_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["metrics", "--output", str(path)]) == 0
+        record = json.loads(path.read_text())
+        assert record["schema_version"] == 1
+
+
+class TestTraceCommand:
+    def test_text_shows_the_full_span_chain(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        for name in ("query", "coalesce", "envelope", "serve", "skim"):
+            assert name in out, f"span {name!r} missing from trace output"
+
+    def test_json_tree_is_nested(self, capsys):
+        assert main(["trace", "--format", "json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["root"]["name"] == "query"
+        assert record["root"]["children"], "root span has no children"
+
+
+@pytest.fixture(scope="module")
+def snapshot_file(tmp_path_factory, docs_dir):
+    path = tmp_path_factory.mktemp("snap") / "cluster.json"
+    code = main(
+        [
+            "snapshot",
+            "--input",
+            str(docs_dir),
+            "--output",
+            str(path),
+            "--servers",
+            "3",
+            "--replication",
+            "2",
+            "--lag",
+            "2",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def docs_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("docs")
+    group = root / "alpha"
+    group.mkdir()
+    (group / "a1.txt").write_text("reactor calibration reactor dosing")
+    (group / "a2.txt").write_text("dosing budget meeting notes calibration")
+    return root
+
+
+class TestClusterStatusCommand:
+    def test_prints_per_server_state(self, snapshot_file, capsys):
+        assert main(["cluster-status", "--snapshot", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "servers" in out
+        assert "server 0" in out
+        assert "failover history" in out
+
+    def test_missing_snapshot_errors(self, capsys, tmp_path):
+        code = main(["cluster-status", "--snapshot", str(tmp_path / "nope.json")])
+        assert code != 0

@@ -1,0 +1,126 @@
+"""Drift guards and targeted cases for the ``obs-discipline`` rule.
+
+The checker mirrors the metric catalog statically (zlint imports nothing
+from the runtime packages); these tests pin the mirror to the live
+catalog and the stats-mirror counters to the live dataclasses, so either
+side drifting fails CI instead of silently opening the namespace.
+"""
+
+import dataclasses
+
+from repro.analysis import analyze_source
+from repro.analysis.checkers.obs import CATALOG_METRIC_NAMES
+from repro.core.replication import ReplicationStats
+from repro.core.router import CoordinatorStats
+from repro.core.views import ViewStats
+from repro.obs.registry import (
+    CATALOG_BY_NAME,
+    COORDINATOR_STAT_FIELDS,
+    REPLICATION_STAT_FIELDS,
+    VIEW_STAT_FIELDS,
+)
+
+
+def _lint(source: str, module: str):
+    return analyze_source(source, module=module, rules=["obs-discipline"])
+
+
+class TestMirrorDriftGuards:
+    def test_checker_mirror_matches_the_live_catalog(self):
+        assert CATALOG_METRIC_NAMES == set(CATALOG_BY_NAME)
+
+    def test_every_coordinator_stats_field_is_mirrored(self):
+        fields = {f.name for f in dataclasses.fields(CoordinatorStats)}
+        assert fields == set(COORDINATOR_STAT_FIELDS)
+        for field in fields:
+            assert f"coordinator_{field}_total" in CATALOG_BY_NAME
+
+    def test_every_replication_stats_field_is_mirrored(self):
+        fields = {f.name for f in dataclasses.fields(ReplicationStats)}
+        # max_staleness_seen is a high-water mark -> mirrored as a gauge.
+        assert fields == set(REPLICATION_STAT_FIELDS) | {"max_staleness_seen"}
+        for field in REPLICATION_STAT_FIELDS:
+            assert f"replication_{field}_total" in CATALOG_BY_NAME
+        assert "replication_max_staleness" in CATALOG_BY_NAME
+
+    def test_every_view_stats_field_is_mirrored(self):
+        fields = {f.name for f in dataclasses.fields(ViewStats)}
+        assert fields == set(VIEW_STAT_FIELDS)
+        for field in fields:
+            assert f"views_{field}_total" in CATALOG_BY_NAME
+
+
+class TestCatalogNameSubRule:
+    """The literal-name check applies outside repro.core too."""
+
+    def test_undeclared_literal_name_fires(self):
+        findings = _lint(
+            "def wire(registry):\n"
+            "    return registry.counter('made_up_total')\n",
+            module="repro.obs.instruments",
+        )
+        assert [f.rule for f in findings] == ["obs-discipline"]
+        assert "made_up_total" in findings[0].message
+
+    def test_catalog_literal_is_clean(self):
+        findings = _lint(
+            "def wire(registry):\n"
+            "    return registry.counter('cluster_reads_total')\n",
+            module="repro.obs.instruments",
+        )
+        assert findings == []
+
+    def test_dynamic_names_allowed_only_inside_repro_obs(self):
+        source = (
+            "def wire(registry, name):\n"
+            "    return registry.histogram(name)\n"
+        )
+        assert _lint(source, module="repro.obs.instruments") == []
+        findings = _lint(source, module="repro.persist.fixture_mod")
+        assert [f.rule for f in findings] == ["obs-discipline"]
+        assert "non-literal" in findings[0].message
+
+    def test_bare_function_named_counter_is_not_instrument_creation(self):
+        findings = _lint(
+            "def counter(x):\n"
+            "    return x\n"
+            "def use():\n"
+            "    return counter('anything')\n",
+            module="repro.persist.fixture_mod",
+        )
+        assert findings == []
+
+
+class TestCoreSubRules:
+    def test_span_inside_with_is_sanctioned(self):
+        findings = _lint(
+            "def serve(tracer):\n"
+            "    with tracer.span('serve') as span:\n"
+            "        span.annotate(ok=True)\n",
+            module="repro.core.fixture_mod",
+        )
+        assert findings == []
+
+    def test_span_outside_with_fires_even_when_assigned(self):
+        findings = _lint(
+            "def serve(tracer):\n"
+            "    span = tracer.span('serve')\n"
+            "    return span\n",
+            module="repro.core.fixture_mod",
+        )
+        assert [f.rule for f in findings] == ["obs-discipline"]
+
+    def test_begin_and_end_trace_are_exempt(self):
+        findings = _lint(
+            "def session(tracer):\n"
+            "    trace_id = tracer.begin_trace('query')\n"
+            "    tracer.end_trace(trace_id)\n",
+            module="repro.core.fixture_mod",
+        )
+        assert findings == []
+
+    def test_rule_is_scoped(self):
+        source = "print('telemetry by stdout')\n"
+        assert _lint(source, module="repro.core.cluster")
+        assert _lint(source, module="repro.cli") == []
+        assert _lint(source, module="bare_fixture") == []

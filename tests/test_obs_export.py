@@ -1,0 +1,196 @@
+"""Export formats plus the end-to-end instrumented-query span chain."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Telemetry,
+    metrics_to_dict,
+    metrics_to_json,
+    metrics_to_text,
+    trace_to_dict,
+    trace_to_json,
+    trace_to_text,
+)
+from repro.obs.export import METRICS_SCHEMA_VERSION
+from repro.obs.trace import Tracer
+
+
+class TestMetricsExport:
+    def _snapshot(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("cluster_reads_total").inc(3.0, consistency="one")
+        telemetry.registry.histogram("cluster_read_lag_ticks").observe(
+            2.0, consistency="one"
+        )
+        telemetry.registry.gauge("cluster_server_load").set(7.0, server="0")
+        return telemetry.registry.snapshot()
+
+    def test_json_is_schema_stamped_and_sorted(self):
+        record = json.loads(metrics_to_json(self._snapshot()))
+        assert record["schema_version"] == METRICS_SCHEMA_VERSION
+        assert list(record["metrics"]) == sorted(record["metrics"])
+        assert "monitor" not in record
+
+    def test_monitor_window_is_attached_when_given(self):
+        from repro.obs import ClusterMonitor
+
+        telemetry = Telemetry()
+        monitor = ClusterMonitor(telemetry, every=2, window=4)
+        record = metrics_to_dict(telemetry.registry.snapshot(), monitor=monitor)
+        assert record["monitor"]["every"] == 2
+
+    def test_text_renders_one_line_per_series(self):
+        text = metrics_to_text(self._snapshot())
+        assert "cluster_reads_total{consistency=one} 3 slices" in text
+        assert "cluster_read_lag_ticks{consistency=one} count=1 mean=2 ticks" in text
+        assert "cluster_server_load{server=0} 7 slices" in text
+
+
+class TestTraceExport:
+    def _trace(self):
+        ticks = iter(range(1, 100))
+        tracer = Tracer(lambda: next(ticks))
+        with tracer.span("serve", server=1) as span:
+            span.annotate(slices=2)
+            with tracer.span("skim"):
+                pass
+        return tracer.last_trace()
+
+    def test_dict_and_json_round_trip(self):
+        trace = self._trace()
+        assert json.loads(trace_to_json(trace)) == json.loads(
+            json.dumps(trace_to_dict(trace))
+        )
+
+    def test_text_is_an_indented_tree(self):
+        lines = trace_to_text(self._trace()).splitlines()
+        assert lines[0].startswith("trace ")
+        assert lines[1].startswith("  serve ")
+        assert "[server=1, slices=2]" in lines[1]
+        assert lines[2].startswith("    skim ")
+
+
+@pytest.fixture()
+def system(micro_corpus):
+    from repro import SystemConfig, ZerberRSystem
+
+    return ZerberRSystem.build(micro_corpus, SystemConfig(r=3.0, seed=22))
+
+
+class TestEndToEndSpanChain:
+    def test_multi_term_query_records_the_full_chain(self, system):
+        telemetry = Telemetry()
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=3, telemetry=telemetry
+        )
+        terms = [
+            t
+            for t in system.vocabulary.terms_by_frequency()
+            if system.vocabulary.document_frequency(t) >= 2
+        ][:2]
+        assert len(terms) == 2
+        client = system.client_for("superuser", server=cluster)
+        session = coordinator.open_session(client, terms, k=2)
+        while not session.done:
+            coordinator.tick()
+            cluster.replication_tick()
+        trace = next(
+            t for t in telemetry.tracer.traces() if t.trace_id == session.trace_id
+        )
+        names = {span.name for span in trace.spans()}
+        # acceptance criterion: session -> coalesce -> envelope -> serve -> skim
+        assert {"query", "coalesce", "envelope", "serve", "skim"} <= names
+        for span in trace.spans():
+            assert span.closed
+
+        def chain(root, path):
+            spans = [root]
+            for name in path:
+                spans = [
+                    child
+                    for span in spans
+                    for child in span.children
+                    if child.name == name
+                ]
+            return spans
+
+        assert chain(trace.root, ["coalesce", "envelope", "serve"])
+        assert any(
+            span.name == "skim" for span in trace.spans()
+        ), "decrypt skim span missing from the session trace"
+
+    def test_metrics_cover_the_scripted_families(self, system):
+        telemetry = Telemetry()
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=2, telemetry=telemetry
+        )
+        terms = list(system.vocabulary.terms_by_frequency())[:2]
+        client = system.client_for("superuser", server=cluster)
+        session = coordinator.open_session(client, terms, k=2)
+        while not session.done:
+            coordinator.tick()
+            cluster.replication_tick()
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["cluster_reads_total"]["series"]
+        assert snapshot["coordinator_ticks_total"]["series"][0]["value"] >= 1
+        assert snapshot["replication_ticks_total"]["series"][0]["value"] >= 1
+        assert snapshot["crypto_skim_elements_total"]["series"][0]["value"] >= 1
+
+
+class TestKillSwitch:
+    def test_suspend_halts_recording_and_resume_restores_it(self, system):
+        telemetry = Telemetry()
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=2, telemetry=telemetry
+        )
+        client = system.client_for("superuser", server=cluster)
+        terms = [
+            t
+            for t in system.vocabulary.terms_by_frequency()
+            if system.vocabulary.document_frequency(t) >= 2
+        ][:2]
+
+        def run_once():
+            session = coordinator.open_session(client, terms, k=2)
+            while not session.done:
+                coordinator.tick()
+                cluster.replication_tick()
+
+        def skim_total():
+            snapshot = telemetry.registry.snapshot()
+            return snapshot["crypto_skim_elements_total"]["series"][0]["value"]
+
+        run_once()
+        recorded = skim_total()
+        finished_traces = len(telemetry.tracer.traces())
+        assert recorded >= 1 and finished_traces >= 1
+
+        telemetry.suspend()
+        run_once()
+        assert skim_total() == recorded, "suspended counter still advanced"
+        assert len(telemetry.tracer.traces()) == finished_traces, (
+            "suspended tracer still recorded a trace"
+        )
+
+        telemetry.resume()
+        run_once()
+        assert skim_total() > recorded, "resumed counter did not advance"
+        assert len(telemetry.tracer.traces()) > finished_traces, (
+            "resumed tracer did not record a trace"
+        )
+
+    def test_suspend_and_resume_are_idempotent(self, system):
+        telemetry = Telemetry()
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=2, telemetry=telemetry
+        )
+        client = system.client_for("superuser", server=cluster)
+        telemetry.suspend()
+        telemetry.suspend()
+        assert not client._obs.enabled
+        telemetry.resume()
+        telemetry.resume()
+        assert client._obs.enabled
+        assert client._obs.tracer is telemetry.tracer
