@@ -19,6 +19,7 @@ Quickstart::
 from repro.errors import (
     AccessDeniedError,
     AuthenticationError,
+    BackpressureError,
     ConfidentialityViolationError,
     ConfigurationError,
     CryptoError,
@@ -45,6 +46,7 @@ from repro.corpus import (
     tiny_corpus,
 )
 from repro.core import (
+    BackpressureSignal,
     BatchFetchRequest,
     BatchFetchResponse,
     BatchQueryTrace,
@@ -56,6 +58,7 @@ from repro.core import (
     FailoverEvent,
     HeatWeightedPlacement,
     LagModel,
+    EventLoop,
     LeastLoadedReads,
     MultiQueryResult,
     PlacementPolicy,
@@ -105,6 +108,7 @@ __all__ = [
     "AuthenticationError",
     "AccessDeniedError",
     "ProtocolError",
+    "BackpressureError",
     "UnavailableError",
     "QuorumUnavailableError",
     "QuorumWriteUnavailableError",
@@ -133,9 +137,11 @@ __all__ = [
     "BatchQueryTrace",
     "CoalescedBatchRequest",
     "CoalescedBatchResponse",
+    "BackpressureSignal",
     "ClientQuerySession",
     "Coordinator",
     "CoordinatorStats",
+    "EventLoop",
     "MultiQueryResult",
     "PlacementPolicy",
     "RoundRobinPlacement",

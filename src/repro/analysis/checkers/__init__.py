@@ -10,6 +10,7 @@ from repro.analysis.checkers import (
     crypto,
     determinism,
     epoch,
+    eventloop,
     exceptions,
     exports,
     obs,
@@ -21,6 +22,7 @@ __all__ = [
     "crypto",
     "determinism",
     "epoch",
+    "eventloop",
     "exceptions",
     "exports",
     "obs",

@@ -61,6 +61,8 @@ CATALOG_METRIC_NAMES = frozenset(
         "coordinator_rebalances_total",
         "coordinator_lists_migrated_total",
         "coordinator_stale_epoch_reroutes_total",
+        "coordinator_backpressure_sheds_total",
+        "coordinator_pipeline_overlap_total",
         "coordinator_queue_depth",
         "coordinator_envelope_slices",
         "coordinator_session_rounds",

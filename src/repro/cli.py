@@ -255,6 +255,8 @@ def _scripted_workload(
         lag=1,
         anti_entropy_every=4,
         failover_after=2,
+        round_latency=2,
+        max_queue_depth=2,
         telemetry=telemetry,
         monitor_every=2,
         read_strategy="rotate",
@@ -271,6 +273,29 @@ def _scripted_workload(
         coordinator.tick()
         cluster.replication_tick()
         ticks += 1
+
+    # An arrival-driven burst past the queue bound (shed + retry path,
+    # round pipelining): staggered arrivals against max_queue_depth=2.
+    # The second session is admitted one tick into the first one's
+    # in-flight round (initial_size=1 forces several doubling rounds),
+    # so their flushes interleave with pending deliveries — pipeline
+    # overlap; the later arrivals find the queue full and are shed with
+    # retry hints, and retry-on-shed drains every session to completion.
+    from repro.core.protocol import ResponsePolicy
+
+    burst_policy = ResponsePolicy(initial_size=1)
+    burst = [
+        client.open_multi_session(terms, k, policy=burst_policy)
+        for terms, k in (
+            (["alpha", "shared"], 2),
+            (["beta", "shared"], 2),
+            (["gamma", "delta"], 2),
+            (["alpha", "beta"], 3),
+        )
+    ]
+    for offset, session in enumerate(burst):
+        coordinator.submit_arrival(session, at=coordinator.loop.now + offset)
+    coordinator.drain()
 
     # Direct reads at every consistency level (read-path histograms).
     list_id = system.merge_plan.list_of("alpha")

@@ -15,7 +15,16 @@ from repro.core.confidentiality import (
     probability_amplification,
     ConfidentialityAudit,
 )
+from repro.core.eventloop import (
+    BACKGROUND,
+    FOREGROUND,
+    MAINTENANCE,
+    EventHandle,
+    EventLoop,
+    PeriodicTask,
+)
 from repro.core.protocol import (
+    BackpressureSignal,
     BatchFetchRequest,
     BatchFetchResponse,
     BatchQueryTrace,
@@ -75,6 +84,13 @@ __all__ = [
     "audit_merge_plan",
     "probability_amplification",
     "ConfidentialityAudit",
+    "FOREGROUND",
+    "BACKGROUND",
+    "MAINTENANCE",
+    "EventHandle",
+    "EventLoop",
+    "PeriodicTask",
+    "BackpressureSignal",
     "BatchFetchRequest",
     "BatchFetchResponse",
     "BatchQueryTrace",

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import TypeVar
 
 from repro.core.protocol import (
     BatchFetchRequest,
@@ -47,12 +48,18 @@ from repro.core.rstf import RstfModel
 from repro.core.server import ZerberRServer
 from repro.crypto.cipher import NonceSequence, StreamCipher
 from repro.crypto.keys import GroupKeyService
-from repro.errors import ProtocolError, UnknownTermError
+from repro.errors import (
+    ProtocolError,
+    QuorumWriteUnavailableError,
+    UnknownTermError,
+)
 from repro.obs.instruments import ClientInstruments, Telemetry
 from repro.obs.trace import Span
 from repro.index.merge import MergePlan
 from repro.index.postings import EncryptedPostingElement, PostingElement
 from repro.text.analysis import DocumentStats
+
+_W = TypeVar("_W")
 
 
 @dataclass(frozen=True)
@@ -389,6 +396,69 @@ class ZerberRClient:
         for list_id in dict.fromkeys(list_ids):
             self._note_version(list_id, version_of(list_id))
 
+    # -- failover-aware write retry ------------------------------------------------
+
+    def _failover_retry_budget(
+        self, error: QuorumWriteUnavailableError
+    ) -> int | None:
+        """Ticks to park a refused write for, when an election can fix it.
+
+        ``None`` means surface the error immediately: the backend has no
+        failover election (bare server, or ``failover_after`` unset), no
+        live replica exists to elect, or the list's primary is still
+        reachable — then the refusal is a genuine ack shortfall that an
+        election cannot repair.  Otherwise the election fires within
+        ``failover_after`` replication ticks of the primary becoming
+        unreachable; one extra tick covers a timer that starts on the
+        tick the write was refused.
+        """
+        failover_after = getattr(self._server, "failover_after", None)
+        replicas_of = getattr(self._server, "replicas_of", None)
+        if (
+            failover_after is None
+            or replicas_of is None
+            or getattr(self._server, "replication_tick", None) is None
+        ):
+            return None
+        if not error.live_replicas:
+            return None
+        primary = replicas_of(error.list_id)[0]
+        if (
+            primary not in error.down_replicas
+            and primary not in error.paused_replicas
+        ):
+            return None
+        return int(failover_after) + 1
+
+    def _write_with_failover_retry(self, op: Callable[[], _W]) -> _W:
+        """Run a write op, parking through a pending failover election.
+
+        A :class:`~repro.errors.QuorumWriteUnavailableError` is a clean
+        no-op (nothing mutated, nothing logged), so retrying is safe.
+        When the refusal names an unreachable primary and the backend
+        runs failover elections, the write parks: replication ticks are
+        driven until the election deposes the dead primary (bumping the
+        epoch and promoting a live replica), then the op retries against
+        the new primary.  If the budget elapses without the write going
+        through — e.g. too few replicas live even after promotion — the
+        last refusal surfaces unchanged.
+        """
+        try:
+            return op()
+        except QuorumWriteUnavailableError as error:
+            budget = self._failover_retry_budget(error)
+            if budget is None:
+                raise
+            tick: Callable[[], int] = getattr(self._server, "replication_tick")
+            last = error
+            for _ in range(budget):
+                tick()
+                try:
+                    return op()
+                except QuorumWriteUnavailableError as retry_error:
+                    last = retry_error
+            raise last
+
     # -- key plumbing -----------------------------------------------------------
 
     def _cipher(self, group: str) -> StreamCipher:
@@ -450,7 +520,9 @@ class ZerberRClient:
     def index_document(self, doc: DocumentStats, group: str) -> int:
         """Encrypt and upload every term of *doc*; returns elements sent."""
         items = [self.build_element(term, doc, group) for term in sorted(doc.counts)]
-        sent = self._server.insert_many(self.principal, items)
+        sent = self._write_with_failover_retry(
+            lambda: self._server.insert_many(self.principal, items)
+        )
         self._note_written(list_id for list_id, _ in items)
         return sent
 
@@ -464,7 +536,9 @@ class ZerberRClient:
         learns which document the receipts belong to.
         """
         items = [self.build_element(term, doc, group) for term in sorted(doc.counts)]
-        self._server.insert_many(self.principal, items)
+        self._write_with_failover_retry(
+            lambda: self._server.insert_many(self.principal, items)
+        )
         self._note_written(list_id for list_id, _ in items)
         return [(list_id, element.ciphertext) for list_id, element in items]
 
@@ -478,7 +552,11 @@ class ZerberRClient:
         removed = 0
         touched: list[int] = []
         for list_id, ciphertext in receipts:
-            if self._server.delete_element(self.principal, list_id, ciphertext):
+            if self._write_with_failover_retry(
+                lambda lid=list_id, ct=ciphertext: self._server.delete_element(
+                    self.principal, lid, ct
+                )
+            ):
                 removed += 1
                 touched.append(list_id)
         self._note_written(touched)

@@ -61,6 +61,7 @@ from repro.core.placement import (
     coerce_read_selector,
     validate_placement,
 )
+from repro.core.eventloop import EventLoop, PeriodicTask
 from repro.core.protocol import (
     BatchFetchRequest,
     BatchFetchResponse,
@@ -304,6 +305,53 @@ class ServerCluster:
             ticks += 1
         return ticks
 
+    def register_background_tasks(
+        self,
+        loop: EventLoop,
+        *,
+        delivery_every: int | None = 1,
+        anti_entropy_every: int | None = None,
+    ) -> list[PeriodicTask]:
+        """Run replica maintenance as *loop* daemons with their own periods.
+
+        Registers a replication-delivery daemon firing every
+        ``delivery_every`` virtual ticks (``None`` skips it — e.g. when
+        another coordinator sharing the loop already registered one) and,
+        when ``anti_entropy_every`` is set, detaches the anti-entropy
+        sweep from the replication clock onto its own daemon, so delivery
+        and staleness-bounding cadences tune independently instead of
+        both piggybacking on the scheduling tick.  Daemons run at
+        :data:`~repro.core.eventloop.BACKGROUND` priority: at any tick
+        they fire after all foreground session work, preserving the
+        legacy "envelopes first, then the replication tick" order.
+        """
+        if delivery_every is not None and delivery_every < 1:
+            raise ConfigurationError("delivery_every must be >= 1")
+        if anti_entropy_every is not None and anti_entropy_every < 1:
+            raise ConfigurationError("anti_entropy_every must be >= 1")
+        tasks: list[PeriodicTask] = []
+        if delivery_every is not None:
+            tasks.append(
+                loop.every(
+                    delivery_every,
+                    self.replication_tick,
+                    name="replication-delivery",
+                )
+            )
+        if anti_entropy_every is not None:
+            # The sweep leaves the replication clock entirely: the
+            # manager's own modulo trigger is disabled so a sweep fires
+            # exactly once per period, on loop time.
+            self._repl.anti_entropy_every = None
+            tasks.append(
+                loop.every(
+                    anti_entropy_every,
+                    self._repl.anti_entropy_sweep,
+                    name="anti-entropy",
+                )
+            )
+        return tasks
+
     # -- primary failover ----------------------------------------------------
 
     def _reachable(self, server_index: int) -> bool:
@@ -455,9 +503,16 @@ class ServerCluster:
         (alive — a paused primary still applies writes inline; pausing
         only blocks log deliveries *to* it) plus every reachable
         follower, which :meth:`_force_write_acks` forces current through
-        the log.  ``ONE`` keeps the pre-quorum behaviour, including the
-        durable-primary idealisation for a down primary (see
-        :meth:`fail_server`).
+        the log.  Per the :meth:`fail_server` contract, W > 1 writes
+        never lean on the durable-primary idealisation: a down primary
+        refuses the write outright even when enough followers could ack,
+        because acknowledging through a dead primary's idealised copy
+        would launder the ack count.  That refusal is exactly the one a
+        pending failover election heals — once a live replica is
+        promoted, the same write goes through — so clients may park on
+        it (see ``ZerberRClient._write_with_failover_retry``).  ``ONE``
+        keeps the pre-quorum behaviour, including the durable-primary
+        idealisation for a down primary.
         """
         replicas = self.replicas_of(list_id)
         needed = consistency.required_acks(len(replicas))
@@ -466,7 +521,7 @@ class ServerCluster:
         primary = replicas[0]
         ack_capable = [primary] if self._alive[primary] else []
         ack_capable += [s for s in replicas[1:] if self._reachable(s)]
-        if len(ack_capable) < needed:
+        if not self._alive[primary] or len(ack_capable) < needed:
             self._obs.quorum_refusals.inc()
             raise QuorumWriteUnavailableError(
                 list_id,

@@ -252,6 +252,37 @@ class CoalescedBatchResponse:
         return dict(zip(self.slice_ids, self.responses))
 
 
+@dataclass(frozen=True)
+class BackpressureSignal:
+    """Shed notice a coordinator returns instead of admitting a session.
+
+    Real backpressure replaces silent FIFO spill as the overload story:
+    when the bounded admission queue (or a principal's concurrency
+    credits) is exhausted, the arrival is *shed* with an explicit,
+    deterministic retry hint instead of being parked unboundedly.  This
+    is the wire-shaped record of that decision — what a fronting RPC
+    layer would serialize back to the client as a 429-with-Retry-After.
+
+    ``retry_after_ticks`` is a lower-bound hint (capacity may free up
+    later than estimated; retrying earlier only earns another shed);
+    ``reason`` is ``"queue"`` (admission queue full) or ``"credits"``
+    (per-principal concurrency credits exhausted).
+    """
+
+    principal: str
+    tick: int
+    retry_after_ticks: int
+    queue_depth: int
+    limit: int
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.retry_after_ticks < 1:
+            raise ProtocolError("retry_after_ticks must be >= 1")
+        if self.reason not in ("queue", "credits"):
+            raise ProtocolError(f"unknown shed reason {self.reason!r}")
+
+
 @dataclass
 class QueryTrace:
     """Cost accounting of one top-k query session.

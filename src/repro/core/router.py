@@ -6,34 +6,54 @@ they wanted the *same* head-term slices (the Fig. 10 skew makes that the
 common case).  The coordinator inverts the call direction — clients no
 longer call servers; they park resumable
 :class:`~repro.core.client.ClientQuerySession` objects at the coordinator,
-which runs discrete *scheduling ticks*::
+which schedules them over a deterministic virtual-time
+:class:`~repro.core.eventloop.EventLoop`::
 
     client sessions                coordinator                 shard servers
     ---------------          ----------------------          ---------------
-    s1: [t1,t2,t3] ──submit─▸ tick():                  env    +----------+
-    s2: [t1,t4]    ──submit─▸   1 gather pending  ──{srv 0}─▸ | server 0 |
+    s1: [t1,t2,t3] ─arrival─▸ flush @ tick t:          env    +----------+
+    s2: [t1,t4]    ─arrival─▸   1 gather ready    ──{srv 0}─▸ | server 0 |
     s3: [t2,t5]    ──submit─▸     slices                      +----------+
                                 2 dedup shared slices  env    +----------+
      ◂─deliver()/result()──     3 route @ epoch   ──{srv 1}─▸ | server 1 |
                                 4 demux by slice id           +----------+
-                                5 (every R ticks) rebalance
+          background daemons:   replication delivery · anti-entropy ·
+                                (every R ticks) rebalance
 
-Per tick the coordinator (1) gathers every active session's pending fetch
-slices *in submission-age order*, spilling sessions to later ticks when
-the admission-control caps (``max_sessions_per_tick``,
+Per *flush* the coordinator (1) gathers every ready session's pending
+fetch slices in submission-age order, spilling sessions to a later flush
+when the per-round caps (``max_sessions_per_tick``,
 ``max_slices_per_envelope``) are reached, (2) deduplicates identical
 slices — same principal, list, offset, count — so concurrent queries for
 the same hot list share one server slice, (3) routes unique slices
 through the cluster's placement table and packs everything bound for one
 server into a single :class:`~repro.core.protocol.CoalescedBatchRequest`
-(one server call per touched server per tick, regardless of how many
-sessions are in flight), (4) demultiplexes responses back to sessions by
-slice id, (5) advances the cluster's replication clock one tick (lagged
-follower deliveries land between envelopes, never mid-tick), and (6)
-optionally triggers heat-driven shard rebalancing between ticks.  Every
-envelope pins the placement epoch it was routed under, so a rebalance can
-never tear a tick: the cluster rejects stale-epoch envelopes instead of
-serving them from the wrong shard.
+(one server call per touched server per flush, regardless of how many
+sessions are in flight), and (4) demultiplexes responses back to
+sessions by slice id — inline when ``round_latency`` is 0, or as
+deferred delivery events ``round_latency`` ticks later, in which case
+the decrypt/skim of round *n* overlaps the envelope build of round
+*n + 1* (counted by ``pipeline_overlap``).  Follower replication
+delivery and (optionally) the anti-entropy sweep run as background loop
+daemons with their own periods instead of piggybacking on the flush.
+Every envelope pins the placement epoch it was routed under, so a
+rebalance can never tear a flush: the cluster rejects stale-epoch
+envelopes instead of serving them from the wrong shard.
+
+Admission is governed by *real backpressure* rather than unbounded
+parking: with ``max_queue_depth`` / ``credits_per_principal`` set, an
+arrival that would exceed a bound is shed before anything is
+acknowledged, carrying a deterministic
+:class:`~repro.core.protocol.BackpressureSignal` retry hint
+(:meth:`Coordinator.submit` raises
+:class:`~repro.errors.BackpressureError`; :meth:`submit_arrival`
+reschedules the arrival for the hinted tick).
+
+The legacy lockstep :meth:`Coordinator.tick` survives as a thin driver
+over the loop — one tick advances virtual time by exactly one tick,
+which drains that tick to quiescence — so zero-lag deterministic
+workloads are byte-identical to the pre-loop coordinator: same results,
+same stats, same replication cadence, same rebalance points.
 
 Per-session fetch sequences (offsets, counts, stop conditions) are exactly
 what the session would have issued against the cluster directly, so query
@@ -49,14 +69,21 @@ from dataclasses import replace as dataclass_replace
 
 from repro.core.client import ClientQuerySession, MultiQueryResult, ZerberRClient
 from repro.core.cluster import ServerCluster
+from repro.core.eventloop import MAINTENANCE, EventLoop
 from repro.core.protocol import (
+    BackpressureSignal,
     BatchFetchRequest,
     CoalescedBatchRequest,
     FetchRequest,
     FetchResponse,
     ResponsePolicy,
 )
-from repro.errors import ConfigurationError, ProtocolError, StaleEpochError
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    ProtocolError,
+    StaleEpochError,
+)
 from repro.obs.instruments import CoordinatorInstruments
 
 SliceKey = tuple[str, int, int, int]
@@ -66,6 +93,10 @@ Deliberately excludes the request's ``min_version`` session floor: two
 sessions wanting the same slice under different floors still share one
 server fetch — the coalesced request carries the *max* of their floors,
 which satisfies both (floors are lower bounds)."""
+
+#: Retained shed records (oldest dropped first); enough for any test or
+#: bench to inspect recent admission decisions without unbounded growth.
+_MAX_SHED_RECORDS = 1024
 
 
 @dataclass
@@ -77,13 +108,20 @@ class CoordinatorStats:
     cross-session deduplication — the difference is work served from a
     shared response.  ``server_calls`` counts envelopes sent (the number a
     latency-bound deployment cares about).  ``sessions_spilled`` /
-    ``slices_spilled`` count admission-control deferrals: a session held
-    back to a later tick because this tick's envelope or session caps
-    were reached (each spilled session counts once per tick it waits).
+    ``slices_spilled`` count per-round deferrals: a session held
+    back to a later flush because this flush's envelope or session caps
+    were reached (each spilled session counts once per flush it waits).
     ``stale_epoch_reroutes`` counts envelopes the cluster rejected with
     :class:`~repro.errors.StaleEpochError` (a failover election or
     rebalance bumped the epoch after routing) whose slices were
-    re-routed under the new placement instead of failing the tick.
+    re-routed under the new placement instead of failing the flush.
+    ``backpressure_sheds`` counts arrivals refused at admission (queue
+    depth or principal credits exhausted) — shed *before* anything was
+    acknowledged, so a shed never loses accepted work.
+    ``pipeline_overlap`` counts flushes that built envelopes while
+    earlier rounds' deliveries were still in flight — the round-
+    pipelining the event loop buys over lockstep barriers (always 0 with
+    ``round_latency=0``).
     """
 
     ticks: int = 0
@@ -96,6 +134,8 @@ class CoordinatorStats:
     rebalances: int = 0
     lists_migrated: int = 0
     stale_epoch_reroutes: int = 0
+    backpressure_sheds: int = 0
+    pipeline_overlap: int = 0
 
     @property
     def slices_shared(self) -> int:
@@ -105,11 +145,11 @@ class CoordinatorStats:
 
 @dataclass
 class _TickPlan:
-    """Work of one tick: per-session slice keys plus unique routed slices.
+    """Work of one flush: per-session slice keys plus unique routed slices.
 
     ``unique`` maps a slice key to ``(slice_id, request, server_index)``
     — routing happens at gather time so admission control can enforce
-    per-envelope caps, and dispatch reuses the stored route (the tick is
+    per-envelope caps, and dispatch reuses the stored route (the flush is
     atomic, so the placement cannot change in between).
     """
 
@@ -130,27 +170,64 @@ class Coordinator:
         rebalance_every: int | None = None,
         max_slices_per_envelope: int | None = None,
         max_sessions_per_tick: int | None = None,
+        *,
+        loop: EventLoop | None = None,
+        round_latency: int = 0,
+        delivery_every: int = 1,
+        anti_entropy_every: int | None = None,
+        max_queue_depth: int | None = None,
+        credits_per_principal: int | None = None,
     ) -> None:
         """``max_slices_per_envelope`` / ``max_sessions_per_tick`` are the
-        admission-control caps: a tick schedules sessions in submission
-        (age) order and defers — *spills* — any session that would push a
-        server's envelope past the slice cap or the tick past the session
-        cap.  Spilled sessions keep their age priority, so overload
-        degrades into FIFO-fair extra ticks instead of unbounded
-        envelopes.  A session whose own slices exceed the envelope cap is
-        still admitted when the envelope is empty (it cannot be split).
-        ``None`` (the default) disables a cap."""
+        per-round caps: a flush schedules sessions in submission (age)
+        order and defers — *spills* — any session that would push a
+        server's envelope past the slice cap or the flush past the
+        session cap.  Spilled sessions keep their age priority, so a
+        large round degrades into FIFO-fair extra flushes instead of
+        unbounded envelopes.  A session whose own slices exceed the
+        envelope cap is still admitted when the envelope is empty (it
+        cannot be split).  ``None`` (the default) disables a cap.
+
+        ``max_queue_depth`` / ``credits_per_principal`` are the
+        *admission* bounds (``None`` disables): an arrival that would
+        exceed one is shed with a retry-after hint instead of parked.
+        ``round_latency`` ticks separate an envelope's dispatch from its
+        sessions' skim delivery (0 — the default — demultiplexes inline,
+        the lockstep-identical path).  ``delivery_every`` is the period
+        of the replication-delivery daemon; ``anti_entropy_every``
+        detaches the anti-entropy sweep from the replication clock onto
+        its own loop daemon.  ``loop`` shares an external event loop
+        (e.g. with an arrival generator); by default the coordinator
+        owns a fresh one.
+        """
         if rebalance_every is not None and rebalance_every < 1:
             raise ConfigurationError("rebalance_every must be >= 1")
         if max_slices_per_envelope is not None and max_slices_per_envelope < 1:
             raise ConfigurationError("max_slices_per_envelope must be >= 1")
         if max_sessions_per_tick is not None and max_sessions_per_tick < 1:
             raise ConfigurationError("max_sessions_per_tick must be >= 1")
+        if round_latency < 0:
+            raise ConfigurationError("round_latency must be >= 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+        if credits_per_principal is not None and credits_per_principal < 1:
+            raise ConfigurationError("credits_per_principal must be >= 1")
         self._cluster = cluster
         self._rebalance_every = rebalance_every
         self._max_slices_per_envelope = max_slices_per_envelope
         self._max_sessions_per_tick = max_sessions_per_tick
+        self._round_latency = round_latency
+        self._max_queue_depth = max_queue_depth
+        self._credits_per_principal = credits_per_principal
+        self._loop = loop if loop is not None else EventLoop()
         self._sessions: list[ClientQuerySession] = []
+        # Sessions whose responses are in flight (id() keys — sessions are
+        # scheduled by identity, never by equality).
+        self._awaiting: set[int] = set()
+        self._pending_delivers = 0
+        # Virtual ticks with a flush event already queued (dedup guard).
+        self._flush_scheduled: set[int] = set()
+        self.sheds: list[BackpressureSignal] = []
         self.stats = CoordinatorStats()
         # Scheduling counters stay plain attribute increments on the hot
         # loop; the collector mirrors them into the registry at snapshot
@@ -158,35 +235,153 @@ class Coordinator:
         # queue-depth gauge and the per-envelope / per-session histograms.
         self._obs = CoordinatorInstruments(cluster.telemetry)
         self._obs.register_stats_collector(cluster.telemetry, lambda: self.stats)
+        # Replication delivery (and optionally anti-entropy) become loop
+        # daemons: they fire as virtual time passes, not as a side effect
+        # of the flush.  With delivery_every=1 the daemon fires at the end
+        # of every tick — the legacy "one scheduling tick is one
+        # replication tick" cadence, which the lockstep driver preserves.
+        cluster.register_background_tasks(
+            self._loop,
+            delivery_every=delivery_every,
+            anti_entropy_every=anti_entropy_every,
+        )
+        if rebalance_every is not None:
+            self._loop.every(
+                rebalance_every,
+                self._rebalance_task,
+                name="rebalance",
+                priority=MAINTENANCE,
+            )
 
     @property
     def cluster(self) -> ServerCluster:
         return self._cluster
 
     @property
+    def loop(self) -> EventLoop:
+        """The coordinator's virtual-time scheduler."""
+        return self._loop
+
+    @property
     def active_sessions(self) -> int:
         return sum(1 for s in self._sessions if not s.done)
 
+    # -- admission control -------------------------------------------------------
+
+    def _admission_signal(
+        self, principal: str
+    ) -> BackpressureSignal | None:
+        """The shed signal admitting *principal* now would trigger, if any."""
+        if self._max_queue_depth is not None:
+            depth = sum(1 for s in self._sessions if not s.done)
+            if depth >= self._max_queue_depth:
+                return BackpressureSignal(
+                    principal=principal,
+                    tick=self._loop.now,
+                    retry_after_ticks=depth - self._max_queue_depth + 1,
+                    queue_depth=depth,
+                    limit=self._max_queue_depth,
+                    reason="queue",
+                )
+        if self._credits_per_principal is not None:
+            held = sum(
+                1
+                for s in self._sessions
+                if not s.done and s.principal == principal
+            )
+            if held >= self._credits_per_principal:
+                return BackpressureSignal(
+                    principal=principal,
+                    tick=self._loop.now,
+                    retry_after_ticks=1,
+                    queue_depth=held,
+                    limit=self._credits_per_principal,
+                    reason="credits",
+                )
+        return None
+
+    def _record_shed(self, signal: BackpressureSignal) -> None:
+        self.stats.backpressure_sheds += 1
+        self.sheds.append(signal)
+        if len(self.sheds) > _MAX_SHED_RECORDS:
+            del self.sheds[: len(self.sheds) - _MAX_SHED_RECORDS]
+
     # -- session intake ----------------------------------------------------------
 
-    def submit(self, session: ClientQuerySession) -> ClientQuerySession:
-        """Park a client's query session for lockstep scheduling.
-
-        The session's client must be bound to this coordinator's cluster;
-        accepting a session from a client on another backend would answer
-        it from the wrong index.
-        """
+    def _check_intake(self, session: ClientQuerySession) -> None:
         if session.backend is not self._cluster:
             raise ConfigurationError(
                 "session's client is not bound to this coordinator's cluster"
             )
         if any(existing is session for existing in self._sessions):
             raise ProtocolError("session is already submitted")
+
+    def submit(self, session: ClientQuerySession) -> ClientQuerySession:
+        """Park a client's query session for scheduling.
+
+        The session's client must be bound to this coordinator's cluster;
+        accepting a session from a client on another backend would answer
+        it from the wrong index.  With admission bounds configured, a
+        session that would exceed them is refused with
+        :class:`~repro.errors.BackpressureError` — nothing is parked, the
+        caller owns the retry.
+        """
+        self._check_intake(session)
+        signal = self._admission_signal(session.principal)
+        if signal is not None:
+            self._record_shed(signal)
+            raise BackpressureError(signal)
         self._sessions.append(session)
         return session
 
+    def submit_arrival(
+        self,
+        session: ClientQuerySession,
+        at: int | None = None,
+        retry_on_shed: bool = True,
+    ) -> None:
+        """Schedule *session* to arrive at virtual tick *at* (default now).
+
+        The arrival-driven intake: admission happens when the event
+        fires, a flush is scheduled for the same tick, and the session
+        runs its rounds without any external ``tick()`` driver — callers
+        :meth:`drain` the loop (or advance it themselves) to completion.
+        A shed arrival is rescheduled ``retry_after_ticks`` later when
+        *retry_on_shed* is set, so a transient overload degrades into
+        deferred admission instead of lost work.
+        """
+        self._check_intake(session)
+        when = self._loop.now if at is None else at
+        self._loop.call_at(
+            when,
+            lambda: self._admit_arrival(session, retry_on_shed),
+            name="arrival",
+        )
+
+    def _admit_arrival(
+        self, session: ClientQuerySession, retry_on_shed: bool
+    ) -> None:
+        if any(existing is session for existing in self._sessions):
+            return  # double-scheduled arrival; already admitted
+        signal = self._admission_signal(session.principal)
+        if signal is not None:
+            self._record_shed(signal)
+            if retry_on_shed:
+                self._loop.call_at(
+                    self._loop.now + signal.retry_after_ticks,
+                    lambda: self._admit_arrival(session, retry_on_shed),
+                    name="arrival-retry",
+                )
+            return
+        self._sessions.append(session)
+        self._ensure_flush(self._loop.now)
+
     def evict(self, session: ClientQuerySession) -> None:
-        """Remove a parked session (e.g. a caller abandoning a query)."""
+        """Remove a parked session (e.g. a caller abandoning a query).
+
+        A delivery already in flight for the session fires as a no-op
+        (delivery is matched by identity against the parked set).
+        """
         self._sessions = [s for s in self._sessions if s is not session]
 
     def open_session(
@@ -207,30 +402,75 @@ class Coordinator:
     # -- scheduling --------------------------------------------------------------
 
     def tick(self) -> bool:
-        """Run one scheduling tick; returns whether any work was done.
+        """Run one lockstep scheduling tick; returns whether work was done.
 
-        Raises :class:`~repro.errors.UnavailableError` if a needed list
-        has no live replica — fail-fast, matching
+        The legacy driver over the event loop: advances virtual time by
+        exactly one tick, which fires this tick's flush, its deliveries,
+        the replication daemon and any due maintenance — at zero round
+        latency this is byte-identical to the pre-loop lockstep
+        coordinator.  Raises :class:`~repro.errors.UnavailableError` if a
+        needed list has no live replica — fail-fast, matching
         :meth:`ServerCluster.batch_fetch` semantics.
         """
-        finished = [s for s in self._sessions if s.done]
-        if finished:
-            # Sessions that were already done when submitted (e.g. zero
-            # terms) never reach _demultiplex; count and prune them here.
-            self.stats.sessions_completed += len(finished)
-            self._sessions = [s for s in self._sessions if not s.done]
-        active = self._sessions
-        self._obs.queue_depth.set(float(len(active)))
-        if not active:
+        self._prune(count_completions=True)
+        if not self._sessions:
+            self._obs.queue_depth.set(0.0)
             return False
-        plan = self._gather(active)
-        # One tick's coalescing is genuinely shared work; its span is
+        self._ensure_flush(self._loop.now)
+        self._loop.advance(1)
+        return True
+
+    def drain(self, max_ticks: int = 100_000) -> int:
+        """Advance the loop until all arrivals, rounds and deliveries settle.
+
+        The arrival-driven counterpart of :meth:`run_until_complete`:
+        returns the virtual ticks advanced; raises
+        :class:`~repro.errors.ProtocolError` if the loop fails to quiesce
+        within *max_ticks*.
+        """
+        return self._loop.run_until_quiet(max_ticks)
+
+    def _prune(self, count_completions: bool) -> None:
+        """Drop finished sessions; optionally count ones never delivered to.
+
+        Sessions that were already done when submitted (e.g. zero terms)
+        never reach :meth:`_demultiplex`; the counting prune at the start
+        of a flush is where they are counted.
+        """
+        done = [s for s in self._sessions if s.done]
+        if done:
+            if count_completions:
+                self.stats.sessions_completed += len(done)
+            self._sessions = [s for s in self._sessions if not s.done]
+
+    def _ensure_flush(self, tick: int) -> None:
+        """Schedule a flush at *tick* unless one is already queued there."""
+        tick = max(tick, self._loop.now)
+        if tick in self._flush_scheduled:
+            return
+        self._flush_scheduled.add(tick)
+        self._loop.call_at(tick, lambda: self._flush(tick), name="flush")
+
+    def _flush(self, at_tick: int) -> None:
+        """Run one coalescing round over every ready (non-awaiting) session."""
+        self._flush_scheduled.discard(at_tick)
+        self._prune(count_completions=True)
+        self._obs.queue_depth.set(float(len(self._sessions)))
+        ready = [s for s in self._sessions if id(s) not in self._awaiting]
+        if not ready:
+            return
+        plan = self._gather(ready)
+        if not plan.session_keys:
+            return
+        if self._pending_delivers:
+            # Envelope build of this round overlaps in-flight deliveries
+            # of earlier rounds — the pipelining win over lockstep.
+            self.stats.pipeline_overlap += 1
+        # One flush's coalescing is genuinely shared work; its span is
         # attributed to the oldest admitted session's trace.  Everything
         # below — envelopes, serves, delivery rounds, skims — nests under
         # it through the tracer's call stack.
-        trace_ctx = (
-            plan.session_keys[0][0].trace_id if plan.session_keys else None
-        )
+        trace_ctx = plan.session_keys[0][0].trace_id
         with self._obs.tracer.span(
             "coalesce",
             trace=trace_ctx,
@@ -238,24 +478,56 @@ class Coordinator:
             unique_slices=len(plan.unique),
         ):
             responses = self._dispatch(plan, trace_ctx)
-            self._demultiplex(plan, responses)
+            if self._round_latency == 0:
+                self._demultiplex(plan, responses)
+            else:
+                self._schedule_deliveries(plan, responses)
         self.stats.ticks += 1
-        # One scheduling tick is one replication tick: follower deliveries
-        # whose lag has elapsed land between envelopes, never mid-tick.
-        self._cluster.replication_tick()
-        self._sessions = [s for s in self._sessions if not s.done]
-        if (
-            self._rebalance_every is not None
-            and self.stats.ticks % self._rebalance_every == 0
-        ):
-            self.rebalance()
-        return True
+        self._prune(count_completions=False)
+        if any(id(s) not in self._awaiting for s in self._sessions):
+            # Ready work remains (next rounds, spilled sessions): next
+            # flush next tick — the legacy one-round-per-tick cadence.
+            self._ensure_flush(self._loop.now + 1)
 
-    def _gather(self, active: list[ClientQuerySession]) -> _TickPlan:
+    def _schedule_deliveries(
+        self, plan: _TickPlan, by_slice_id: dict[int, FetchResponse]
+    ) -> None:
+        """Defer each session's demux by ``round_latency`` ticks."""
+        for session, keys in plan.session_keys:
+            responses = tuple(by_slice_id[plan.unique[key][0]] for key in keys)
+            self._awaiting.add(id(session))
+            self._pending_delivers += 1
+            self._loop.call_at(
+                self._loop.now + self._round_latency,
+                lambda s=session, r=responses: self._deliver_one(s, r),
+                name="deliver",
+            )
+
+    def _deliver_one(
+        self,
+        session: ClientQuerySession,
+        responses: tuple[FetchResponse, ...],
+    ) -> None:
+        """Land one session's deferred round (skim happens here)."""
+        self._awaiting.discard(id(session))
+        self._pending_delivers -= 1
+        if not any(existing is session for existing in self._sessions):
+            return  # evicted while the round was in flight
+        session.deliver(responses)
+        if session.done:
+            self.stats.sessions_completed += 1
+            self._obs.session_rounds.observe(float(session.rounds))
+            self._sessions = [s for s in self._sessions if s is not session]
+        else:
+            # Next round can coalesce with whatever else is ready at this
+            # tick — skim of round n overlapping build of round n+1.
+            self._ensure_flush(self._loop.now)
+
+    def _gather(self, ready: list[ClientQuerySession]) -> _TickPlan:
         """Collect pending slices, deduplicating across sessions.
 
-        Sessions are considered in submission (age) order; admission
-        control spills a session to a later tick when this tick's caps
+        Sessions are considered in submission (age) order; the per-round
+        caps spill a session to a later flush when this flush's caps
         are already committed (see :meth:`__init__`).  Slices shared with
         an already-admitted session are free — they ship once — so
         dedup happens before cap accounting.
@@ -264,7 +536,7 @@ class Coordinator:
         next_slice_id = 0
         admitted_sessions = 0
         per_server_count: dict[int, int] = {}
-        for session in active:
+        for session in ready:
             pending = session.pending_requests()
             if (
                 self._max_sessions_per_tick is not None
@@ -333,6 +605,31 @@ class Coordinator:
             return dataclass_replace(held, min_version=request.min_version)
         return held
 
+    @staticmethod
+    def _envelope_trace(
+        by_principal: dict[str, list[tuple[int, FetchRequest]]],
+        trace_ctx: int | None,
+    ) -> int | None:
+        """Trace to attribute one envelope (and its serve span) to.
+
+        The oldest session owning a slice in *this* envelope — slice ids
+        are assigned in session-admission order, so the lowest id's
+        request carries that session's trace.  Attributing every envelope
+        to the flush-oldest session (the old behaviour) mis-filed serve
+        and re-route spans of envelopes that carried only other sessions'
+        slices, and a re-routed batch whose owner's root had been
+        force-closed started an orphan root; per-envelope attribution
+        keeps each retry attached to the session tree that asked for it.
+        """
+        oldest: tuple[int, int] | None = None  # (slice_id, trace_id)
+        for slices in by_principal.values():
+            for slice_id, request in slices:
+                if request.trace_id is None:
+                    continue
+                if oldest is None or slice_id < oldest[0]:
+                    oldest = (slice_id, request.trace_id)
+        return oldest[1] if oldest is not None else trace_ctx
+
     def _dispatch(
         self, plan: _TickPlan, trace_ctx: int | None = None
     ) -> dict[int, FetchResponse]:
@@ -344,7 +641,7 @@ class Coordinator:
         routing and delivery — is not an error for its sessions: the
         rejected slices are re-routed under the now-current placement and
         re-sent, so an epoch bump costs the affected slices one extra
-        envelope instead of failing the whole tick.
+        envelope instead of failing the whole flush.
         """
         entries = list(plan.unique.values())
         by_slice_id: dict[int, FetchResponse] = {}
@@ -376,15 +673,16 @@ class Coordinator:
                         )
                     )
                     slice_ids.extend(slice_id for slice_id, _ in slices)
+                envelope_trace = self._envelope_trace(by_principal, trace_ctx)
                 envelope = CoalescedBatchRequest(
                     batches=tuple(batches),
                     slice_ids=tuple(slice_ids),
                     epoch=epoch,
-                    trace_id=trace_ctx,
+                    trace_id=envelope_trace,
                 )
                 with self._obs.tracer.span(
                     "envelope",
-                    trace=trace_ctx,
+                    trace=envelope_trace,
                     server=server_index,
                     slices=len(envelope),
                 ) as span:
@@ -464,10 +762,14 @@ class Coordinator:
 
     # -- placement ---------------------------------------------------------------
 
-    def rebalance(self) -> dict[int, tuple[int, ...]]:
-        """Trigger heat-driven shard rebalancing between ticks.
+    def _rebalance_task(self) -> None:
+        """Periodic maintenance daemon body (see :meth:`rebalance`)."""
+        self.rebalance()
 
-        Safe at any tick boundary: the next tick routes from the updated
+    def rebalance(self) -> dict[int, tuple[int, ...]]:
+        """Trigger heat-driven shard rebalancing between flushes.
+
+        Safe at any tick boundary: the next flush routes from the updated
         placement table under the bumped epoch, and session state (offsets
         into readable sub-lists) is placement-independent, so in-flight
         queries continue with identical results.

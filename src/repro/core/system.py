@@ -263,6 +263,9 @@ class ZerberRSystem:
         telemetry: Telemetry | None = None,
         monitor_every: int | None = None,
         monitor_window: int = 64,
+        round_latency: int = 0,
+        max_queue_depth: int | None = None,
+        credits_per_principal: int | None = None,
     ) -> tuple[ServerCluster, Coordinator]:
         """Stand up a sharded deployment of this system's index.
 
@@ -281,8 +284,13 @@ class ZerberRSystem:
         :meth:`~repro.core.cluster.ServerCluster.check_failovers`); the
         defaults — zero lag, strong ``PRIMARY`` reads, ``ONE`` writes,
         primary-only routing, no failover election — reproduce the
-        synchronous seed behaviour byte-for-byte.  The ``max_*`` caps are
-        the coordinator's admission control.
+        synchronous seed behaviour byte-for-byte.
+        ``max_slices_per_envelope`` / ``max_sessions_per_tick`` are the
+        coordinator's per-round spill caps; ``max_queue_depth`` /
+        ``credits_per_principal`` are its admission backpressure bounds,
+        and ``round_latency`` defers skim delivery to pipeline rounds
+        (see :mod:`repro.core.router` — the zero defaults keep the
+        lockstep-identical path).
 
         *telemetry* (see :mod:`repro.obs`) instruments every layer of the
         deployment — coordinator, cluster read/write paths, replication,
@@ -323,6 +331,9 @@ class ZerberRSystem:
             rebalance_every=rebalance_every,
             max_slices_per_envelope=max_slices_per_envelope,
             max_sessions_per_tick=max_sessions_per_tick,
+            round_latency=round_latency,
+            max_queue_depth=max_queue_depth,
+            credits_per_principal=credits_per_principal,
         )
 
     # -- durability (see repro.persist) ------------------------------------------
@@ -364,6 +375,9 @@ class ZerberRSystem:
         telemetry: Telemetry | None = None,
         monitor_every: int | None = None,
         monitor_window: int = 64,
+        round_latency: int = 0,
+        max_queue_depth: int | None = None,
+        credits_per_principal: int | None = None,
     ) -> tuple[ServerCluster, Coordinator]:
         """Recover a snapshotted cluster deployment of *this* system.
 
@@ -403,6 +417,9 @@ class ZerberRSystem:
             rebalance_every=rebalance_every,
             max_slices_per_envelope=max_slices_per_envelope,
             max_sessions_per_tick=max_sessions_per_tick,
+            round_latency=round_latency,
+            max_queue_depth=max_queue_depth,
+            credits_per_principal=credits_per_principal,
         )
 
     # -- convenience -----------------------------------------------------------------

@@ -171,6 +171,33 @@ class QuorumWriteUnavailableError(QuorumUnavailableError):
         self.paused_replicas = paused_replicas
 
 
+class BackpressureError(ProtocolError):
+    """A coordinator shed a session at admission (queue or credits full).
+
+    Raised by :meth:`~repro.core.router.Coordinator.submit` when real
+    backpressure is configured (``max_queue_depth`` /
+    ``credits_per_principal``) and admitting the session would exceed a
+    bound.  The shed happens *before* admission, so nothing was
+    acknowledged and nothing is lost — the caller retries no earlier
+    than ``signal.retry_after_ticks`` virtual ticks later.  ``signal``
+    is the :class:`~repro.core.protocol.BackpressureSignal` a fronting
+    RPC layer would ship back to the client.
+    """
+
+    def __init__(self, signal: object) -> None:
+        super().__init__(
+            f"session shed at admission ({getattr(signal, 'reason', '?')}: "
+            f"depth {getattr(signal, 'queue_depth', '?')} at limit "
+            f"{getattr(signal, 'limit', '?')}); retry after "
+            f"{getattr(signal, 'retry_after_ticks', '?')} tick(s)"
+        )
+        self.signal = signal
+
+    @property
+    def retry_after_ticks(self) -> int:
+        return int(getattr(self.signal, "retry_after_ticks", 1))
+
+
 class StaleEpochError(ProtocolError):
     """An envelope was routed under an outdated placement epoch.
 

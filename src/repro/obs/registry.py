@@ -70,6 +70,8 @@ COORDINATOR_STAT_FIELDS: tuple[str, ...] = (
     "rebalances",
     "lists_migrated",
     "stale_epoch_reroutes",
+    "backpressure_sheds",
+    "pipeline_overlap",
 )
 
 #: Fields of ``ReplicationStats`` mirrored as counters (``max_staleness_seen``

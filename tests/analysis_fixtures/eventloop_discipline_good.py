@@ -1,0 +1,16 @@
+"""Good: periodic core work registered through the event loop.
+
+Linted as ``repro.core.fixture_mod`` — scheduling goes through
+``EventLoop.every``, which is allowed everywhere in the core.
+"""
+
+
+def register_maintenance(loop, cluster):
+    delivery = loop.every(1, cluster.replication_tick, name="replication-delivery")
+    sweep = loop.every(4, cluster.anti_entropy, name="anti-entropy")
+    return delivery, sweep
+
+
+def drive(loop):
+    loop.advance(1)
+    return loop.run_until_quiet()

@@ -25,6 +25,7 @@ RULE_FIXTURES = {
     "replication-bypass": ("replication_bypass", None),
     "epoch-discipline": ("epoch_discipline", None),
     "determinism": ("determinism", "repro.core.fixture_mod"),
+    "eventloop-discipline": ("eventloop_discipline", "repro.core.fixture_mod"),
     "exception-discipline": ("exception_discipline", "repro.persist.fixture_mod"),
     "consistency-exhaustiveness": ("consistency", None),
     "export-sanity": ("export_sanity", None),

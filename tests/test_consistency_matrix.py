@@ -657,3 +657,135 @@ class TestDeadPrimaryRoutingMatrix:
         cluster = self._cluster(keys)
         assert cluster.read_consistency is ReadConsistency.PRIMARY
         assert cluster.write_consistency is WriteConsistency.ONE
+
+
+class TestFailoverAwareWriteRetry:
+    """ROADMAP item-3 edge: a refused quorum write parks through the
+    pending election instead of surfacing, then retries against the
+    promoted primary (``ZerberRClient._write_with_failover_retry``)."""
+
+    @pytest.fixture()
+    def client_keys(self):
+        svc = GroupKeyService(master_secret=b"s" * 32)
+        svc.register("alice", {"g1"})
+        return svc
+
+    @pytest.fixture()
+    def model(self):
+        return RstfModel(
+            {
+                "apple": train_rstf([0.1, 0.2, 0.3, 0.5], sigma=20.0),
+                "pear": train_rstf([0.05, 0.15, 0.4], sigma=20.0),
+            }
+        )
+
+    @pytest.fixture()
+    def plan(self):
+        return MergePlan(groups=(("apple", "pear"),), r=2.0)
+
+    def _client(self, client_keys, backend, model, plan):
+        return ZerberRClient(
+            principal="alice",
+            key_service=client_keys,
+            server=backend,
+            rstf_model=model,
+            merge_plan=plan,
+        )
+
+    def _cluster(self, client_keys, **kwargs):
+        kwargs.setdefault("failover_after", 2)
+        kwargs.setdefault("lag", 1)
+        kwargs.setdefault("write_consistency", "quorum")
+        return ServerCluster(
+            client_keys, num_lists=1, num_servers=3, replication=3, **kwargs
+        )
+
+    def _doc(self, doc_id, counts):
+        return DocumentStats.from_counts(doc_id, counts)
+
+    def test_quorum_write_parks_until_election_then_succeeds(
+        self, client_keys, model, plan
+    ):
+        cluster = self._cluster(client_keys)
+        alice = self._client(client_keys, cluster, model, plan)
+        alice.index_document(self._doc("d1", {"apple": 3}), "g1")
+        cluster.run_replication_until_quiet()
+        old_primary = cluster.replicas_of(0)[0]
+        cluster.fail_server(old_primary)
+        # The write parks: the retry loop drives replication ticks until
+        # the election promotes a live follower, then goes through.
+        alice.index_document(self._doc("d2", {"apple": 5}), "g1")
+        new_primary = cluster.replicas_of(0)[0]
+        assert new_primary != old_primary
+        assert len(cluster.failover_history()) == 1
+        result = alice.query("apple", k=5)
+        assert sorted(result.doc_ids()) == ["d1", "d2"]
+
+    def test_delete_parks_through_election_too(self, client_keys, model, plan):
+        cluster = self._cluster(client_keys)
+        alice = self._client(client_keys, cluster, model, plan)
+        receipts = alice.index_document_with_receipts(
+            self._doc("d1", {"apple": 3}), "g1"
+        )
+        cluster.run_replication_until_quiet()
+        old_primary = cluster.replicas_of(0)[0]
+        cluster.fail_server(old_primary)
+        assert alice.delete_document(receipts) >= 1
+        assert cluster.replicas_of(0)[0] != old_primary
+        assert alice.query("apple", k=5).doc_ids() == []
+
+    def test_surfaces_when_election_cannot_restore_quorum(
+        self, client_keys, model, plan
+    ):
+        cluster = self._cluster(client_keys)
+        alice = self._client(client_keys, cluster, model, plan)
+        alice.index_document(self._doc("d1", {"apple": 3}), "g1")
+        cluster.run_replication_until_quiet()
+        replicas = cluster.replicas_of(0)
+        cluster.fail_server(replicas[0])
+        cluster.fail_server(replicas[1])
+        # One live replica of three: even the promoted primary cannot
+        # reach QUORUM=2, so the parked write surfaces honestly -- but
+        # only after the election actually fired.
+        with pytest.raises(QuorumWriteUnavailableError):
+            alice.index_document(self._doc("d2", {"apple": 5}), "g1")
+        assert len(cluster.failover_history()) == 1
+        assert cluster.replicas_of(0)[0] == replicas[2]
+
+    def test_no_parking_when_primary_is_reachable(
+        self, client_keys, model, plan
+    ):
+        # An ack shortfall with a live primary is not election-fixable:
+        # the refusal surfaces immediately, no replication ticks driven.
+        cluster = self._cluster(client_keys, write_consistency="all")
+        alice = self._client(client_keys, cluster, model, plan)
+        cluster.fail_server(cluster.replicas_of(0)[2])
+        ticks_before = cluster.replication_manager.tick_count
+        with pytest.raises(QuorumWriteUnavailableError):
+            alice.index_document(self._doc("d1", {"apple": 3}), "g1")
+        assert cluster.replication_manager.tick_count == ticks_before
+
+    def test_no_parking_without_failover_machinery(
+        self, client_keys, model, plan
+    ):
+        cluster = self._cluster(client_keys, failover_after=None)
+        alice = self._client(client_keys, cluster, model, plan)
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        ticks_before = cluster.replication_manager.tick_count
+        with pytest.raises(QuorumWriteUnavailableError):
+            alice.index_document(self._doc("d1", {"apple": 3}), "g1")
+        assert cluster.replication_manager.tick_count == ticks_before
+
+    def test_down_primary_refuses_quorum_even_with_follower_acks(
+        self, client_keys
+    ):
+        # The fail_server contract: W > 1 never leans on the durable-
+        # primary idealisation.  Both followers are reachable, yet the
+        # dead primary alone refuses the write.
+        cluster = self._cluster(client_keys, failover_after=None)
+        cluster.fail_server(cluster.replicas_of(0)[0])
+        element = EncryptedPostingElement(b"ct", group="g1", trs=0.5)
+        with pytest.raises(QuorumWriteUnavailableError) as excinfo:
+            cluster.insert("alice", 0, element, consistency="quorum")
+        assert len(excinfo.value.live_replicas) == 2
+        assert cluster.replicas_of(0)[0] in excinfo.value.down_replicas

@@ -194,3 +194,98 @@ class TestKillSwitch:
         telemetry.resume()
         assert client._obs.enabled
         assert client._obs.tracer is telemetry.tracer
+
+
+class TestEnvelopeTraceAttribution:
+    """Each envelope is attributed to the oldest session owning one of
+    ITS slices — not the flush-oldest session — so serve and re-route
+    spans file under the session tree that asked for them."""
+
+    def _two_sessions_on_distinct_servers(self, system, cluster, coordinator):
+        terms = [
+            t
+            for t in system.vocabulary.terms_by_frequency()
+            if system.vocabulary.document_frequency(t) >= 2
+        ]
+        term_a = terms[0]
+        route_a = cluster.route(system.merge_plan.list_of(term_a))
+        term_b = next(
+            t
+            for t in terms[1:]
+            if cluster.route(system.merge_plan.list_of(t)) != route_a
+        )
+        client = system.client_for("superuser", server=cluster)
+        first = coordinator.open_session(client, [term_a], k=2)
+        second = coordinator.open_session(client, [term_b], k=2)
+        route_b = cluster.route(system.merge_plan.list_of(term_b))
+        return first, second, route_b
+
+    def test_envelope_carries_owning_sessions_trace(self, system):
+        telemetry = Telemetry()
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=3, telemetry=telemetry
+        )
+        first, second, route_b = self._two_sessions_on_distinct_servers(
+            system, cluster, coordinator
+        )
+        seen = []
+        real = cluster.serve_envelope
+
+        def recording(server_index, envelope, consistency=None):
+            seen.append((server_index, envelope.trace_id))
+            return real(server_index, envelope, consistency)
+
+        cluster.serve_envelope = recording
+        try:
+            coordinator.tick()
+        finally:
+            cluster.serve_envelope = real
+        by_server = dict(seen)
+        # The envelope holding only the second session's slice is
+        # attributed to THAT session, not the flush-oldest one.
+        assert by_server[route_b] == second.trace_id
+        assert second.trace_id != first.trace_id
+
+    def test_rerouted_envelope_stays_in_owning_session_trace(self, system):
+        from repro.errors import StaleEpochError
+
+        telemetry = Telemetry()
+        cluster, coordinator = system.deploy_cluster(
+            num_servers=3, telemetry=telemetry
+        )
+        first, second, route_b = self._two_sessions_on_distinct_servers(
+            system, cluster, coordinator
+        )
+        real = cluster.serve_envelope
+        rejected = {"done": False}
+        retried = []
+
+        def racing(server_index, envelope, consistency=None):
+            if server_index == route_b and not rejected["done"]:
+                # Simulate a rebalance bumping the epoch after routing.
+                rejected["done"] = True
+                raise StaleEpochError(envelope.epoch, envelope.epoch + 1)
+            if server_index == route_b:
+                retried.append(envelope.trace_id)
+            return real(server_index, envelope, consistency)
+
+        cluster.serve_envelope = racing
+        try:
+            coordinator.run_until_complete()
+        finally:
+            cluster.serve_envelope = real
+        assert coordinator.stats.stale_epoch_reroutes == 1
+        assert first.done and second.done
+        # The retry is attached to the session tree that asked for it.
+        assert retried[0] == second.trace_id
+        # No orphan roots: every finished trace is a session root, and
+        # the re-routed envelope span is annotated inside one of them.
+        traces = telemetry.tracer.traces()
+        assert traces and all(t.root.name == "query" for t in traces)
+        rerouted_spans = [
+            span
+            for t in traces
+            for span in t.spans()
+            if span.name == "envelope" and span.attributes.get("rerouted")
+        ]
+        assert len(rerouted_spans) == 1
